@@ -1,0 +1,68 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Every bench binary reproduces one table/figure of the paper. Measurements
+// come from the deterministic simulator, so a single run is exact; each
+// google-benchmark entry reports the *simulated* region time via manual
+// timing (plus memory counters), and after the benchmark pass the binary
+// prints the figure's rows the way the paper reports them. Measurements are
+// memoised so the benchmark pass and the table printer share one run.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "apps/common.hpp"
+#include "common/table.hpp"
+#include "gpu/device_profile.hpp"
+
+namespace gpupipe::bench {
+
+/// Runs `fn` once per unique `key` and caches its Measurement.
+inline const apps::Measurement& cached(const std::string& key,
+                                       const std::function<apps::Measurement()>& fn) {
+  static std::map<std::string, apps::Measurement> cache;
+  auto it = cache.find(key);
+  if (it == cache.end()) it = cache.emplace(key, fn()).first;
+  return it->second;
+}
+
+/// Standard reporting for one measured workload inside a benchmark body.
+inline void report(benchmark::State& state, const apps::Measurement& m) {
+  for (auto _ : state) {
+    state.SetIterationTime(m.seconds);
+  }
+  state.counters["sim_s"] = m.seconds;
+  state.counters["mem_MB"] = to_mib(m.reported_device_mem);
+  state.counters["h2d_s"] = m.h2d_time;
+  state.counters["d2h_s"] = m.d2h_time;
+  state.counters["kernel_s"] = m.kernel_time;
+}
+
+/// Configures a Modeled-mode GPU for benchmarking: hazard validation is the
+/// test suite's job, not the benchmark's.
+inline void quiet(gpu::Gpu& g) { g.hazards().set_enabled(false); }
+
+/// Runs one app version on a fresh Modeled-mode device.
+template <typename Fn>
+apps::Measurement run_on(const gpu::DeviceProfile& profile, Fn&& fn) {
+  gpu::Gpu g(profile, gpu::ExecMode::Modeled);
+  quiet(g);
+  return fn(g);
+}
+
+/// Runs registered benchmarks, then prints the paper-figure tables.
+inline int bench_main(int argc, char** argv, const std::function<void()>& print_figure) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_figure();
+  return 0;
+}
+
+}  // namespace gpupipe::bench

@@ -1,0 +1,108 @@
+// Extension bench: multi-device co-scheduling scaling (the paper's
+// future-work direction, CoreTSAR-style splitting + per-device pipelining).
+//
+// One kernel-bound streamed workload is fanned across 1..4 identical K40m
+// devices and across a heterogeneous K40m+HD7970 pair; the table reports
+// scaling efficiency and the straggler-balance quality of the
+// flops-proportional split.
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "bench/workloads.hpp"
+#include "core/multi.hpp"
+
+namespace gpupipe::bench {
+namespace {
+
+constexpr std::int64_t kRows = 1024;
+constexpr std::int64_t kRowElems = 65536;  // 512 KiB rows, 512 MiB total
+
+double run_devices(const std::vector<gpu::DeviceProfile>& profiles) {
+  auto ctx = gpu::make_shared_context();
+  std::vector<std::unique_ptr<gpu::Gpu>> gpus;
+  std::vector<core::DeviceShare> shares;
+  for (const auto& p : profiles) {
+    gpus.push_back(std::make_unique<gpu::Gpu>(p, gpu::ExecMode::Modeled, ctx));
+    quiet(*gpus.back());
+    shares.push_back({gpus.back().get(), 0.0});
+  }
+  std::byte* in = gpus[0]->host_alloc(static_cast<Bytes>(kRows * kRowElems) * 8);
+  std::byte* out = gpus[0]->host_alloc(static_cast<Bytes>(kRows * kRowElems) * 8);
+  core::PipelineSpec spec;
+  spec.chunk_size = 8;
+  spec.num_streams = 2;
+  spec.loop_begin = 0;
+  spec.loop_end = kRows;
+  spec.arrays = {
+      core::ArraySpec{"in", core::MapType::To, in, 8, {kRows, kRowElems},
+                      core::SplitSpec{0, core::Affine{1, 0}, 1}},
+      core::ArraySpec{"out", core::MapType::From, out, 8, {kRows, kRowElems},
+                      core::SplitSpec{0, core::Affine{1, 0}, 1}},
+  };
+  core::MultiPipeline mp(shares, spec);
+  const SimTime t0 = gpus[0]->host_now();
+  mp.run([](const core::ChunkContext& c) {
+    gpu::KernelDesc k;
+    k.flops = static_cast<double>(c.iterations() * kRowElems) * 2.0;
+    k.bytes = static_cast<Bytes>(c.iterations() * kRowElems) * 8 * 48;  // kernel-bound
+    return k;
+  });
+  return gpus[0]->host_now() - t0;
+}
+
+struct Config {
+  const char* name;
+  std::vector<gpu::DeviceProfile> profiles;
+};
+
+std::vector<Config> configs() {
+  return {
+      {"1x K40m", {gpu::nvidia_k40m()}},
+      {"2x K40m", {gpu::nvidia_k40m(), gpu::nvidia_k40m()}},
+      {"4x K40m",
+       {gpu::nvidia_k40m(), gpu::nvidia_k40m(), gpu::nvidia_k40m(), gpu::nvidia_k40m()}},
+      {"K40m + HD7970", {gpu::nvidia_k40m(), gpu::amd_hd7970()}},
+  };
+}
+
+double cached_time(std::size_t i) {
+  static std::map<std::size_t, double> cache;
+  auto it = cache.find(i);
+  if (it == cache.end()) it = cache.emplace(i, run_devices(configs()[i].profiles)).first;
+  return it->second;
+}
+
+void register_all() {
+  const auto cfgs = configs();
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    benchmark::RegisterBenchmark((std::string("ext_multi_gpu/") + cfgs[i].name).c_str(),
+                                 [i](benchmark::State& st) {
+                                   const double t = cached_time(i);
+                                   for (auto _ : st) st.SetIterationTime(t);
+                                   st.counters["speedup_vs_1"] = cached_time(0) / t;
+                                 })
+        ->UseManualTime()->Iterations(1);
+  }
+}
+
+void print_figure() {
+  std::printf("\nExtension — multi-device co-scheduling (512 MiB streamed, kernel-bound)\n");
+  Table t({"configuration", "time (s)", "speedup", "efficiency"});
+  const auto cfgs = configs();
+  const double base = cached_time(0);
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const double time = cached_time(i);
+    const double n = static_cast<double>(cfgs[i].profiles.size());
+    t.add_row({cfgs[i].name, Table::num(time, 4), Table::num(base / time) + "x",
+               Table::num(100.0 * base / time / n, 0) + "%"});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace gpupipe::bench
+
+int main(int argc, char** argv) {
+  gpupipe::bench::register_all();
+  return gpupipe::bench::bench_main(argc, argv, gpupipe::bench::print_figure);
+}

@@ -1,0 +1,71 @@
+// Reproduces Fig. 10: matrix-multiplication GPU memory usage (MB) across
+// sizes on the K40m profile. Paper points: the pipeline-buffer version
+// keeps only C (plus two small rings) resident — ~66% savings at large
+// sizes — and is the only version that still runs at 20480/24576.
+#include "bench/bench_util.hpp"
+#include "bench/workloads.hpp"
+
+namespace gpupipe::bench {
+namespace {
+
+const gpu::DeviceProfile kProfile = gpu::nvidia_k40m();
+
+/// reported_device_mem == 0 encodes out-of-memory.
+Bytes mem_of(std::int64_t n, const std::string& version) {
+  const std::string key = "fig10-" + std::to_string(n) + version;
+  return cached(key, [&]() -> apps::Measurement {
+           try {
+             return run_on(kProfile, [&](gpu::Gpu& g) {
+               auto cfg = matmul_cfg(n);
+               if (version == "baseline") return apps::matmul_baseline(g, cfg);
+               if (version == "block_shared") return apps::matmul_block_shared(g, cfg);
+               return apps::matmul_pipeline_buffer(g, cfg);
+             });
+           } catch (const gpu::OomError&) {
+             return apps::Measurement{};
+           }
+         })
+      .reported_device_mem;
+}
+
+void register_all() {
+  for (std::int64_t n : kMatmulSizes) {
+    for (std::string v : {"baseline", "block_shared", "pipeline_buffer"}) {
+      const std::string name = "fig10/matmul/" + v + "/n:" + std::to_string(n);
+      benchmark::RegisterBenchmark(name.c_str(), [n, v](benchmark::State& st) {
+        const Bytes b = mem_of(n, v);
+        for (auto _ : st) st.SetIterationTime(1e-9);
+        st.counters["mem_MB"] = to_mib(b);
+        st.counters["oom"] = b == 0 ? 1 : 0;
+      })->UseManualTime()->Iterations(1);
+    }
+  }
+}
+
+std::string mem_str(Bytes b) { return b == 0 ? "OOM" : Table::num(to_mib(b), 0); }
+
+void print_figure() {
+  std::printf("\nFig. 10 — Matmul GPU memory usage [MB] on %s\n", kProfile.name.c_str());
+  Table t({"size", "baseline", "block_shared", "pipeline_buffer", "buffer saving"});
+  for (std::int64_t n : kMatmulSizes) {
+    const Bytes nb = mem_of(n, "baseline");
+    const Bytes pb = mem_of(n, "pipeline_buffer");
+    const std::string saving =
+        nb == 0 ? "(others OOM)"
+                : Table::num(100.0 * (1.0 - static_cast<double>(pb) /
+                                                static_cast<double>(nb)),
+                             1) + "%";
+    t.add_row({std::to_string(n), mem_str(nb), mem_str(mem_of(n, "block_shared")),
+               mem_str(pb), saving});
+  }
+  t.print(std::cout);
+  std::printf("paper: buffer saves ~66%% at large sizes; only it runs 20480/24576\n");
+}
+
+}  // namespace
+}  // namespace gpupipe::bench
+
+int main(int argc, char** argv) {
+  gpupipe::bench::register_all();
+  return gpupipe::bench::bench_main(argc, argv, gpupipe::bench::print_figure);
+}

@@ -1,0 +1,67 @@
+// Reproduces Fig. 3: (left) the time distribution of the naive Lattice QCD
+// offload — the paper finds data transfers consume nearly 50% of execution
+// time — and (right) the Naive-vs-Pipelined normalized speedup for the
+// small/medium/large datasets, which grows with size toward the theoretical
+// 2x overlap bound (§V-A).
+#include "bench/bench_util.hpp"
+#include "bench/workloads.hpp"
+
+namespace gpupipe::bench {
+namespace {
+
+const gpu::DeviceProfile kProfile = gpu::nvidia_k40m();
+
+const apps::Measurement& qcd_m(char size, const std::string& version) {
+  return cached(std::string("fig3-") + size + version, [&] {
+    auto cfg = qcd_cfg(size);
+    return run_on(kProfile, [&](gpu::Gpu& g) {
+      return version == "naive" ? apps::qcd_naive(g, cfg) : apps::qcd_pipelined(g, cfg);
+    });
+  });
+}
+
+void register_all() {
+  for (std::string v : {"naive", "pipelined"}) {
+    for (char sz : {'s', 'm', 'l'}) {
+      benchmark::RegisterBenchmark((std::string("fig3/") + qcd_name(sz) + "/" + v).c_str(),
+                                   [sz, v](benchmark::State& s) { report(s, qcd_m(sz, v)); })
+          ->UseManualTime()->Iterations(1);
+    }
+  }
+}
+
+void print_figure() {
+  std::printf("\nFig. 3 (left) — Lattice QCD naive-offload time distribution on %s\n",
+              kProfile.name.c_str());
+  Table dist({"dataset", "HtoD", "Kernel", "DtoH", "transfer share", "paper"});
+  for (char sz : {'s', 'm', 'l'}) {
+    const auto& m = qcd_m(sz, "naive");
+    const double total = m.h2d_time + m.d2h_time + m.kernel_time;
+    dist.add_row({qcd_name(sz), Table::num(m.h2d_time / total * 100, 1) + "%",
+                  Table::num(m.kernel_time / total * 100, 1) + "%",
+                  Table::num(m.d2h_time / total * 100, 1) + "%",
+                  Table::num((m.h2d_time + m.d2h_time) / total * 100, 1) + "%",
+                  "~50% transfers"});
+  }
+  dist.print(std::cout);
+
+  std::printf("\nFig. 3 (right) — Normalized speedup, Pipelined vs Naive\n");
+  Table sp({"dataset", "Naive (s)", "Pipelined (s)", "speedup", "paper"});
+  const char* paper[] = {"~1.6", "grows with size", "approaches 2x bound"};
+  int i = 0;
+  for (char sz : {'s', 'm', 'l'}) {
+    const auto& n = qcd_m(sz, "naive");
+    const auto& p = qcd_m(sz, "pipelined");
+    sp.add_row({qcd_name(sz), Table::num(n.seconds, 3), Table::num(p.seconds, 3),
+                Table::num(n.seconds / p.seconds), paper[i++]});
+  }
+  sp.print(std::cout);
+}
+
+}  // namespace
+}  // namespace gpupipe::bench
+
+int main(int argc, char** argv) {
+  gpupipe::bench::register_all();
+  return gpupipe::bench::bench_main(argc, argv, gpupipe::bench::print_figure);
+}

@@ -1,0 +1,109 @@
+// Reproduces Fig. 5: normalized speedup of Naive / Pipelined /
+// Pipelined-buffer for 3dconv, stencil, and qcd (small/medium/large) on the
+// NVIDIA K40m profile. Paper's headline points: 3dconv 1.45x/1.46x,
+// stencil ~1.5x with the buffered runtime at least matching the hand-coded
+// pipeline, qcd-large 1.54x for the prototype.
+#include "bench/bench_util.hpp"
+#include "bench/workloads.hpp"
+
+namespace gpupipe::bench {
+namespace {
+
+const gpu::DeviceProfile kProfile = gpu::nvidia_k40m();
+
+// --- Measurement wrappers (memoised; each runs on a fresh device) ---
+
+const apps::Measurement& conv_m(const std::string& version) {
+  return cached("conv-" + version, [&] {
+    auto cfg = conv3d_cfg();
+    return run_on(kProfile, [&](gpu::Gpu& g) {
+      if (version == "naive") return apps::conv3d_naive(g, cfg);
+      if (version == "pipelined") return apps::conv3d_pipelined(g, cfg);
+      return apps::conv3d_pipelined_buffer(g, cfg);
+    });
+  });
+}
+
+const apps::Measurement& stencil_m(const std::string& version) {
+  return cached("stencil-" + version, [&] {
+    auto cfg = stencil_cfg();
+    return run_on(kProfile, [&](gpu::Gpu& g) {
+      if (version == "naive") return apps::stencil_naive(g, cfg);
+      if (version == "pipelined") {
+        cfg.num_streams = kStencilHandCodedStreams;  // OpenACC default queues
+        cfg.chunk_size = kStencilHandCodedChunk;
+        return apps::stencil_pipelined(g, cfg);
+      }
+      return apps::stencil_pipelined_buffer(g, cfg);
+    });
+  });
+}
+
+const apps::Measurement& qcd_m(char size, const std::string& version) {
+  return cached(std::string("qcd-") + size + "-" + version, [&] {
+    auto cfg = qcd_cfg(size);
+    return run_on(kProfile, [&](gpu::Gpu& g) {
+      if (version == "naive") return apps::qcd_naive(g, cfg);
+      if (version == "pipelined") return apps::qcd_pipelined(g, cfg);
+      return apps::qcd_pipelined_buffer(g, cfg);
+    });
+  });
+}
+
+// --- google-benchmark entries ---
+
+void BM_Conv3d(benchmark::State& state, const std::string& version) {
+  report(state, conv_m(version));
+}
+void BM_Stencil(benchmark::State& state, const std::string& version) {
+  report(state, stencil_m(version));
+}
+void BM_Qcd(benchmark::State& state, char size, const std::string& version) {
+  report(state, qcd_m(size, version));
+}
+
+void register_all() {
+  for (std::string v : {"naive", "pipelined", "buffer"}) {
+    benchmark::RegisterBenchmark(("fig5/3dconv/" + v).c_str(),
+                                 [v](benchmark::State& s) { BM_Conv3d(s, v); })
+        ->UseManualTime()->Iterations(1);
+    benchmark::RegisterBenchmark(("fig5/stencil/" + v).c_str(),
+                                 [v](benchmark::State& s) { BM_Stencil(s, v); })
+        ->UseManualTime()->Iterations(1);
+    for (char sz : {'s', 'm', 'l'})
+      benchmark::RegisterBenchmark((std::string("fig5/") + qcd_name(sz) + "/" + v).c_str(),
+                                   [sz, v](benchmark::State& s) { BM_Qcd(s, sz, v); })
+          ->UseManualTime()->Iterations(1);
+  }
+}
+
+void print_figure() {
+  Table t({"benchmark", "Naive (s)", "Pipelined (s)", "Pipelined-buffer (s)",
+           "speedup Pipelined", "speedup Buffer", "paper Pipelined", "paper Buffer"});
+  auto row = [&](const std::string& name, const apps::Measurement& n,
+                 const apps::Measurement& p, const apps::Measurement& b,
+                 const std::string& paper_p, const std::string& paper_b) {
+    t.add_row({name, Table::num(n.seconds, 3), Table::num(p.seconds, 3),
+               Table::num(b.seconds, 3), Table::num(n.seconds / p.seconds),
+               Table::num(n.seconds / b.seconds), paper_p, paper_b});
+  };
+  row("3dconv", conv_m("naive"), conv_m("pipelined"), conv_m("buffer"), "1.45", "1.46");
+  row("stencil", stencil_m("naive"), stencil_m("pipelined"), stencil_m("buffer"), "~1.5",
+      ">= Pipelined");
+  row("qcd-small", qcd_m('s', "naive"), qcd_m('s', "pipelined"), qcd_m('s', "buffer"),
+      "~1.6", "~1.5");
+  row("qcd-medium", qcd_m('m', "naive"), qcd_m('m', "pipelined"), qcd_m('m', "buffer"),
+      "~1.6", "~1.5");
+  row("qcd-large", qcd_m('l', "naive"), qcd_m('l', "pipelined"), qcd_m('l', "buffer"),
+      "~1.65", "1.54");
+  std::printf("\nFig. 5 — Performance evaluation on %s\n", kProfile.name.c_str());
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace gpupipe::bench
+
+int main(int argc, char** argv) {
+  gpupipe::bench::register_all();
+  return gpupipe::bench::bench_main(argc, argv, gpupipe::bench::print_figure);
+}

@@ -1,0 +1,83 @@
+// Reproduces Fig. 6: observed GPU memory usage (MB) of Naive / Pipelined /
+// Pipelined-buffer across the five workloads on the K40m profile. Paper
+// points: 3dconv drops from ~3.5 GB to ~93 MB (-97%); stencil saves ~50%
+// (the runtime context dominates the small dataset); QCD savings grow with
+// lattice size (up to ~79% at n=36).
+#include "bench/bench_util.hpp"
+#include "bench/workloads.hpp"
+
+namespace gpupipe::bench {
+namespace {
+
+const gpu::DeviceProfile kProfile = gpu::nvidia_k40m();
+
+const apps::Measurement& workload_m(const std::string& app, const std::string& version) {
+  return cached("fig6-" + app + "-" + version, [&] {
+    return run_on(kProfile, [&](gpu::Gpu& g) -> apps::Measurement {
+      if (app == "3dconv") {
+        auto cfg = conv3d_cfg();
+        if (version == "naive") return apps::conv3d_naive(g, cfg);
+        if (version == "pipelined") return apps::conv3d_pipelined(g, cfg);
+        return apps::conv3d_pipelined_buffer(g, cfg);
+      }
+      if (app == "stencil") {
+        auto cfg = stencil_cfg();
+        if (version == "naive") return apps::stencil_naive(g, cfg);
+        if (version == "pipelined") {
+          cfg.num_streams = kStencilHandCodedStreams;
+          cfg.chunk_size = kStencilHandCodedChunk;
+          return apps::stencil_pipelined(g, cfg);
+        }
+        return apps::stencil_pipelined_buffer(g, cfg);
+      }
+      auto cfg = qcd_cfg(app.back() == 'l' ? 's' : app.back() == 'm' ? 'm' : 'l');
+      if (version == "naive") return apps::qcd_naive(g, cfg);
+      if (version == "pipelined") return apps::qcd_pipelined(g, cfg);
+      return apps::qcd_pipelined_buffer(g, cfg);
+    });
+  });
+}
+
+const char* kApps[] = {"3dconv", "stencil", "qcd-small", "qcd-medium", "qcd-large"};
+
+void register_all() {
+  for (const char* app : kApps) {
+    for (std::string v : {"naive", "pipelined", "buffer"}) {
+      benchmark::RegisterBenchmark((std::string("fig6/") + app + "/" + v).c_str(),
+                                   [app, v](benchmark::State& s) {
+                                     report(s, workload_m(app, v));
+                                   })
+          ->UseManualTime()->Iterations(1);
+    }
+  }
+}
+
+void print_figure() {
+  std::printf("\nFig. 6 — GPU memory usage [MB] on %s\n", kProfile.name.c_str());
+  Table t({"benchmark", "Naive", "Pipelined", "Pipelined-buffer", "saving vs Pipelined",
+           "paper"});
+  const char* paper[] = {"-97% (3.5 GB -> 93 MB)", "~-50%", "savings grow",
+                         "with lattice size", "up to -79%"};
+  int i = 0;
+  for (const char* app : kApps) {
+    const auto& n = workload_m(app, "naive");
+    const auto& p = workload_m(app, "pipelined");
+    const auto& b = workload_m(app, "buffer");
+    const double saving =
+        100.0 * (1.0 - static_cast<double>(b.reported_device_mem) /
+                           static_cast<double>(p.reported_device_mem));
+    t.add_row({app, Table::num(to_mib(n.reported_device_mem), 0),
+               Table::num(to_mib(p.reported_device_mem), 0),
+               Table::num(to_mib(b.reported_device_mem), 0), Table::num(saving, 1) + "%",
+               paper[i++]});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace gpupipe::bench
+
+int main(int argc, char** argv) {
+  gpupipe::bench::register_all();
+  return gpupipe::bench::bench_main(argc, argv, gpupipe::bench::print_figure);
+}

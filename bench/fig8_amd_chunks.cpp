@@ -1,0 +1,89 @@
+// Reproduces Fig. 8 (AMD Radeon HD 7970 profile):
+//  (left)  with the default fine-grained split (one outer-loop plane per
+//          chunk) the Pipelined versions of 3dconv and stencil are ~55-60%
+//          SLOWER than Naive — per-transfer setup overhead plus segments
+//          far below the bandwidth saturation size;
+//  (right) normalized speedup as the number of chunks varies: ~1.2x with 2
+//          chunks, a peak in the mid single digits, degradation past ~10,
+//          worse than Naive somewhere in the 20-50 range, and far below 1.0
+//          at the default chunk count.
+#include "bench/bench_util.hpp"
+#include "bench/workloads.hpp"
+
+namespace gpupipe::bench {
+namespace {
+
+const gpu::DeviceProfile kProfile = gpu::amd_hd7970();
+// "default" = one plane per chunk, i.e. (ni - 2) chunks.
+constexpr int kChunkCounts[] = {2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 50, -1};
+
+std::int64_t chunk_size_for(std::int64_t planes, int nchunks) {
+  return nchunks < 0 ? 1 : ceil_div(planes, nchunks);
+}
+
+const apps::Measurement& measure_m(const std::string& app, const std::string& version,
+                                   int nchunks) {
+  return cached("fig8-" + app + version + std::to_string(nchunks), [&] {
+    return run_on(kProfile, [&](gpu::Gpu& g) -> apps::Measurement {
+      if (app == "3dconv") {
+        auto cfg = conv3d_amd_cfg();
+        cfg.chunk_size = chunk_size_for(cfg.ni - 2, nchunks);
+        if (version == "naive") return apps::conv3d_naive(g, cfg);
+        return apps::conv3d_pipelined(g, cfg);
+      }
+      auto cfg = stencil_amd_cfg();
+      cfg.chunk_size = chunk_size_for(cfg.nz - 2, nchunks);
+      if (version == "naive") return apps::stencil_naive(g, cfg);
+      return apps::stencil_pipelined(g, cfg);
+    });
+  });
+}
+
+std::string chunk_label(int n) { return n < 0 ? "default" : std::to_string(n); }
+
+void register_all() {
+  for (const char* app : {"3dconv", "stencil"}) {
+    for (int n : kChunkCounts) {
+      const std::string name = std::string("fig8/") + app + "/chunks:" + chunk_label(n);
+      benchmark::RegisterBenchmark(name.c_str(), [app, n](benchmark::State& st) {
+        report(st, measure_m(app, "pipelined", n));
+      })
+          ->UseManualTime()->Iterations(1);
+    }
+  }
+}
+
+void print_figure() {
+  std::printf("\nFig. 8 (left) — default-split Pipelined vs Naive on %s\n",
+              kProfile.name.c_str());
+  Table left({"benchmark", "Naive (s)", "Pipelined (s)", "normalized speedup", "paper"});
+  for (const char* app : {"3dconv", "stencil"}) {
+    const double n = measure_m(app, "naive", -1).seconds;
+    const double p = measure_m(app, "pipelined", -1).seconds;
+    left.add_row({app, Table::num(n, 3), Table::num(p, 3), Table::num(n / p),
+                  "Pipelined ~56-57% slower"});
+  }
+  left.print(std::cout);
+
+  std::printf("\nFig. 8 (right) — Pipelined speedup vs number of chunks\n");
+  Table right({"chunks", "3dconv speedup", "stencil speedup"});
+  for (int n : kChunkCounts) {
+    right.add_row({chunk_label(n),
+                   Table::num(measure_m("3dconv", "naive", -1).seconds /
+                              measure_m("3dconv", "pipelined", n).seconds),
+                   Table::num(measure_m("stencil", "naive", -1).seconds /
+                              measure_m("stencil", "pipelined", n).seconds)});
+  }
+  right.print(std::cout);
+  std::printf(
+      "paper: ~1.2x at 2 chunks; peak ~9 (3dconv) / ~4 (stencil); below 1.0 between "
+      "10 and 50 chunks; worst at the default count\n");
+}
+
+}  // namespace
+}  // namespace gpupipe::bench
+
+int main(int argc, char** argv) {
+  gpupipe::bench::register_all();
+  return gpupipe::bench::bench_main(argc, argv, gpupipe::bench::print_figure);
+}

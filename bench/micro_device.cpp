@@ -1,0 +1,107 @@
+// Microbenchmarks of the simulated device primitives — the raw numbers
+// behind every figure. Prints the transfer-bandwidth curves (1-D and 2-D),
+// per-operation latencies, and kernel roofline behaviour for each shipped
+// profile, so a calibration change is visible here first.
+#include "bench/bench_util.hpp"
+
+namespace gpupipe::bench {
+namespace {
+
+std::vector<gpu::DeviceProfile> profiles() {
+  return {gpu::nvidia_k40m(), gpu::amd_hd7970(), gpu::intel_xeonphi()};
+}
+
+/// Measured effective bandwidth of one H2D transfer of `bytes`.
+double measured_bw(const gpu::DeviceProfile& p, Bytes bytes) {
+  gpu::Gpu g(p, gpu::ExecMode::Modeled);
+  std::byte* host = g.host_alloc(bytes);
+  std::byte* dev = g.device_malloc(bytes);
+  auto t = g.memcpy_h2d_async(dev, host, bytes, g.default_stream());
+  g.synchronize();
+  return static_cast<double>(bytes) / t->duration();
+}
+
+/// Measured effective bandwidth of a 2-D transfer: `bytes` total in rows of
+/// `row` bytes.
+double measured_bw_2d(const gpu::DeviceProfile& p, Bytes bytes, Bytes row) {
+  gpu::Gpu g(p, gpu::ExecMode::Modeled);
+  const Bytes height = bytes / row;
+  std::byte* host = g.host_alloc(bytes);
+  gpu::Pitched dev = g.device_malloc_pitched(row, height);
+  auto t = g.memcpy2d_h2d_async(dev.ptr, dev.pitch, host, row, row, height,
+                                g.default_stream());
+  g.synchronize();
+  return static_cast<double>(bytes) / t->duration();
+}
+
+void register_all() {
+  for (const auto& p : profiles()) {
+    for (Bytes sz : {64 * KiB, 512 * KiB, 4 * MiB, 64 * MiB, 512 * MiB}) {
+      const std::string name =
+          "micro/h2d_bw/" + p.name.substr(0, p.name.find(' ')) + "/" +
+          std::to_string(sz / KiB) + "KiB";
+      benchmark::RegisterBenchmark(name.c_str(), [p, sz](benchmark::State& st) {
+        const double bw = measured_bw(p, sz);
+        for (auto _ : st) st.SetIterationTime(static_cast<double>(sz) / bw);
+        st.counters["GBps"] = bw / 1e9;
+      })->UseManualTime()->Iterations(1);
+    }
+  }
+}
+
+void print_figure() {
+  std::printf("\nMicro — 1-D H2D effective bandwidth [GB/s] vs transfer size\n");
+  {
+    Table t({"size", "K40m", "HD7970", "XeonPhi"});
+    for (Bytes sz : {64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB, 64 * MiB, 512 * MiB}) {
+      std::vector<std::string> row{std::to_string(sz / KiB) + " KiB"};
+      for (const auto& p : profiles()) row.push_back(Table::num(measured_bw(p, sz) / 1e9));
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  std::printf("\nMicro — 2-D H2D effective bandwidth [GB/s], 64 MiB total, vs row width\n");
+  {
+    Table t({"row width", "K40m", "HD7970", "XeonPhi"});
+    for (Bytes row : {Bytes{512}, 4 * KiB, 32 * KiB, 256 * KiB, 2 * MiB}) {
+      std::vector<std::string> r{std::to_string(row) + " B"};
+      for (const auto& p : profiles())
+        r.push_back(Table::num(measured_bw_2d(p, 64 * MiB, row) / 1e9));
+      t.add_row(std::move(r));
+    }
+    t.print(std::cout);
+  }
+
+  std::printf("\nMicro — per-operation latencies [us]\n");
+  {
+    Table t({"profile", "copy setup", "kernel launch", "host API call",
+             "sched per extra stream"});
+    for (const auto& p : profiles()) {
+      t.add_row({p.name, Table::num(p.copy_setup_latency * 1e6, 1),
+                 Table::num(p.kernel_launch_latency * 1e6, 1),
+                 Table::num(p.api_call_host_overhead * 1e6, 1),
+                 Table::num(p.sched_overhead_per_stream * 1e6, 1)});
+    }
+    t.print(std::cout);
+  }
+
+  std::printf("\nMicro — kernel roofline crossover (flops per byte where compute == memory)\n");
+  {
+    Table t({"profile", "peak DP [GF/s]", "mem BW [GB/s]", "ridge [flop/byte]"});
+    for (const auto& p : profiles()) {
+      t.add_row({p.name, Table::num(p.peak_flops / 1e9, 0),
+                 Table::num(p.mem_bandwidth / 1e9, 0),
+                 Table::num(p.peak_flops / p.mem_bandwidth)});
+    }
+    t.print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace gpupipe::bench
+
+int main(int argc, char** argv) {
+  gpupipe::bench::register_all();
+  return gpupipe::bench::bench_main(argc, argv, gpupipe::bench::print_figure);
+}

@@ -1,0 +1,96 @@
+// Canonical figure datasets: the workload sizes and tuning parameters used
+// by the figure-reproduction benches. Sizes are chosen so absolute memory
+// footprints land where the paper's figures put them (e.g. the 3-D
+// convolution's ~3.5 GB working set of Fig. 6); tuning parameters follow
+// the paper's text (e.g. the hand-coded stencil pipeline defaults to 8
+// streams, §V-C).
+#pragma once
+
+#include "apps/conv3d.hpp"
+#include "apps/matmul.hpp"
+#include "apps/qcd.hpp"
+#include "apps/stencil.hpp"
+
+namespace gpupipe::bench {
+
+/// Lattice QCD: n = 12 (small) / 24 (medium) / 36 (large), as in §V-D.
+inline apps::QcdConfig qcd_cfg(char size) {
+  apps::QcdConfig cfg;
+  cfg.n = size == 's' ? 12 : size == 'm' ? 24 : 36;
+  cfg.passes = 2;
+  cfg.chunk_size = 1;
+  cfg.num_streams = 2;
+  return cfg;
+}
+
+inline const char* qcd_name(char size) {
+  return size == 's' ? "qcd-small" : size == 'm' ? "qcd-medium" : "qcd-large";
+}
+
+/// Parboil-style stencil, K40m dataset (Figs. 5-7): a 256x256x64 grid,
+/// 50 timesteps. The hand-coded Pipelined version uses the OpenACC default
+/// of one queue per subtask (8 streams); the runtime uses 2.
+inline apps::StencilConfig stencil_cfg() {
+  apps::StencilConfig cfg;
+  cfg.nx = 256;
+  cfg.ny = 256;
+  cfg.nz = 64;
+  cfg.sweeps = 50;
+  cfg.chunk_size = 4;  // what the runtime's tuning settles on
+  cfg.num_streams = 2;
+  return cfg;
+}
+/// Hand-coded stencil pipeline parameters: the OpenACC default of one queue
+/// per subtask (8 streams), two planes per chunk.
+inline constexpr int kStencilHandCodedStreams = 8;
+inline constexpr std::int64_t kStencilHandCodedChunk = 2;
+
+/// Polybench-style 3-D convolution, K40m dataset (Figs. 5-6): 608^3 doubles
+/// => two ~1.7 GB volumes, the ~3.5 GB working set of Fig. 6.
+inline apps::Conv3dConfig conv3d_cfg() {
+  apps::Conv3dConfig cfg;
+  cfg.ni = 608;
+  cfg.nj = 608;
+  cfg.nk = 608;
+  cfg.passes = 1;
+  cfg.chunk_size = 1;  // the paper's default: one outer-loop plane per chunk
+  cfg.num_streams = 2;
+  return cfg;
+}
+
+/// AMD HD 7970 datasets (Fig. 8): sized to fit the 3 GB card.
+inline apps::Conv3dConfig conv3d_amd_cfg() {
+  apps::Conv3dConfig cfg;
+  cfg.ni = 256;
+  cfg.nj = 256;
+  cfg.nk = 256;
+  cfg.passes = 1;
+  cfg.chunk_size = 1;  // the "default" split: one outer-loop plane per chunk
+  cfg.num_streams = 2;
+  return cfg;
+}
+
+inline apps::StencilConfig stencil_amd_cfg() {
+  apps::StencilConfig cfg;
+  cfg.nx = 320;
+  cfg.ny = 320;
+  cfg.nz = 128;
+  cfg.sweeps = 10;
+  cfg.chunk_size = 1;
+  cfg.num_streams = 2;
+  return cfg;
+}
+
+/// Matrix multiplication sizes of Figs. 9-10.
+inline const std::int64_t kMatmulSizes[] = {1024, 2048,  4096,  8192, 10240,
+                                            12288, 14336, 20480, 24576};
+
+inline apps::MatmulConfig matmul_cfg(std::int64_t n) {
+  apps::MatmulConfig cfg;
+  cfg.n = n;
+  cfg.chunk_cols = std::min<std::int64_t>(512, n);
+  cfg.num_streams = 2;
+  return cfg;
+}
+
+}  // namespace gpupipe::bench

@@ -1,0 +1,115 @@
+// Out-of-core 2-D image filtering with the nested-loop tile pipeline
+// (extension; the paper's "future work will extend it to support nested
+// loops").
+//
+// Part 1 sharpens a small image functionally and validates against a host
+// reference. Part 2 streams a 64k x 64k image (32 GB — more than triple the
+// simulated K40m's memory) through the same tile pipeline in Modeled mode,
+// showing the device footprint stays a few megabytes.
+//
+// Build & run:  ./build/examples/out_of_core_image
+#include <cstdio>
+#include <vector>
+
+#include "core/tile_pipeline.hpp"
+#include "gpu/device_profile.hpp"
+
+using namespace gpupipe;
+
+namespace {
+
+/// 3x3 sharpen: 5*center - the 4-neighbour sum.
+double sharpen_at(const std::vector<double>& img, std::int64_t cols, std::int64_t r,
+                  std::int64_t c) {
+  return 5.0 * img[r * cols + c] - img[(r - 1) * cols + c] - img[(r + 1) * cols + c] -
+         img[r * cols + c - 1] - img[r * cols + c + 1];
+}
+
+core::TileSpec make_spec(std::byte* in, std::byte* out, std::int64_t rows, std::int64_t cols,
+                         std::int64_t tile, int streams) {
+  core::TileSpec spec;
+  spec.num_streams = streams;
+  spec.ni = (rows - 2) / tile;
+  spec.nj = (cols - 2) / tile;
+  spec.arrays = {
+      // Input tiles carry a 1-pixel halo on every side.
+      core::TileArraySpec{"in", core::MapType::To, in, sizeof(double), rows, cols,
+                          core::TileDimSpec{core::Affine{tile, 0}, tile + 2},
+                          core::TileDimSpec{core::Affine{tile, 0}, tile + 2}},
+      core::TileArraySpec{"out", core::MapType::From, out, sizeof(double), rows, cols,
+                          core::TileDimSpec{core::Affine{tile, 1}, tile},
+                          core::TileDimSpec{core::Affine{tile, 1}, tile}},
+  };
+  return spec;
+}
+
+core::TileKernelFactory sharpen_kernel(std::int64_t tile) {
+  return [tile](const core::TileContext& ctx) {
+    gpu::KernelDesc k;
+    k.name = "sharpen";
+    k.flops = static_cast<double>(tile * tile) * 9.0;
+    k.bytes = static_cast<Bytes>(tile * tile) * 6 * sizeof(double);
+    const core::TileBufferView in = ctx.view("in");
+    const core::TileBufferView out = ctx.view("out");
+    const std::int64_t r0 = ctx.i() * tile + 1, c0 = ctx.j() * tile + 1;
+    k.body = [in, out, r0, c0, tile] {
+      for (std::int64_t r = r0; r < r0 + tile; ++r) {
+        for (std::int64_t c = c0; c < c0 + tile; ++c) {
+          *out.at(r, c) = 5.0 * *in.at(r, c) - *in.at(r - 1, c) - *in.at(r + 1, c) -
+                          *in.at(r, c - 1) - *in.at(r, c + 1);
+        }
+      }
+    };
+    return k;
+  };
+}
+
+}  // namespace
+
+int main() {
+  // ---- Part 1: functional validation on a small image ----
+  {
+    gpu::Gpu g(gpu::nvidia_k40m());
+    const std::int64_t rows = 130, cols = 258, tile = 16;
+    std::vector<double> img(rows * cols), sharp(rows * cols, 0.0);
+    for (std::int64_t x = 0; x < rows * cols; ++x) img[x] = static_cast<double>((x * 13) % 97);
+
+    core::TilePipeline p(g,
+                         make_spec(reinterpret_cast<std::byte*>(img.data()),
+                                   reinterpret_cast<std::byte*>(sharp.data()), rows, cols,
+                                   tile, 2));
+    p.run(sharpen_kernel(tile));
+
+    for (std::int64_t r = 1; r < rows - 1; ++r)
+      for (std::int64_t c = 1; c < cols - 1; ++c)
+        if (sharp[r * cols + c] != sharpen_at(img, cols, r, c)) {
+          printf("FAILED at (%lld, %lld)\n", static_cast<long long>(r),
+                 static_cast<long long>(c));
+          return 1;
+        }
+    printf("small image: %lldx%lld sharpened and verified against the host reference\n",
+           static_cast<long long>(rows), static_cast<long long>(cols));
+  }
+
+  // ---- Part 2: an image bigger than device memory, Modeled mode ----
+  {
+    gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+    g.hazards().set_enabled(false);
+    const std::int64_t rows = 65538, cols = 65538, tile = 512;
+    const Bytes image_bytes = static_cast<Bytes>(rows) * cols * sizeof(double);
+    std::byte* in = g.host_alloc(image_bytes);
+    std::byte* out = g.host_alloc(image_bytes);
+
+    core::TilePipeline p(g, make_spec(in, out, rows, cols, tile, 2));
+    const SimTime t0 = g.host_now();
+    p.run(sharpen_kernel(tile));
+    const SimTime elapsed = g.host_now() - t0;
+
+    printf("huge image: 2 x %.1f GB streamed through %.2f MB of device buffers\n",
+           static_cast<double>(image_bytes) / 1e9,
+           static_cast<double>(p.buffer_footprint()) / 1e6);
+    printf("            %.1f s simulated, %.1f GB transferred in\n", elapsed,
+           static_cast<double>(p.h2d_bytes()) / 1e9);
+  }
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "acc/acc.hpp"
+
+namespace gpupipe::acc {
+
+// --- DataRegion ---
+
+DataRegion::DataRegion(AccRuntime& rt, std::vector<DataClause> clauses) : rt_(&rt) {
+  gpu::Gpu& g = rt.gpu_;
+  mappings_.reserve(clauses.size());
+  try {
+    for (auto& c : clauses) {
+      require(c.host != nullptr && c.size > 0, "data clause needs a host pointer and size");
+      g.host_compute(rt.config_.data_clause_overhead);
+      Mapping m{c, g.device_malloc(c.size)};
+      if (c.kind == DataKind::CopyIn || c.kind == DataKind::Copy) {
+        g.memcpy_h2d(m.device, c.host, c.size);
+      }
+      mappings_.push_back(m);
+    }
+  } catch (...) {
+    // A clause mid-list failed (typically OomError): release what was
+    // already mapped so the error leaves the device clean.
+    g.synchronize();
+    for (auto& m : mappings_) g.device_free(m.device);
+    throw;
+  }
+}
+
+DataRegion::DataRegion(DataRegion&& other) noexcept
+    : rt_(other.rt_), mappings_(std::move(other.mappings_)) {
+  other.rt_ = nullptr;
+}
+
+DataRegion::~DataRegion() {
+  if (!rt_) return;
+  gpu::Gpu& g = rt_->gpu_;
+  // Region exit waits for outstanding work touching the mapped data, then
+  // copies out and releases.
+  g.synchronize();
+  for (auto& m : mappings_) {
+    g.host_compute(rt_->config_.data_clause_overhead);
+    if (m.clause.kind == DataKind::CopyOut || m.clause.kind == DataKind::Copy) {
+      g.memcpy_d2h(m.clause.host, m.device, m.clause.size);
+    }
+    g.device_free(m.device);
+  }
+}
+
+std::byte* DataRegion::device_ptr(const std::byte* host) const {
+  for (const auto& m : mappings_) {
+    if (host >= m.clause.host && host < m.clause.host + m.clause.size) {
+      return m.device + (host - m.clause.host);
+    }
+  }
+  throw Error("acc: host pointer is not present in this data region");
+}
+
+// --- AccRuntime ---
+
+AccRuntime::AccRuntime(gpu::Gpu& gpu, AccConfig config) : gpu_(gpu), config_(config) {}
+
+AccRuntime::~AccRuntime() {
+  for (auto& [id, stream] : queues_) gpu_.destroy_stream(*stream);
+}
+
+gpu::Stream& AccRuntime::queue_stream(int queue) {
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) {
+    gpu::Stream& s = gpu_.create_stream("acc-q" + std::to_string(queue));
+    it = queues_.emplace(queue, &s).first;
+  }
+  return *it->second;
+}
+
+void AccRuntime::charge_async_overhead() {
+  gpu_.host_compute(config_.queue_mgmt_overhead * static_cast<double>(live_queues()));
+}
+
+void AccRuntime::parallel_loop(gpu::KernelDesc desc) {
+  gpu::Stream& s = gpu_.default_stream();
+  gpu_.launch(s, std::move(desc));
+  gpu_.synchronize(s);
+}
+
+void AccRuntime::parallel_loop_async(int queue, gpu::KernelDesc desc) {
+  gpu::Stream& s = queue_stream(queue);
+  charge_async_overhead();
+  gpu_.launch(s, std::move(desc));
+}
+
+void AccRuntime::update_device(std::byte* device, const std::byte* host, Bytes n) {
+  gpu_.host_compute(config_.update_section_overhead);
+  gpu_.memcpy_h2d(device, host, n);
+}
+
+void AccRuntime::update_self(std::byte* host, const std::byte* device, Bytes n) {
+  gpu_.host_compute(config_.update_section_overhead);
+  gpu_.memcpy_d2h(host, device, n);
+}
+
+void AccRuntime::update_device_async(int queue, std::byte* device, const std::byte* host,
+                                     Bytes n) {
+  gpu::Stream& s = queue_stream(queue);
+  gpu_.host_compute(config_.update_section_overhead);
+  charge_async_overhead();
+  gpu_.memcpy_h2d_async(device, host, n, s);
+}
+
+void AccRuntime::update_self_async(int queue, std::byte* host, const std::byte* device,
+                                   Bytes n) {
+  gpu::Stream& s = queue_stream(queue);
+  gpu_.host_compute(config_.update_section_overhead);
+  charge_async_overhead();
+  gpu_.memcpy_d2h_async(host, device, n, s);
+}
+
+void AccRuntime::map_data(std::byte* host, std::byte* device, Bytes size) {
+  require(host != nullptr && device != nullptr && size > 0,
+          "map_data needs host, device, and a size");
+  gpu_.host_compute(config_.data_clause_overhead);
+  // One host segment maps to exactly one device location; overlap with an
+  // existing mapping is an error — the restriction that rules this API out
+  // for ring buffers (§IV: "Mapping multiple host array indices to
+  // different locations in the device buffer results in an error").
+  auto it = mapped_.upper_bound(host);
+  if (it != mapped_.end())
+    require(host + size <= it->first, "map_data: host range overlaps an existing mapping");
+  if (it != mapped_.begin()) {
+    auto prev = std::prev(it);
+    require(prev->first + prev->second.size <= host,
+            "map_data: host range overlaps an existing mapping");
+  }
+  mapped_.emplace(host, Mapped{size, device});
+}
+
+void AccRuntime::unmap_data(std::byte* host) {
+  gpu_.host_compute(config_.data_clause_overhead);
+  auto it = mapped_.find(host);
+  require(it != mapped_.end(), "unmap_data of a pointer that was never mapped");
+  mapped_.erase(it);
+}
+
+std::byte* AccRuntime::mapped_device_ptr(const std::byte* host) const {
+  auto it = mapped_.upper_bound(host);
+  require(it != mapped_.begin(), "host pointer is not present in any mapping");
+  --it;
+  require(host < it->first + it->second.size, "host pointer is not present in any mapping");
+  return it->second.device + (host - it->first);
+}
+
+void AccRuntime::mapped_update_device_async(int queue, std::byte* host, Bytes n) {
+  std::byte* device = mapped_device_ptr(host);
+  gpu_.host_compute(config_.mapped_update_overhead);
+  update_device_async(queue, device, host, n);
+}
+
+void AccRuntime::mapped_update_self_async(int queue, std::byte* host, Bytes n) {
+  std::byte* device = mapped_device_ptr(host);
+  gpu_.host_compute(config_.mapped_update_overhead);
+  update_self_async(queue, host, device, n);
+}
+
+void AccRuntime::wait() {
+  for (auto& [id, stream] : queues_) gpu_.synchronize(*stream);
+}
+
+void AccRuntime::wait(int queue) { gpu_.synchronize(queue_stream(queue)); }
+
+}  // namespace gpupipe::acc

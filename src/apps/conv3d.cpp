@@ -1,0 +1,213 @@
+#include "apps/conv3d.hpp"
+
+#include <vector>
+
+#include "acc/acc.hpp"
+#include "core/pipeline.hpp"
+#include "dsl/bind.hpp"
+
+namespace gpupipe::apps {
+
+namespace {
+
+// Polybench conv3d coefficient mask: c(di,dj,dk) = 1 / (2 + |di|+|dj|+|dk|),
+// a fixed, cheap-to-recompute deterministic mask.
+double coeff(int di, int dj, int dk) {
+  return 1.0 / static_cast<double>(2 + std::abs(di) + std::abs(dj) + std::abs(dk));
+}
+
+std::int64_t index3d(const Conv3dConfig& cfg, std::int64_t i, std::int64_t j, std::int64_t k) {
+  return (i * cfg.nj + j) * cfg.nk + k;
+}
+
+/// Convolution over outer-dim planes [ilo, ihi) of full arrays; boundary
+/// points produce 0 so every output plane is fully defined.
+void convolve_planes(const Conv3dConfig& cfg, const double* a, double* b, std::int64_t ilo,
+                     std::int64_t ihi) {
+  for (std::int64_t i = ilo; i < ihi; ++i) {
+    for (std::int64_t j = 0; j < cfg.nj; ++j) {
+      for (std::int64_t k = 0; k < cfg.nk; ++k) {
+        double acc = 0.0;
+        const bool interior = i > 0 && i < cfg.ni - 1 && j > 0 && j < cfg.nj - 1 && k > 0 &&
+                              k < cfg.nk - 1;
+        if (interior) {
+          for (int di = -1; di <= 1; ++di)
+            for (int dj = -1; dj <= 1; ++dj)
+              for (int dk = -1; dk <= 1; ++dk)
+                acc += coeff(di, dj, dk) * a[index3d(cfg, i + di, j + dj, k + dk)];
+        }
+        b[index3d(cfg, i, j, k)] = acc;
+      }
+    }
+  }
+}
+
+/// Same convolution through ring-buffer views (Pipelined-buffer kernel).
+void convolve_planes_view(const Conv3dConfig& cfg, const core::BufferView& in,
+                          const core::BufferView& out, std::int64_t ilo, std::int64_t ihi) {
+  const std::int64_t plane = cfg.nj * cfg.nk;
+  for (std::int64_t i = ilo; i < ihi; ++i) {
+    const double* am = in.slab_ptr(i - 1);
+    const double* a0 = in.slab_ptr(i);
+    const double* ap = in.slab_ptr(i + 1);
+    double* b0 = out.slab_ptr(i);
+    const double* slabs[3] = {am, a0, ap};
+    for (std::int64_t j = 0; j < cfg.nj; ++j) {
+      for (std::int64_t k = 0; k < cfg.nk; ++k) {
+        double acc = 0.0;
+        const bool interior = i > 0 && i < cfg.ni - 1 && j > 0 && j < cfg.nj - 1 && k > 0 &&
+                              k < cfg.nk - 1;
+        if (interior) {
+          for (int di = -1; di <= 1; ++di)
+            for (int dj = -1; dj <= 1; ++dj)
+              for (int dk = -1; dk <= 1; ++dk)
+                acc += coeff(di, dj, dk) * slabs[di + 1][(j + dj) * cfg.nk + (k + dk)];
+        }
+        b0[j * cfg.nk + k] = acc;
+      }
+    }
+    (void)plane;
+  }
+}
+
+gpu::KernelDesc kernel_cost(const Conv3dConfig& cfg, std::int64_t planes, bool buffer) {
+  const double elems = static_cast<double>(planes * cfg.nj * cfg.nk);
+  const double factor = buffer ? cfg.model.buffer_overhead : 1.0;
+  gpu::KernelDesc d;
+  d.name = "conv3d";
+  d.flops = cfg.model.flops_per_elem * elems * factor;
+  d.bytes = static_cast<Bytes>(cfg.model.bytes_per_elem * elems * factor);
+  return d;
+}
+
+}  // namespace
+
+double conv3d_initial(std::int64_t idx) {
+  return static_cast<double>((idx % 113) - 56) / 113.0;
+}
+
+std::vector<double> conv3d_reference(const Conv3dConfig& cfg) {
+  std::vector<double> a(static_cast<std::size_t>(cfg.elems()));
+  std::vector<double> b(a.size(), 0.0);
+  for (std::int64_t i = 0; i < cfg.elems(); ++i)
+    a[static_cast<std::size_t>(i)] = conv3d_initial(i);
+  convolve_planes(cfg, a.data(), b.data(), 0, cfg.ni);
+  return b;
+}
+
+Measurement conv3d_naive(gpu::Gpu& g, const Conv3dConfig& cfg,
+                         std::vector<double>* result) {
+  require(cfg.ni >= 3, "conv3d needs ni >= 3");
+  acc::AccRuntime rt(g);
+  HostArray<double> ha(g, cfg.elems()), hb(g, cfg.elems());
+  ha.fill([](std::int64_t i) { return conv3d_initial(i); });
+  hb.fill_value(0.0);
+
+  Measurement m = measure(g, [&] {
+    for (int pass = 0; pass < cfg.passes; ++pass) {
+      auto region = rt.data_region({
+          {acc::DataKind::CopyIn, ha.bytes(), ha.size_bytes()},
+          {acc::DataKind::CopyOut, hb.bytes(), hb.size_bytes()},
+      });
+      const double* da = region.device_ptr(ha.data());
+      double* db = region.device_ptr(hb.data());
+      gpu::KernelDesc k = kernel_cost(cfg, cfg.ni, /*buffer=*/false);
+      k.body = [&cfg, da, db] { convolve_planes(cfg, da, db, 0, cfg.ni); };
+      rt.parallel_loop(std::move(k));
+    }
+  });
+  m.checksum = hb.checksum();
+  capture(hb, result);
+  return m;
+}
+
+Measurement conv3d_pipelined(gpu::Gpu& g, const Conv3dConfig& cfg,
+                             std::vector<double>* result) {
+  require(cfg.ni >= 3, "conv3d needs ni >= 3");
+  acc::AccRuntime rt(g);
+  HostArray<double> ha(g, cfg.elems()), hb(g, cfg.elems());
+  ha.fill([](std::int64_t i) { return conv3d_initial(i); });
+  hb.fill_value(0.0);
+
+  // Hand-coded pipelining orders cross-queue halo copies only via
+  // copy-engine FIFO (see stencil_pipelined for the rationale).
+  const bool hazards_were_enabled = g.hazards().enabled();
+  g.hazards().set_enabled(false);
+
+  Measurement m = measure(g, [&] {
+    const Bytes plane = static_cast<Bytes>(cfg.nj * cfg.nk) * sizeof(double);
+    double* da = g.device_alloc<double>(static_cast<std::size_t>(cfg.elems()));
+    double* db = g.device_alloc<double>(static_cast<std::size_t>(cfg.elems()));
+    for (int pass = 0; pass < cfg.passes; ++pass) {
+      int chunk_idx = 0;
+      // Sliding window over input planes (see stencil_pipelined for the
+      // cross-queue ordering caveat of hand-written pipelines).
+      std::int64_t copied_hi = 0;
+      for (std::int64_t lo = 1; lo < cfg.ni - 1; lo += cfg.chunk_size, ++chunk_idx) {
+        const std::int64_t hi = std::min(lo + cfg.chunk_size, cfg.ni - 1);
+        const int q = chunk_idx % cfg.num_streams;
+        const std::int64_t n_lo = chunk_idx == 0 ? lo - 1 : copied_hi;
+        const std::int64_t n_hi = hi + 1;
+        if (n_lo < n_hi) {
+          rt.update_device_async(q, reinterpret_cast<std::byte*>(da) + n_lo * plane,
+                                 ha.bytes() + n_lo * plane, (n_hi - n_lo) * plane);
+        }
+        copied_hi = n_hi;
+        gpu::KernelDesc k = kernel_cost(cfg, hi - lo, /*buffer=*/false);
+        const double* cda = da;
+        double* cdb = db;
+        k.body = [&cfg, cda, cdb, lo, hi] { convolve_planes(cfg, cda, cdb, lo, hi); };
+        rt.parallel_loop_async(q, std::move(k));
+        rt.update_self_async(q, hb.bytes() + lo * plane,
+                             reinterpret_cast<const std::byte*>(db) + lo * plane,
+                             (hi - lo) * plane);
+      }
+      rt.wait();
+    }
+    g.device_free(reinterpret_cast<std::byte*>(da));
+    g.device_free(reinterpret_cast<std::byte*>(db));
+  });
+  g.hazards().set_enabled(hazards_were_enabled);
+  m.checksum = hb.checksum();
+  capture(hb, result);
+  return m;
+}
+
+Measurement conv3d_pipelined_buffer(gpu::Gpu& g, const Conv3dConfig& cfg,
+                                    std::vector<double>* result) {
+  require(cfg.ni >= 3, "conv3d needs ni >= 3");
+  HostArray<double> ha(g, cfg.elems()), hb(g, cfg.elems());
+  ha.fill([](std::int64_t i) { return conv3d_initial(i); });
+  hb.fill_value(0.0);
+
+  core::PipelineSpec spec = dsl::compile(
+      "pipeline(static[C, S]) "
+      "pipeline_map(to:   A[i-1:3][0:nj][0:nk]) "
+      "pipeline_map(from: B[i:1][0:nj][0:nk])",
+      "i", 1, cfg.ni - 1,
+      {{"A", dsl::HostArray::of(ha.data(), {cfg.ni, cfg.nj, cfg.nk})},
+       {"B", dsl::HostArray::of(hb.data(), {cfg.ni, cfg.nj, cfg.nk})}},
+      {{"C", cfg.chunk_size},
+       {"S", cfg.num_streams},
+       {"nj", cfg.nj},
+       {"nk", cfg.nk}});
+  core::Pipeline pipe(g, spec);
+
+  Measurement m = measure(g, [&] {
+    for (int pass = 0; pass < cfg.passes; ++pass) {
+      pipe.run([&](const core::ChunkContext& ctx) {
+        gpu::KernelDesc k = kernel_cost(cfg, ctx.iterations(), /*buffer=*/true);
+        const core::BufferView in = ctx.view("A");
+        const core::BufferView out = ctx.view("B");
+        const std::int64_t lo = ctx.begin(), hi = ctx.end();
+        k.body = [&cfg, in, out, lo, hi] { convolve_planes_view(cfg, in, out, lo, hi); };
+        return k;
+      });
+    }
+  });
+  m.checksum = hb.checksum();
+  capture(hb, result);
+  return m;
+}
+
+}  // namespace gpupipe::apps

@@ -1,0 +1,56 @@
+// Polybench-style 3-D convolution (§V-B).
+//
+//   B[i][j][k] = sum over the 3x3x3 neighbourhood of A[i][j][k] with a
+//   fixed coefficient mask (interior points; boundary carries 0).
+//
+// One pass over the volume per invocation; the volume is split along the
+// outermost (i) dimension with a window of 3, i.e. the directive
+//   pipeline_map(to: A[i-1:3][0:nj][0:nk]) pipeline_map(from: B[i:1][0:nj][0:nk])
+#pragma once
+
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace gpupipe::apps {
+
+/// Calibrated kernel cost model (see EXPERIMENTS.md).
+struct Conv3dModel {
+  /// 26 adds + 27 muls per interior point.
+  double flops_per_elem = 53.0;
+  /// Effective DRAM traffic per point (bytes): calibrated so kernel time vs
+  /// transfer time reproduces the paper's 1.45x Fig. 5 speedup on the K40m
+  /// profile (27 uncoalesced taps + the output store).
+  double bytes_per_elem = 520.0;
+  double buffer_overhead = 1.02;
+};
+
+struct Conv3dConfig {
+  std::int64_t ni = 32;
+  std::int64_t nj = 32;
+  std::int64_t nk = 32;
+  /// Passes over the volume (a fresh volume arrives from the host each
+  /// pass, as in a streaming filter).
+  int passes = 1;
+  std::int64_t chunk_size = 1;
+  int num_streams = 2;
+  Conv3dModel model;
+
+  std::int64_t elems() const { return ni * nj * nk; }
+  Bytes volume_bytes() const { return static_cast<Bytes>(elems()) * sizeof(double); }
+};
+
+Measurement conv3d_naive(gpu::Gpu& g, const Conv3dConfig& cfg,
+                         std::vector<double>* result = nullptr);
+Measurement conv3d_pipelined(gpu::Gpu& g, const Conv3dConfig& cfg,
+                             std::vector<double>* result = nullptr);
+Measurement conv3d_pipelined_buffer(gpu::Gpu& g, const Conv3dConfig& cfg,
+                                    std::vector<double>* result = nullptr);
+
+/// Host reference of one pass (for correctness tests).
+std::vector<double> conv3d_reference(const Conv3dConfig& cfg);
+
+/// Deterministic input volume shared by all versions.
+double conv3d_initial(std::int64_t linear_index);
+
+}  // namespace gpupipe::apps

@@ -1,0 +1,67 @@
+// Polybench-style matrix multiplication C = A x B (§V-E) — the paper's
+// study of non-contiguous transfers and of datasets exceeding device memory.
+//
+// Three versions mirror the paper:
+//   * baseline     — naive offload; one "GPU thread" per C element, poor
+//                    data reuse.
+//   * block_shared — tiled/shared-memory kernel (~3x the baseline), still
+//                    allocating all three matrices on the device.
+//   * pipeline_buffer — the paper's runtime: the K dimension is split into
+//                    chunks; each chunk streams a column block of A
+//                    (non-contiguous, 2-D pitched transfer) and a row block
+//                    of B (contiguous) into ring buffers and accumulates the
+//                    rank-k update into a device-resident C. Only C stays at
+//                    full size, so memory drops by ~2/3 and sizes that OOM
+//                    the other versions still run (Fig. 9/10 rightmost).
+#pragma once
+
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace gpupipe::apps {
+
+/// Calibrated kernel cost model (see EXPERIMENTS.md).
+struct MatmulModel {
+  /// Shared-memory tile width: effective traffic of the tiled kernel is
+  /// 2*8/tile bytes per multiply-add pair.
+  double tile = 32.0;
+  /// Effective cache reuse of the naive kernel (calibrated so the tiled
+  /// kernel is ~3x faster, as the paper measures).
+  double naive_reuse = 10.5;
+  /// Ring-buffer indexing overhead of the pipelined kernel.
+  double buffer_overhead = 1.03;
+};
+
+struct MatmulConfig {
+  /// Square matrices of size n x n.
+  std::int64_t n = 64;
+  /// K-dimension columns of A (= rows of B) per pipeline chunk.
+  std::int64_t chunk_cols = 16;
+  int num_streams = 2;
+  MatmulModel model;
+
+  Bytes matrix_bytes() const { return static_cast<Bytes>(n) * n * sizeof(double); }
+};
+
+/// Naive offload baseline. Throws gpu::OomError when 3 matrices exceed
+/// device memory.
+Measurement matmul_baseline(gpu::Gpu& g, const MatmulConfig& cfg,
+                            std::vector<double>* result = nullptr);
+
+/// Tiled (shared-memory) kernel, full device allocation. Throws
+/// gpu::OomError when 3 matrices exceed device memory.
+Measurement matmul_block_shared(gpu::Gpu& g, const MatmulConfig& cfg,
+                                std::vector<double>* result = nullptr);
+
+/// The paper's runtime with 2-D non-contiguous input streaming.
+Measurement matmul_pipeline_buffer(gpu::Gpu& g, const MatmulConfig& cfg,
+                                   std::vector<double>* result = nullptr);
+
+/// Host reference (for correctness tests).
+std::vector<double> matmul_reference(const MatmulConfig& cfg);
+
+double matmul_initial_a(std::int64_t linear_index);
+double matmul_initial_b(std::int64_t linear_index);
+
+}  // namespace gpupipe::apps

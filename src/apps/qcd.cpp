@@ -1,0 +1,275 @@
+#include "apps/qcd.hpp"
+
+#include <vector>
+
+#include "acc/acc.hpp"
+#include "core/pipeline.hpp"
+#include "dsl/bind.hpp"
+
+namespace gpupipe::apps {
+
+namespace {
+
+/// out += U * v (or U^H * v), all complex: U is a 3x3 complex matrix stored
+/// as 18 doubles (row-major, re/im interleaved), v and out are 3 complex
+/// numbers (6 doubles).
+void su3_mul_acc(const double* u, const double* v, double* out, bool dagger) {
+  for (int r = 0; r < 3; ++r) {
+    double re = 0.0, im = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      const int idx = dagger ? (c * 3 + r) : (r * 3 + c);
+      const double ur = u[2 * idx];
+      const double ui = dagger ? -u[2 * idx + 1] : u[2 * idx + 1];
+      const double vr = v[2 * c];
+      const double vi = v[2 * c + 1];
+      re += ur * vr - ui * vi;
+      im += ur * vi + ui * vr;
+    }
+    out[2 * r] += re;
+    out[2 * r + 1] += im;
+  }
+}
+
+/// Applies the operator on t-planes [tlo, thi) (subset of [1, nt-1)).
+/// Accessors yield plane base pointers: psi(t), gauge(t) inputs, out(t)
+/// output. Periodic in x/y/z, open in t (loop range keeps t +/- 1 valid).
+template <typename PsiAt, typename GaugeAt, typename OutAt>
+void dslash_planes(const QcdConfig& cfg, PsiAt&& psi, GaugeAt&& gauge, OutAt&& out,
+                   std::int64_t tlo, std::int64_t thi) {
+  const std::int64_t n = cfg.n;
+  auto site = [n](std::int64_t z, std::int64_t y, std::int64_t x) {
+    return (z * n + y) * n + x;
+  };
+  for (std::int64_t t = tlo; t < thi; ++t) {
+    const double* p0 = psi(t);
+    const double* pm = psi(t - 1);
+    const double* pp = psi(t + 1);
+    const double* g0 = gauge(t);
+    const double* gm = gauge(t - 1);
+    double* o = out(t);
+    for (std::int64_t z = 0; z < n; ++z) {
+      for (std::int64_t y = 0; y < n; ++y) {
+        for (std::int64_t x = 0; x < n; ++x) {
+          const std::int64_t s = site(z, y, x);
+          double* osite = o + s * 24;
+          for (int d = 0; d < 24; ++d) osite[d] = 0.0;
+          // Forward/backward neighbours in the three periodic spatial
+          // directions (mu = 0,1,2) within the same t-plane.
+          const std::int64_t fwd[3] = {site(z, y, (x + 1) % n), site(z, (y + 1) % n, x),
+                                       site((z + 1) % n, y, x)};
+          const std::int64_t bwd[3] = {site(z, y, (x + n - 1) % n),
+                                       site(z, (y + n - 1) % n, x),
+                                       site((z + n - 1) % n, y, x)};
+          for (int sp = 0; sp < 4; ++sp) {
+            double* osp = osite + sp * 6;
+            for (int mu = 0; mu < 3; ++mu) {
+              su3_mul_acc(g0 + s * 72 + mu * 18, p0 + fwd[mu] * 24 + sp * 6, osp, false);
+              su3_mul_acc(g0 + bwd[mu] * 72 + mu * 18, p0 + bwd[mu] * 24 + sp * 6, osp,
+                          true);
+            }
+            // mu = 3 (the split t direction): forward link in this plane,
+            // backward link in plane t-1.
+            su3_mul_acc(g0 + s * 72 + 3 * 18, pp + s * 24 + sp * 6, osp, false);
+            su3_mul_acc(gm + s * 72 + 3 * 18, pm + s * 24 + sp * 6, osp, true);
+          }
+        }
+      }
+    }
+  }
+}
+
+gpu::KernelDesc kernel_cost(const QcdConfig& cfg, std::int64_t planes, bool buffer) {
+  const double sites = static_cast<double>(planes * cfg.sites_per_t());
+  const double factor = buffer ? cfg.model.buffer_overhead : 1.0;
+  gpu::KernelDesc d;
+  d.name = "dslash";
+  // Effective flops: all operator applications of the pass, divided by the
+  // achieved efficiency so the roofline model yields the observed duration.
+  d.flops = cfg.model.flops_per_site * cfg.model.dslash_apps_per_pass * sites * factor /
+            cfg.model.efficiency;
+  d.bytes = static_cast<Bytes>(sites * 960.0);  // one field sweep per pass
+  return d;
+}
+
+}  // namespace
+
+double qcd_initial_psi(std::int64_t idx) {
+  return static_cast<double>((idx % 41) - 20) / 41.0;
+}
+double qcd_initial_gauge(std::int64_t idx) {
+  return static_cast<double>((idx % 59) - 29) / 59.0;
+}
+
+std::vector<double> qcd_reference(const QcdConfig& cfg) {
+  const auto spinor_count = static_cast<std::size_t>(cfg.sites() * 24);
+  const auto gauge_count = static_cast<std::size_t>(cfg.sites() * 72);
+  std::vector<double> psi(spinor_count), u(gauge_count), out(spinor_count, 0.0);
+  for (std::size_t i = 0; i < spinor_count; ++i)
+    psi[i] = qcd_initial_psi(static_cast<std::int64_t>(i));
+  for (std::size_t i = 0; i < gauge_count; ++i)
+    u[i] = qcd_initial_gauge(static_cast<std::int64_t>(i));
+  dslash_planes(
+      cfg, [&](std::int64_t t) { return psi.data() + t * cfg.spinor_plane(); },
+      [&](std::int64_t t) { return u.data() + t * cfg.gauge_plane(); },
+      [&](std::int64_t t) { return out.data() + t * cfg.spinor_plane(); }, 1, cfg.n - 1);
+  return out;
+}
+
+Measurement qcd_naive(gpu::Gpu& g, const QcdConfig& cfg, std::vector<double>* result) {
+  require(cfg.n >= 3, "qcd needs n >= 3");
+  acc::AccRuntime rt(g);
+  HostArray<double> hpsi(g, cfg.sites() * 24), hu(g, cfg.sites() * 72),
+      hout(g, cfg.sites() * 24);
+  hpsi.fill([](std::int64_t i) { return qcd_initial_psi(i); });
+  hu.fill([](std::int64_t i) { return qcd_initial_gauge(i); });
+  hout.fill_value(0.0);
+
+  Measurement m = measure(g, [&] {
+    for (int pass = 0; pass < cfg.passes; ++pass) {
+      auto region = rt.data_region({
+          {acc::DataKind::CopyIn, hpsi.bytes(), hpsi.size_bytes()},
+          {acc::DataKind::CopyIn, hu.bytes(), hu.size_bytes()},
+          {acc::DataKind::CopyOut, hout.bytes(), hout.size_bytes()},
+      });
+      const double* dpsi = region.device_ptr(hpsi.data());
+      const double* du = region.device_ptr(hu.data());
+      double* dout = region.device_ptr(hout.data());
+      gpu::KernelDesc k = kernel_cost(cfg, cfg.n, /*buffer=*/false);
+      const QcdConfig c = cfg;
+      k.body = [c, dpsi, du, dout] {
+        // Open-boundary planes carry zero.
+        std::fill(dout, dout + c.spinor_plane(), 0.0);
+        std::fill(dout + (c.n - 1) * c.spinor_plane(), dout + c.n * c.spinor_plane(), 0.0);
+        dslash_planes(
+            c, [&](std::int64_t t) { return dpsi + t * c.spinor_plane(); },
+            [&](std::int64_t t) { return du + t * c.gauge_plane(); },
+            [&](std::int64_t t) { return dout + t * c.spinor_plane(); }, 1, c.n - 1);
+      };
+      rt.parallel_loop(std::move(k));
+    }
+  });
+  m.checksum = hout.checksum();
+  capture(hout, result);
+  return m;
+}
+
+Measurement qcd_pipelined(gpu::Gpu& g, const QcdConfig& cfg,
+                          std::vector<double>* result) {
+  require(cfg.n >= 3, "qcd needs n >= 3");
+  acc::AccRuntime rt(g);
+  HostArray<double> hpsi(g, cfg.sites() * 24), hu(g, cfg.sites() * 72),
+      hout(g, cfg.sites() * 24);
+  hpsi.fill([](std::int64_t i) { return qcd_initial_psi(i); });
+  hu.fill([](std::int64_t i) { return qcd_initial_gauge(i); });
+  hout.fill_value(0.0);
+
+  // Hand-coded cross-queue ordering relies on copy-engine FIFO (see
+  // stencil_pipelined).
+  const bool hazards_were_enabled = g.hazards().enabled();
+  g.hazards().set_enabled(false);
+
+  Measurement m = measure(g, [&] {
+    const Bytes psi_plane = static_cast<Bytes>(cfg.spinor_plane()) * sizeof(double);
+    const Bytes u_plane = static_cast<Bytes>(cfg.gauge_plane()) * sizeof(double);
+    double* dpsi = g.device_alloc<double>(static_cast<std::size_t>(cfg.sites() * 24));
+    double* du = g.device_alloc<double>(static_cast<std::size_t>(cfg.sites() * 72));
+    double* dout = g.device_alloc<double>(static_cast<std::size_t>(cfg.sites() * 24));
+    for (int pass = 0; pass < cfg.passes; ++pass) {
+      int chunk_idx = 0;
+      // Sliding windows over psi and gauge planes (see stencil_pipelined
+      // for the cross-queue ordering caveat of hand-written pipelines).
+      std::int64_t psi_hi = 0, u_hi = 0;
+      for (std::int64_t lo = 1; lo < cfg.n - 1; lo += cfg.chunk_size, ++chunk_idx) {
+        const std::int64_t hi = std::min(lo + cfg.chunk_size, cfg.n - 1);
+        const int q = chunk_idx % cfg.num_streams;
+        // Inputs: psi planes [lo-1, hi+1), gauge planes [lo-1, hi).
+        const std::int64_t p_lo = chunk_idx == 0 ? lo - 1 : psi_hi;
+        if (p_lo < hi + 1) {
+          rt.update_device_async(q, reinterpret_cast<std::byte*>(dpsi) + p_lo * psi_plane,
+                                 hpsi.bytes() + p_lo * psi_plane,
+                                 (hi + 1 - p_lo) * psi_plane);
+        }
+        psi_hi = hi + 1;
+        const std::int64_t g_lo = chunk_idx == 0 ? lo - 1 : u_hi;
+        if (g_lo < hi) {
+          rt.update_device_async(q, reinterpret_cast<std::byte*>(du) + g_lo * u_plane,
+                                 hu.bytes() + g_lo * u_plane, (hi - g_lo) * u_plane);
+        }
+        u_hi = hi;
+        gpu::KernelDesc k = kernel_cost(cfg, hi - lo, /*buffer=*/false);
+        const QcdConfig c = cfg;
+        const double* cdpsi = dpsi;
+        const double* cdu = du;
+        double* cdout = dout;
+        k.body = [c, cdpsi, cdu, cdout, lo, hi] {
+          dslash_planes(
+              c, [&](std::int64_t t) { return cdpsi + t * c.spinor_plane(); },
+              [&](std::int64_t t) { return cdu + t * c.gauge_plane(); },
+              [&](std::int64_t t) { return cdout + t * c.spinor_plane(); }, lo, hi);
+        };
+        rt.parallel_loop_async(q, std::move(k));
+        rt.update_self_async(q, hout.bytes() + lo * psi_plane,
+                             reinterpret_cast<const std::byte*>(dout) + lo * psi_plane,
+                             (hi - lo) * psi_plane);
+      }
+      rt.wait();
+    }
+    g.device_free(reinterpret_cast<std::byte*>(dpsi));
+    g.device_free(reinterpret_cast<std::byte*>(du));
+    g.device_free(reinterpret_cast<std::byte*>(dout));
+  });
+  g.hazards().set_enabled(hazards_were_enabled);
+  m.checksum = hout.checksum();
+  capture(hout, result);
+  return m;
+}
+
+Measurement qcd_pipelined_buffer(gpu::Gpu& g, const QcdConfig& cfg,
+                                 std::vector<double>* result) {
+  require(cfg.n >= 3, "qcd needs n >= 3");
+  HostArray<double> hpsi(g, cfg.sites() * 24), hu(g, cfg.sites() * 72),
+      hout(g, cfg.sites() * 24);
+  hpsi.fill([](std::int64_t i) { return qcd_initial_psi(i); });
+  hu.fill([](std::int64_t i) { return qcd_initial_gauge(i); });
+  hout.fill_value(0.0);
+
+  core::PipelineSpec spec = dsl::compile(
+      "pipeline(static[C, S]) "
+      "pipeline_map(to:   psi[t-1:3][0:v]) "
+      "pipeline_map(to:   U[t-1:2][0:g]) "
+      "pipeline_map(from: out[t:1][0:v])",
+      "t", 1, cfg.n - 1,
+      {{"psi", dsl::HostArray::of(hpsi.data(), {cfg.n, cfg.spinor_plane()})},
+       {"U", dsl::HostArray::of(hu.data(), {cfg.n, cfg.gauge_plane()})},
+       {"out", dsl::HostArray::of(hout.data(), {cfg.n, cfg.spinor_plane()})}},
+      {{"C", cfg.chunk_size},
+       {"S", cfg.num_streams},
+       {"v", cfg.spinor_plane()},
+       {"g", cfg.gauge_plane()}});
+  core::Pipeline pipe(g, spec);
+
+  Measurement m = measure(g, [&] {
+    for (int pass = 0; pass < cfg.passes; ++pass) {
+      pipe.run([&](const core::ChunkContext& ctx) {
+        gpu::KernelDesc k = kernel_cost(cfg, ctx.iterations(), /*buffer=*/true);
+        const core::BufferView vpsi = ctx.view("psi");
+        const core::BufferView vu = ctx.view("U");
+        const core::BufferView vout = ctx.view("out");
+        const QcdConfig c = cfg;
+        const std::int64_t lo = ctx.begin(), hi = ctx.end();
+        k.body = [c, vpsi, vu, vout, lo, hi] {
+          dslash_planes(
+              c, [&](std::int64_t t) { return vpsi.slab_ptr<const double>(t); },
+              [&](std::int64_t t) { return vu.slab_ptr<const double>(t); },
+              [&](std::int64_t t) { return vout.slab_ptr(t); }, lo, hi);
+        };
+        return k;
+      });
+    }
+  });
+  m.checksum = hout.checksum();
+  capture(hout, result);
+  return m;
+}
+
+}  // namespace gpupipe::apps

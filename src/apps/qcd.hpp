@@ -1,0 +1,78 @@
+// Lattice QCD (§V-D): a Wilson-dslash-style nearest-neighbour operator on a
+// 4-D lattice, standing in for the paper's SciDAC application.
+//
+// The lattice is [nt][nz][ny][nx]; per site:
+//   * spinor: 4 spin components x 3 colours x complex = 24 doubles,
+//   * gauge : 4 directional links, each a 3x3 complex matrix = 72 doubles.
+// The operator applied per pass is
+//   out(x) = sum over mu of  U_mu(x) psi(x+mu)  +  U_mu(x-mu)^H psi(x-mu)
+// applied spin-by-spin, with periodic boundaries in x/y/z and open (zero)
+// boundaries in t. t is the split (outermost) dimension — the paper's
+// O(C n^4) -> O(C n^3) memory reduction comes from splitting it:
+//   pipeline_map(to:   psi[t-1:3][0:v])    (v = nz*ny*nx*24)
+//   pipeline_map(to:   U  [t-1:2][0:g])    (g = nz*ny*nx*72)
+//   pipeline_map(from: out[t:1][0:v])
+//
+// The paper's subroutine is a large multi-region solver; its kernel applies
+// the operator `dslash_apps_per_pass` times per transferred dataset (a
+// CG-style inner loop). The functional body applies it once (all versions
+// identically, so checksums agree); the cost model charges all applications.
+#pragma once
+
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace gpupipe::apps {
+
+/// Calibrated kernel cost model (see EXPERIMENTS.md).
+struct QcdModel {
+  /// Flops of one operator application per site (Wilson dslash ~ 1320).
+  double flops_per_site = 1320.0;
+  /// Operator applications per transferred dataset (CG-style inner
+  /// iterations of the paper's subroutine); sized so kernel time is
+  /// comparable to transfer time, reproducing the ~50% transfer share of
+  /// Fig. 3.
+  double dslash_apps_per_pass = 24.0;
+  /// Achieved fraction of peak flops (naive OpenACC lattice kernels are far
+  /// from peak).
+  double efficiency = 0.14;
+  /// Ring-buffer index-translation overhead of the Pipelined-buffer kernel
+  /// — "the huge indexing operation ... probably leads to the performance
+  /// difference" (§V-D).
+  double buffer_overhead = 1.28;
+};
+
+struct QcdConfig {
+  /// Lattice extent n (nt = nz = ny = nx = n); the paper runs n = 12, 24, 36.
+  std::int64_t n = 8;
+  /// Outer passes (each round-trips spinors and gauge field).
+  int passes = 1;
+  std::int64_t chunk_size = 1;
+  int num_streams = 2;
+  QcdModel model;
+
+  std::int64_t sites_per_t() const { return n * n * n; }
+  std::int64_t sites() const { return n * sites_per_t(); }
+  /// Doubles per t-plane of a spinor field.
+  std::int64_t spinor_plane() const { return sites_per_t() * 24; }
+  /// Doubles per t-plane of the gauge field.
+  std::int64_t gauge_plane() const { return sites_per_t() * 72; }
+  Bytes spinor_bytes() const { return static_cast<Bytes>(sites()) * 24 * sizeof(double); }
+  Bytes gauge_bytes() const { return static_cast<Bytes>(sites()) * 72 * sizeof(double); }
+};
+
+Measurement qcd_naive(gpu::Gpu& g, const QcdConfig& cfg,
+                      std::vector<double>* result = nullptr);
+Measurement qcd_pipelined(gpu::Gpu& g, const QcdConfig& cfg,
+                          std::vector<double>* result = nullptr);
+Measurement qcd_pipelined_buffer(gpu::Gpu& g, const QcdConfig& cfg,
+                                 std::vector<double>* result = nullptr);
+
+/// Host reference of one pass (for correctness tests).
+std::vector<double> qcd_reference(const QcdConfig& cfg);
+
+double qcd_initial_psi(std::int64_t linear_index);
+double qcd_initial_gauge(std::int64_t linear_index);
+
+}  // namespace gpupipe::apps

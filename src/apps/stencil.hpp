@@ -1,0 +1,77 @@
+// Parboil-style 7-point stencil (iterative Jacobi solver of the heat
+// equation on a 3-D structured grid) — the paper's Fig. 2 / §V-C workload.
+//
+//   Anext[k][j][i] = c1 * (A0[k][j][i+1] + A0[k][j][i-1] +
+//                          A0[k][j+1][i] + A0[k][j-1][i] +
+//                          A0[k+1][j][i] + A0[k-1][j][i])
+//                    - c0 * A0[k][j][i]          for interior points;
+//   boundary points carry A0 through unchanged.
+//
+// The workload performs `sweeps` timesteps; between sweeps the host consumes
+// the field (boundary interaction / IO in the original application), so
+// every sweep round-trips the grid across PCIe — the pipelining opportunity
+// the paper exploits. The grid is split along the outermost (Z) dimension:
+// the directive of Fig. 2 is `pipeline_map(to: A0[k-1:3][0:ny][0:nx])
+// pipeline_map(from: Anext[k:1][0:ny][0:nx])`.
+#pragma once
+
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace gpupipe::apps {
+
+/// Calibrated kernel cost model (see EXPERIMENTS.md for the derivation).
+struct StencilModel {
+  /// Floating-point ops per interior grid point (6 adds + 2 muls).
+  double flops_per_elem = 8.0;
+  /// Effective DRAM traffic per grid point in bytes. Calibrated so the
+  /// kernel-to-transfer time ratio on the K40m profile reproduces the
+  /// paper's Fig. 5 stencil speedups (the OpenACC-generated kernel achieves
+  /// a small fraction of peak bandwidth).
+  double bytes_per_elem = 680.0;
+  /// Extra kernel-time factor of the Pipelined-buffer version (ring-buffer
+  /// index arithmetic inside the kernel, §V-D).
+  double buffer_overhead = 1.02;
+};
+
+struct StencilConfig {
+  std::int64_t nx = 64;
+  std::int64_t ny = 64;
+  std::int64_t nz = 32;
+  /// Jacobi timesteps (each round-trips the grid to the host).
+  int sweeps = 4;
+  /// Z-planes per chunk (chunk_size of the directive).
+  std::int64_t chunk_size = 1;
+  /// GPU streams (num_stream of the directive).
+  int num_streams = 2;
+  double c0 = 1.0 / 6.0;
+  double c1 = 1.0 / 6.0 / 6.0;
+  StencilModel model;
+
+  std::int64_t elems() const { return nx * ny * nz; }
+  Bytes grid_bytes() const { return static_cast<Bytes>(elems()) * sizeof(double); }
+};
+
+/// Naive synchronous offload: per sweep, copy in / run / copy out.
+Measurement stencil_naive(gpu::Gpu& g, const StencilConfig& cfg,
+                          std::vector<double>* result = nullptr);
+
+/// Hand-coded pipelined version: full-size device arrays, manual chunk
+/// loop over async queues (the paper's "Pipelined").
+Measurement stencil_pipelined(gpu::Gpu& g, const StencilConfig& cfg,
+                              std::vector<double>* result = nullptr);
+
+/// The paper's runtime: ring buffers + automatic scheduling
+/// ("Pipelined-buffer").
+Measurement stencil_pipelined_buffer(gpu::Gpu& g, const StencilConfig& cfg,
+                                     std::vector<double>* result = nullptr);
+
+/// Host reference (for correctness tests): returns the field after
+/// cfg.sweeps timesteps from the standard initial condition.
+std::vector<double> stencil_reference(const StencilConfig& cfg);
+
+/// The deterministic initial condition shared by all versions.
+double stencil_initial(const StencilConfig& cfg, std::int64_t linear_index);
+
+}  // namespace gpupipe::apps

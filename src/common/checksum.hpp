@@ -1,0 +1,41 @@
+// Checksums and floating-point comparison helpers used by tests and by
+// functional-mode benches to validate that pipelined execution produces the
+// same results as the host reference implementation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace gpupipe {
+
+/// FNV-1a over the raw bytes of a span of trivially copyable values.
+template <typename T>
+std::uint64_t fnv1a(std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  for (std::size_t i = 0; i < data.size_bytes(); ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Maximum absolute difference between two equally sized spans.
+inline double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  double m = a.size() == b.size() ? 0.0 : std::numeric_limits<double>::infinity();
+  if (a.size() == b.size()) {
+    for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+/// True when every element of `a` is within `tol` (absolute) of `b`.
+inline bool approx_equal(std::span<const double> a, std::span<const double> b,
+                         double tol = 1e-9) {
+  return a.size() == b.size() && max_abs_diff(a, b) <= tol;
+}
+
+}  // namespace gpupipe

@@ -1,0 +1,52 @@
+// Error handling for gpupipe.
+//
+// All invariant violations throw `gpupipe::Error`, carrying the source
+// location of the failed check. `require()` is used for user-facing argument
+// validation; `ensure()` for internal invariants. Both throw the same type so
+// tests can assert on failures uniformly.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gpupipe {
+
+/// Exception type for all gpupipe failures (bad arguments, simulator
+/// invariant violations, out-of-memory, hazard detection, parse errors).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(std::string_view kind, std::string_view msg,
+                              const std::source_location& loc) {
+  std::string s;
+  s.reserve(msg.size() + 64);
+  s += kind;
+  s += ": ";
+  s += msg;
+  s += " [";
+  s += loc.file_name();
+  s += ":";
+  s += std::to_string(loc.line());
+  s += "]";
+  throw Error(s);
+}
+}  // namespace detail
+
+/// Validates a user-supplied argument; throws Error on failure.
+inline void require(bool cond, std::string_view msg,
+                    const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::fail("invalid argument", msg, loc);
+}
+
+/// Validates an internal invariant; throws Error on failure.
+inline void ensure(bool cond, std::string_view msg,
+                   const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::fail("internal error", msg, loc);
+}
+
+}  // namespace gpupipe

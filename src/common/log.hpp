@@ -1,0 +1,84 @@
+// Minimal leveled logging.
+//
+// The runtime makes silent policy decisions (shrinking a chunk size to meet
+// a memory limit, re-chunking adaptively, pruning autotune candidates);
+// at Level::Debug those decisions become visible. The sink is replaceable
+// so tests can capture output; the default sink is stderr. Logging is
+// process-global and not thread-safe by design — the simulator is
+// single-threaded.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gpupipe {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Off = 3 };
+
+namespace detail {
+struct LogState {
+  LogLevel level = LogLevel::Warn;
+  std::function<void(LogLevel, const std::string&)> sink;
+};
+inline LogState& log_state() {
+  static LogState state;
+  return state;
+}
+}  // namespace detail
+
+/// Sets the global threshold; messages below it are dropped.
+inline void set_log_level(LogLevel level) { detail::log_state().level = level; }
+inline LogLevel log_level() { return detail::log_state().level; }
+
+/// Replaces the sink (pass {} to restore stderr).
+inline void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  detail::log_state().sink = std::move(sink);
+}
+
+inline const char* to_string(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+namespace detail {
+inline void emit(LogLevel level, const std::string& msg) {
+  auto& st = log_state();
+  if (level < st.level) return;
+  if (st.sink) {
+    st.sink(level, msg);
+  } else {
+    std::cerr << "[gpupipe " << to_string(level) << "] " << msg << "\n";
+  }
+}
+}  // namespace detail
+
+/// Streams all arguments into one message at the given level.
+template <typename... Args>
+void log_at(LogLevel level, Args&&... args) {
+  if (level < detail::log_state().level) return;  // cheap early out
+  std::ostringstream os;
+  (os << ... << args);
+  detail::emit(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log_at(LogLevel::Debug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log_at(LogLevel::Info, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log_at(LogLevel::Warn, std::forward<Args>(args)...);
+}
+
+}  // namespace gpupipe

@@ -1,0 +1,61 @@
+// Plain-text table printer used by the benchmark harnesses to emit the same
+// rows/series the paper's figures report.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gpupipe {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  /// Appends one row; must match the header arity.
+  void add_row(std::vector<std::string> cells) {
+    require(cells.size() == headers_.size(), "row arity must match headers");
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Formats a double with fixed precision (default 2 decimals).
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << "| " << std::left << std::setw(static_cast<int>(width[c])) << row[c] << " ";
+      }
+      os << "|\n";
+    };
+    auto print_sep = [&] {
+      for (std::size_t c = 0; c < width.size(); ++c)
+        os << "|" << std::string(width[c] + 2, '-');
+      os << "|\n";
+    };
+
+    print_row(headers_);
+    print_sep();
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpupipe

@@ -1,0 +1,43 @@
+// Unit helpers shared across the simulator and runtime.
+//
+// Simulated time is kept as double seconds (`SimTime`); byte counts as
+// unsigned 64-bit (`Bytes`). Helper constants/functions make call sites
+// read as `256 * MiB` or `usec(5.0)` instead of bare magic numbers.
+#pragma once
+
+#include <cstdint>
+
+namespace gpupipe {
+
+/// Simulated (virtual) time in seconds.
+using SimTime = double;
+
+/// A byte count.
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+
+/// Converts microseconds to SimTime seconds.
+constexpr SimTime usec(double us) { return us * 1e-6; }
+
+/// Converts milliseconds to SimTime seconds.
+constexpr SimTime msec(double ms) { return ms * 1e-3; }
+
+/// Converts a byte count to fractional mebibytes (for reporting).
+constexpr double to_mib(Bytes b) { return static_cast<double>(b) / static_cast<double>(MiB); }
+
+/// Converts a byte count to fractional gibibytes (for reporting).
+constexpr double to_gib(Bytes b) { return static_cast<double>(b) / static_cast<double>(GiB); }
+
+/// Gigabytes-per-second bandwidth expressed in bytes/second.
+constexpr double gbps(double gb_per_s) { return gb_per_s * 1e9; }
+
+/// Gigaflops expressed in flop/second.
+constexpr double gflops(double gf) { return gf * 1e9; }
+
+/// Integer ceiling division for non-negative operands.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace gpupipe

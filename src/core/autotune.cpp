@@ -1,0 +1,85 @@
+#include "core/autotune.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hpp"
+#include "core/model.hpp"
+
+namespace gpupipe::core {
+
+TuneResult autotune(gpu::Gpu& g, PipelineSpec spec, const KernelFactory& make_kernel,
+                    const TuneOptions& options) {
+  spec.validate();
+  require(spec.schedule == ScheduleKind::Static, "autotune requires the static schedule");
+  require(!options.chunk_candidates.empty() && !options.stream_candidates.empty(),
+          "autotune needs candidates");
+
+  // Probe once (chunk 1, one stream) to seed the cost model's kernel term.
+  SimTime per_iter_kernel = 0.0;
+  {
+    PipelineSpec probe_spec = spec;
+    probe_spec.chunk_size = 1;
+    probe_spec.num_streams = 1;
+    probe_spec.loop_end = std::min(spec.loop_end, spec.loop_begin + 1);
+    Pipeline probe(g, probe_spec);
+    probe.run(make_kernel);
+    // The kernel was the only compute op in the probe region.
+    SimTime launch = g.profile().kernel_launch_latency;
+    for (const auto& span : g.trace().spans()) {
+      if (span.kind == sim::SpanKind::Kernel)
+        per_iter_kernel = std::max(per_iter_kernel, span.duration() - launch);
+    }
+  }
+  const CostModel model(g.profile(), spec, per_iter_kernel);
+
+  // Model pre-filter: drop chunk candidates predicted far off the best.
+  std::vector<std::int64_t> chunks = options.chunk_candidates;
+  if (options.model_prefilter) {
+    SimTime best_pred = std::numeric_limits<SimTime>::infinity();
+    for (auto c : chunks) best_pred = std::min(best_pred, model.region_time(c));
+    std::erase_if(chunks, [&](std::int64_t c) {
+      const bool prune = model.region_time(c) > options.prune_factor * best_pred;
+      if (prune)
+        log_debug("autotune: pruning chunk ", c, " (predicted ", model.region_time(c),
+                  "s vs best ", best_pred, "s)");
+      return prune;
+    });
+    if (chunks.empty()) chunks = options.chunk_candidates;  // never prune to nothing
+  }
+
+  TuneResult result;
+  result.best_time = std::numeric_limits<SimTime>::infinity();
+  for (auto c : chunks) {
+    for (int s : options.stream_candidates) {
+      TuneCandidate cand{c, s, std::numeric_limits<SimTime>::infinity(), true};
+      PipelineSpec trial = spec;
+      trial.chunk_size = c;
+      trial.num_streams = s;
+      try {
+        Pipeline p(g, trial);
+        if (p.effective_chunk_size() != c || p.effective_streams() != s) {
+          // The memory limit silently reshaped the config; skip duplicates.
+          cand.feasible = false;
+        } else {
+          const SimTime t0 = g.host_now();
+          p.run(make_kernel);
+          cand.measured = g.host_now() - t0;
+        }
+      } catch (const gpu::OomError&) {
+        cand.feasible = false;
+      }
+      if (cand.feasible && cand.measured < result.best_time) {
+        result.best_time = cand.measured;
+        result.chunk_size = c;
+        result.num_streams = s;
+      }
+      result.explored.push_back(cand);
+    }
+  }
+  require(result.best_time < std::numeric_limits<SimTime>::infinity(),
+          "autotune found no feasible configuration");
+  return result;
+}
+
+}  // namespace gpupipe::core

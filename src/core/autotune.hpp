@@ -1,0 +1,53 @@
+// Autotuning scheduler (extension).
+//
+// The paper closes with "we will further study how the other parameters
+// affect our design and integrate a performance model in an autotuning
+// scheduler". This module does both: it sweeps (chunk_size, num_streams)
+// candidates — optionally pre-filtered by the analytic CostModel — measures
+// each configuration on the device, and returns the best one together with
+// the full exploration record.
+//
+// Measurement uses the virtual clock, so tuning is exact and deterministic;
+// on a real system the same procedure would measure wall time.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace gpupipe::core {
+
+/// One explored configuration.
+struct TuneCandidate {
+  std::int64_t chunk_size = 0;
+  int num_streams = 0;
+  SimTime measured = 0.0;  ///< region time; +inf if the config was skipped
+  bool feasible = true;    ///< false when buffers did not fit the limit
+};
+
+/// Result of an autotuning sweep.
+struct TuneResult {
+  std::int64_t chunk_size = 1;
+  int num_streams = 1;
+  SimTime best_time = 0.0;
+  std::vector<TuneCandidate> explored;
+};
+
+/// Sweep options.
+struct TuneOptions {
+  std::vector<std::int64_t> chunk_candidates = {1, 2, 4, 8, 16, 32, 64};
+  std::vector<int> stream_candidates = {1, 2, 3, 4, 6, 8};
+  /// When true, the CostModel (seeded by a one-chunk probe) prunes chunk
+  /// candidates predicted to be > prune_factor x the predicted best before
+  /// any measurement.
+  bool model_prefilter = true;
+  double prune_factor = 3.0;
+};
+
+/// Measures candidate configurations of `spec` on `g` and returns the best.
+/// The spec's own chunk_size/num_streams are ignored; its schedule must be
+/// static. The workload runs once per surviving candidate.
+TuneResult autotune(gpu::Gpu& g, PipelineSpec spec, const KernelFactory& make_kernel,
+                    const TuneOptions& options = {});
+
+}  // namespace gpupipe::core

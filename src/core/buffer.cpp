@@ -1,0 +1,122 @@
+#include "core/buffer.hpp"
+
+namespace gpupipe::core {
+
+namespace {
+constexpr Bytes round_up(Bytes v, Bytes align) { return (v + align - 1) / align * align; }
+}  // namespace
+
+RingBuffer::RingBuffer(gpu::Gpu& gpu, const ArraySpec& spec, std::int64_t ring_len)
+    : gpu_(gpu), spec_(spec), ring_len_(ring_len) {
+  spec_.validate();
+  require(ring_len_ >= 1, "ring length must be >= 1");
+  // Never allocate more ring slots than the host array has indices.
+  ring_len_ = std::min(ring_len_, spec_.dims[spec_.split.dim]);
+
+  view_.elem = spec_.elem_size;
+  view_.ring = ring_len_;
+  if (spec_.split.dim == 0) {
+    view_.block2d = false;
+    view_.slab = static_cast<Bytes>(spec_.inner_elems()) * spec_.elem_size;
+    view_.height = 1;
+    footprint_ = static_cast<Bytes>(ring_len_) * view_.slab;
+    view_.base = gpu_.device_malloc(footprint_);
+    view_.pitch = view_.slab;
+  } else {
+    view_.block2d = true;
+    view_.height = spec_.dims[0];
+    const Bytes width = static_cast<Bytes>(ring_len_) * spec_.elem_size;
+    gpu::Pitched p = gpu_.device_malloc_pitched(width, static_cast<Bytes>(view_.height));
+    view_.base = p.ptr;
+    view_.pitch = p.pitch;
+    view_.slab = 0;
+    footprint_ = p.pitch * static_cast<Bytes>(view_.height);
+  }
+}
+
+RingBuffer::~RingBuffer() { gpu_.device_free(view_.base); }
+
+Bytes RingBuffer::predict_footprint(const gpu::Gpu& gpu, const ArraySpec& spec,
+                                    std::int64_t ring_len) {
+  ring_len = std::min(ring_len, spec.dims[spec.split.dim]);
+  if (spec.split.dim == 0) {
+    const Bytes slab = static_cast<Bytes>(spec.inner_elems()) * spec.elem_size;
+    return static_cast<Bytes>(ring_len) * slab;
+  }
+  const Bytes width = static_cast<Bytes>(ring_len) * spec.elem_size;
+  return round_up(width, gpu.profile().pitch_alignment) * static_cast<Bytes>(spec.dims[0]);
+}
+
+template <typename Fn>
+void RingBuffer::for_segments(std::int64_t a, std::int64_t b, Fn&& fn) const {
+  require(0 <= a && a < b, "split index range must be non-empty and non-negative");
+  require(b <= spec_.dims[spec_.split.dim], "split index range exceeds array extent");
+  require(b - a <= ring_len_, "range larger than the ring buffer");
+  std::int64_t idx = a;
+  while (idx < b) {
+    const std::int64_t slot = idx % ring_len_;
+    const std::int64_t count = std::min(b - idx, ring_len_ - slot);
+    fn(slot, idx, count);
+    idx += count;
+  }
+}
+
+int RingBuffer::copy_in(gpu::Stream& s, std::int64_t a, std::int64_t b) {
+  int transfers = 0;
+  if (spec_.split.dim == 0) {
+    for_segments(a, b, [&](std::int64_t slot, std::int64_t idx, std::int64_t count) {
+      ++transfers;
+      gpu_.memcpy_h2d_async(view_.base + slot * view_.slab,
+                            spec_.host + idx * view_.slab,
+                            static_cast<Bytes>(count) * view_.slab, s);
+    });
+  } else {
+    const Bytes spitch = static_cast<Bytes>(spec_.dims[1]) * spec_.elem_size;
+    for_segments(a, b, [&](std::int64_t slot, std::int64_t idx, std::int64_t count) {
+      ++transfers;
+      gpu_.memcpy2d_h2d_async(view_.base + slot * spec_.elem_size, view_.pitch,
+                              spec_.host + idx * spec_.elem_size, spitch,
+                              static_cast<Bytes>(count) * spec_.elem_size,
+                              static_cast<Bytes>(view_.height), s);
+    });
+  }
+  return transfers;
+}
+
+int RingBuffer::copy_out(gpu::Stream& s, std::int64_t a, std::int64_t b) {
+  int transfers = 0;
+  if (spec_.split.dim == 0) {
+    for_segments(a, b, [&](std::int64_t slot, std::int64_t idx, std::int64_t count) {
+      ++transfers;
+      gpu_.memcpy_d2h_async(spec_.host + idx * view_.slab,
+                            view_.base + slot * view_.slab,
+                            static_cast<Bytes>(count) * view_.slab, s);
+    });
+  } else {
+    const Bytes dpitch = static_cast<Bytes>(spec_.dims[1]) * spec_.elem_size;
+    for_segments(a, b, [&](std::int64_t slot, std::int64_t idx, std::int64_t count) {
+      ++transfers;
+      gpu_.memcpy2d_d2h_async(spec_.host + idx * spec_.elem_size, dpitch,
+                              view_.base + slot * spec_.elem_size, view_.pitch,
+                              static_cast<Bytes>(count) * spec_.elem_size,
+                              static_cast<Bytes>(view_.height), s);
+    });
+  }
+  return transfers;
+}
+
+void RingBuffer::append_ranges(std::vector<gpu::MemRange>& out, std::int64_t a,
+                               std::int64_t b) const {
+  for_segments(a, b, [&](std::int64_t slot, std::int64_t /*idx*/, std::int64_t count) {
+    if (spec_.split.dim == 0) {
+      out.push_back({view_.base + slot * view_.slab, static_cast<Bytes>(count) * view_.slab,
+                     0, 1});
+    } else {
+      out.push_back({view_.base + slot * spec_.elem_size,
+                     static_cast<Bytes>(count) * spec_.elem_size, view_.pitch,
+                     static_cast<Bytes>(view_.height)});
+    }
+  });
+}
+
+}  // namespace gpupipe::core

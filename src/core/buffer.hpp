@@ -1,0 +1,107 @@
+// Device ring buffers for pipelined arrays.
+//
+// Instead of allocating a mapped array at full host size on the device, the
+// runtime pre-allocates a small ring that holds `ring_len` indices of the
+// split dimension (paper §IV: "we use the mod operator (%) to get the offset
+// of each chunk inside the buffer"). Index i of the split dimension lives at
+// ring slot (i mod ring_len); the executor guarantees via events that a slot
+// is never overwritten while an in-flight kernel still needs it.
+//
+// Two layouts mirror the paper's 1-D and 2-D copy support:
+//   * slab    — split dimension 0: each index is a contiguous slab
+//               (inner-dims volume); transfers are 1-D memcpys.
+//   * block2d — split dimension 1 of a 2-D array: each index is a column;
+//               the buffer is pitched and transfers are 2-D strided copies
+//               (cudaMemcpy2DAsync in the paper's prototype).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "gpu/gpu.hpp"
+
+namespace gpupipe::core {
+
+/// Lightweight, copyable addressing handle passed to kernel bodies.
+/// This is the "new device base pointer and corresponding offsets" of §IV:
+/// kernels translate host indices to buffer locations through it.
+struct BufferView {
+  std::byte* base = nullptr;
+  Bytes elem = sizeof(double);
+  std::int64_t ring = 1;  ///< ring length in split-dim indices
+  Bytes slab = 0;         ///< bytes per index (slab layout)
+  Bytes pitch = 0;        ///< bytes between buffer rows (block2d layout)
+  std::int64_t height = 1;  ///< buffer rows (block2d: the un-split dim 0)
+  bool block2d = false;
+
+  /// Ring slot of a (non-negative) split-dim index.
+  std::int64_t slot(std::int64_t idx) const { return idx % ring; }
+
+  /// Slab layout: device pointer to the slab for split index `idx`.
+  template <typename T = double>
+  T* slab_ptr(std::int64_t idx) const {
+    return reinterpret_cast<T*>(base + static_cast<Bytes>(slot(idx)) * slab);
+  }
+
+  /// Block2d layout: device pointer to element (row, split index `col`).
+  template <typename T = double>
+  T* elem_ptr(std::int64_t row, std::int64_t col) const {
+    return reinterpret_cast<T*>(base + static_cast<Bytes>(row) * pitch +
+                                static_cast<Bytes>(slot(col)) * elem);
+  }
+};
+
+/// One mapped array's device ring buffer, bound to a Gpu for its lifetime.
+class RingBuffer {
+ public:
+  /// Allocates a ring of `ring_len` split-dim indices for `spec`.
+  RingBuffer(gpu::Gpu& gpu, const ArraySpec& spec, std::int64_t ring_len);
+  ~RingBuffer();
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  /// Device bytes this ring occupies.
+  Bytes footprint() const { return footprint_; }
+  std::int64_t ring_len() const { return ring_len_; }
+  const ArraySpec& spec() const { return spec_; }
+  const BufferView& view() const { return view_; }
+
+  /// Re-points the host side at a different allocation of identical shape.
+  void rebind_host(std::byte* host) {
+    require(host != nullptr, "rebind_host: pointer is null");
+    spec_.host = host;
+  }
+
+  /// Predicts the footprint of a ring without allocating it (used by the
+  /// memory-limit solver before buffers exist).
+  static Bytes predict_footprint(const gpu::Gpu& gpu, const ArraySpec& spec,
+                                 std::int64_t ring_len);
+
+  /// Enqueues host->device copies for split indices [a, b) on `s`
+  /// (split into two transfers when the range wraps the ring).
+  /// Returns the number of transfers issued.
+  int copy_in(gpu::Stream& s, std::int64_t a, std::int64_t b);
+  /// Enqueues device->host copies for split indices [a, b) on `s`.
+  /// Returns the number of transfers issued.
+  int copy_out(gpu::Stream& s, std::int64_t a, std::int64_t b);
+
+  /// Appends the device memory ranges covering split indices [a, b) to
+  /// `out` (up to two ranges when wrapping) — used to declare kernel memory
+  /// effects for hazard validation.
+  void append_ranges(std::vector<gpu::MemRange>& out, std::int64_t a, std::int64_t b) const;
+
+ private:
+  /// Invokes `fn(slot_start, idx_start, count)` for each non-wrapping
+  /// segment of [a, b).
+  template <typename Fn>
+  void for_segments(std::int64_t a, std::int64_t b, Fn&& fn) const;
+
+  gpu::Gpu& gpu_;
+  ArraySpec spec_;
+  std::int64_t ring_len_;
+  Bytes footprint_ = 0;
+  BufferView view_;
+};
+
+}  // namespace gpupipe::core

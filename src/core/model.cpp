@@ -1,0 +1,73 @@
+#include "core/model.hpp"
+
+#include "core/buffer.hpp"
+#include "core/pipeline.hpp"
+
+namespace gpupipe::core {
+
+namespace {
+Bytes unit_bytes(const ArraySpec& a) {
+  if (a.split.dim == 0) return static_cast<Bytes>(a.inner_elems()) * a.elem_size;
+  return static_cast<Bytes>(a.dims[0]) * a.elem_size;
+}
+}  // namespace
+
+CostModel::CostModel(const gpu::DeviceProfile& profile, const PipelineSpec& spec,
+                     SimTime per_iter_kernel)
+    : profile_(profile), spec_(spec), per_iter_kernel_(per_iter_kernel) {
+  for (const auto& a : spec.arrays)
+    require(!a.split.window_fn, "the cost model supports affine splits only");
+}
+
+ChunkCost CostModel::chunk_cost(std::int64_t c) const {
+  ChunkCost cost;
+  for (const auto& a : spec_.arrays) {
+    const bool in = a.map == MapType::To || a.map == MapType::ToFrom;
+    const bool out = a.map == MapType::From || a.map == MapType::ToFrom;
+    // Steady state: each chunk brings scale*c new split indices (the halo
+    // was brought by earlier chunks).
+    const std::int64_t steady = a.split.start.scale * c;
+    const Bytes bytes = static_cast<Bytes>(steady) * unit_bytes(a);
+    Bytes row_width = bytes;  // contiguous slab transfers
+    if (a.split.dim != 0) row_width = static_cast<Bytes>(steady) * a.elem_size;
+    const SimTime t =
+        profile_.copy_setup_latency +
+        static_cast<double>(bytes) / profile_.transfer_bandwidth(bytes, row_width, true);
+    if (in) cost.copy_in += t;
+    if (out) cost.copy_out += t;
+  }
+  cost.kernel = profile_.kernel_launch_latency + per_iter_kernel_ * static_cast<double>(c);
+  // Copies + kernel + ~3 events + ~2 waits per chunk.
+  cost.host = 8.0 * profile_.api_call_host_overhead;
+  return cost;
+}
+
+SimTime CostModel::region_time(std::int64_t c) const {
+  const ChunkCost cost = chunk_cost(c);
+  const std::int64_t n = ceil_div(spec_.iterations(), c);
+  const SimTime bottleneck = profile_.unified_copy_engine ? cost.bottleneck_unified()
+                                                          : cost.bottleneck_split();
+  // First chunk's copy-in and last chunk's copy-out cannot overlap anything;
+  // the interior runs at the bottleneck rate.
+  return cost.copy_in + cost.kernel + cost.copy_out +
+         static_cast<double>(n - 1) * bottleneck;
+}
+
+std::int64_t CostModel::best_chunk(const gpu::Gpu& g, Bytes mem_limit, int streams) const {
+  std::int64_t best_c = 1;
+  SimTime best_t = region_time(1);
+  for (std::int64_t c = 2; c <= spec_.iterations(); c *= 2) {
+    Bytes fp = 0;
+    for (const auto& a : spec_.arrays)
+      fp += RingBuffer::predict_footprint(g, a, Pipeline::ring_len_for(a, c, streams));
+    if (fp > mem_limit) break;
+    const SimTime t = region_time(c);
+    if (t < best_t) {
+      best_t = t;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+}  // namespace gpupipe::core

@@ -1,0 +1,81 @@
+#include "core/multi.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gpupipe::core {
+
+std::vector<std::int64_t> MultiPipeline::partition(std::int64_t total,
+                                                   const std::vector<double>& weights,
+                                                   std::int64_t granule) {
+  require(!weights.empty(), "partition needs at least one weight");
+  require(granule >= 1, "partition granule must be >= 1");
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  require(sum > 0.0, "partition weights must sum to a positive value");
+
+  std::vector<std::int64_t> parts(weights.size(), 0);
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    std::int64_t want = static_cast<std::int64_t>(
+        static_cast<double>(total) * weights[i] / sum + 0.5);
+    want = want / granule * granule;  // keep chunks whole
+    want = std::clamp<std::int64_t>(want, 0, total - assigned);
+    parts[i] = want;
+    assigned += want;
+  }
+  parts.back() = total - assigned;
+  return parts;
+}
+
+MultiPipeline::MultiPipeline(std::vector<DeviceShare> devices, const PipelineSpec& spec) {
+  require(!devices.empty(), "MultiPipeline needs at least one device");
+  spec.validate();
+  require(spec.schedule == ScheduleKind::Static,
+          "MultiPipeline requires the static schedule");
+  for (const auto& d : devices)
+    require(d.device != nullptr, "MultiPipeline device pointer is null");
+  for (std::size_t i = 1; i < devices.size(); ++i) {
+    require(devices[i].device->context() == devices[0].device->context(),
+            "all MultiPipeline devices must share one SharedContext");
+  }
+
+  std::vector<double> weights;
+  weights.reserve(devices.size());
+  for (const auto& d : devices)
+    weights.push_back(d.weight > 0.0 ? d.weight : d.device->profile().peak_flops);
+
+  const std::vector<std::int64_t> parts =
+      partition(spec.iterations(), weights, spec.chunk_size);
+
+  std::int64_t begin = spec.loop_begin;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    Part part{devices[i].device, begin, begin + parts[i], nullptr};
+    if (parts[i] > 0) {
+      PipelineSpec sub = spec;
+      sub.loop_begin = part.begin;
+      sub.loop_end = part.end;
+      part.pipeline = std::make_unique<Pipeline>(*part.device, sub);
+    }
+    begin = part.end;
+    parts_.push_back(std::move(part));
+  }
+}
+
+void MultiPipeline::run(const KernelFactory& make_kernel) {
+  // Enqueue every device's slice first (no blocking), then drain. The
+  // shared virtual clock lets all devices' engines progress together while
+  // the host waits.
+  for (auto& p : parts_)
+    if (p.pipeline) p.pipeline->enqueue(make_kernel);
+  for (auto& p : parts_)
+    if (p.pipeline) p.pipeline->wait();
+}
+
+Bytes MultiPipeline::buffer_footprint() const {
+  Bytes total = 0;
+  for (const auto& p : parts_)
+    if (p.pipeline) total += p.pipeline->buffer_footprint();
+  return total;
+}
+
+}  // namespace gpupipe::core

@@ -1,0 +1,212 @@
+// The pipeline executor — the paper's core contribution.
+//
+// Given a PipelineSpec (schedule, chunk_size, num_streams, pipeline_map
+// clauses, optional memory limit) and a per-chunk kernel factory, a Pipeline
+//   1. sizes and pre-allocates one device ring buffer per mapped array,
+//      shrinking chunk_size/num_streams until the footprint fits the memory
+//      limit (pipeline_mem_limit) or free device memory,
+//   2. partitions the split loop into chunks and issues, per chunk:
+//      sliding-window H2D copies of newly required input slices, the user's
+//      kernel, and D2H copies of produced output slices — round-robin across
+//      num_streams GPU streams,
+//   3. chains correctness dependencies with events: a kernel waits for every
+//      copy that brought its inputs (including copies issued by earlier
+//      chunks on other streams); a copy that reuses a ring slot waits for
+//      the last kernel that read it; a kernel that rewrites an output slot
+//      waits for the copy-out that drained it,
+//   4. declares each operation's memory effects so the hazard tracker can
+//      independently verify the schedule.
+//
+// The adaptive schedule (the paper's stated future work, implemented here as
+// an extension) probes the first chunk, models per-chunk costs from the
+// device profile, picks the chunk size minimising predicted makespan, and
+// reconfigures the ring buffers before running the remaining iterations.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/buffer.hpp"
+#include "core/spec.hpp"
+#include "gpu/gpu.hpp"
+
+namespace gpupipe::core {
+
+class Pipeline;
+
+/// Per-chunk information handed to the kernel factory.
+class ChunkContext {
+ public:
+  /// Zero-based chunk number.
+  std::int64_t chunk_index() const { return chunk_; }
+  /// The chunk's loop-iteration subrange [begin, end).
+  std::int64_t begin() const { return begin_; }
+  std::int64_t end() const { return end_; }
+  std::int64_t iterations() const { return end_ - begin_; }
+
+  /// Addressing view of a mapped array's ring buffer, by clause name.
+  const BufferView& view(std::string_view array_name) const;
+
+ private:
+  friend class Pipeline;
+  ChunkContext(const Pipeline& p, std::int64_t chunk, std::int64_t begin, std::int64_t end)
+      : pipeline_(&p), chunk_(chunk), begin_(begin), end_(end) {}
+  const Pipeline* pipeline_;
+  std::int64_t chunk_;
+  std::int64_t begin_;
+  std::int64_t end_;
+};
+
+/// Builds the kernel for one chunk. The returned KernelDesc's body reads and
+/// writes device data exclusively through the chunk's BufferViews (and any
+/// persistent device pointers the caller manages itself). The runtime fills
+/// in the kernel's memory effects for the mapped arrays.
+using KernelFactory = std::function<gpu::KernelDesc(const ChunkContext&)>;
+
+/// The data-movement plan of one chunk (introspection; see Pipeline::plan).
+struct ChunkPlan {
+  std::int64_t index = 0;
+  int stream = 0;
+  std::int64_t begin = 0;  ///< iteration subrange
+  std::int64_t end = 0;
+  struct Move {
+    std::string array;
+    std::int64_t lo = 0;  ///< split-index range
+    std::int64_t hi = 0;
+  };
+  std::vector<Move> copies_in;   ///< after sliding-window elision
+  std::vector<Move> copies_out;
+};
+
+/// Execution counters for one or more run() calls.
+struct PipelineStats {
+  std::int64_t chunks = 0;
+  std::int64_t h2d_copies = 0;
+  std::int64_t d2h_copies = 0;
+  Bytes h2d_bytes = 0;
+  Bytes d2h_bytes = 0;
+  std::int64_t kernels = 0;
+  std::int64_t events = 0;
+  std::int64_t stream_waits = 0;
+};
+
+/// A reusable pipelined offload region bound to one simulated GPU.
+class Pipeline {
+ public:
+  /// Validates the spec, solves the memory limit, pre-allocates ring
+  /// buffers, and creates the GPU streams. Throws on an unsatisfiable spec
+  /// (e.g. one window alone exceeds the memory limit).
+  Pipeline(gpu::Gpu& gpu, PipelineSpec spec);
+  ~Pipeline();
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Executes the region once: every chunk's transfers and kernel are
+  /// enqueued and the host blocks until the region completes (the
+  /// synchronous semantics of a `target` region). May be called repeatedly;
+  /// buffers and streams are reused.
+  void run(const KernelFactory& make_kernel);
+
+  /// Split-phase variant for co-scheduling across devices: enqueue() issues
+  /// every chunk without blocking; wait() drains the region and resets the
+  /// dependency bookkeeping. Only the static schedule supports split-phase
+  /// execution (the adaptive probe needs an intermediate drain).
+  void enqueue(const KernelFactory& make_kernel);
+  void wait();
+
+  /// Returns the per-chunk data-movement plan run() would execute —
+  /// iteration subranges, stream assignment, and the input/output slices
+  /// after sliding-window elision. Pure arithmetic; does not touch the
+  /// device. Useful for debugging directives and in tests.
+  std::vector<ChunkPlan> plan() const;
+  /// Prints plan() in a human-readable form.
+  void print_plan(std::ostream& os) const;
+
+  /// Re-points a mapped array at a different host allocation of identical
+  /// shape (e.g. ping-pong buffers between Jacobi sweeps). Takes effect for
+  /// subsequent run() calls; device buffers are reused.
+  void rebind_host(std::string_view array_name, std::byte* host);
+
+  /// Chunk size actually in use (after memory-limit shrinking / adaptive
+  /// tuning).
+  std::int64_t effective_chunk_size() const { return chunk_size_; }
+  /// Stream count actually in use.
+  int effective_streams() const { return static_cast<int>(streams_.size()); }
+  /// Total device bytes held by the pre-allocated ring buffers.
+  Bytes buffer_footprint() const;
+  const PipelineStats& stats() const { return stats_; }
+  const PipelineSpec& spec() const { return spec_; }
+  gpu::Gpu& device() { return gpu_; }
+
+  /// Ring length (in split-dim indices) the executor provisions for an
+  /// array under chunk size `c` and `s` streams: enough for all in-flight
+  /// chunk windows plus the dependency window (exposed for tests).
+  static std::int64_t ring_len_for(const ArraySpec& a, std::int64_t c, int s);
+
+  /// Ring length for `a` under this spec's loop range: the affine formula,
+  /// or a scan of the loop for window-function splits (which also validates
+  /// monotonicity and output disjointness).
+  std::int64_t ring_len_for_spec(const ArraySpec& a, std::int64_t c, int s) const;
+
+ private:
+  struct ArrayState {
+    ArraySpec spec;
+    std::unique_ptr<RingBuffer> ring;
+    /// Host indices [first, copied_hi) already scheduled for copy-in.
+    std::int64_t copied_hi = 0;
+    bool copied_any = false;
+    /// For each copied-in split index: the event signalling its arrival and
+    /// the stream that issued it (kernels on other streams must wait on it).
+    std::unordered_map<std::int64_t, std::pair<gpu::EventPtr, gpu::Stream*>> copy_event;
+    /// Per ring slot: event of the last kernel that read it (guards reuse).
+    std::vector<std::pair<gpu::EventPtr, gpu::Stream*>> slot_reader;
+    /// Per ring slot: event of the last copy-out that drained it (guards
+    /// output-slot rewrite).
+    std::vector<std::pair<gpu::EventPtr, gpu::Stream*>> slot_drained;
+  };
+
+  bool is_input(const ArrayState& a) const {
+    return a.spec.map == MapType::To || a.spec.map == MapType::ToFrom;
+  }
+  bool is_output(const ArrayState& a) const {
+    return a.spec.map == MapType::From || a.spec.map == MapType::ToFrom;
+  }
+  /// Split-index window a chunk over iterations [lo, hi) touches (handles
+  /// both affine splits and window functions).
+  static std::pair<std::int64_t, std::int64_t> window_of(const ArraySpec& a, std::int64_t lo,
+                                                         std::int64_t hi) {
+    return {a.split.range_of(lo).first, a.split.range_of(hi - 1).second};
+  }
+
+
+  /// Solves the memory limit: shrinks chunk_size (then num_streams) until
+  /// predicted footprints fit `limit`. Returns the chosen (chunk, streams).
+  std::pair<std::int64_t, int> solve_memory(Bytes limit) const;
+  /// (Re)allocates ring buffers for the current chunk_size/stream count.
+  void configure_buffers();
+  /// Runs iterations [from, to) through the chunk loop.
+  void run_range(const KernelFactory& make_kernel, std::int64_t from, std::int64_t to,
+                 std::int64_t& chunk_counter);
+  /// Drains all pipeline streams and clears dependency bookkeeping.
+  void finish_region();
+  /// Adaptive extension: pick a chunk size from a probe kernel's duration.
+  std::int64_t adaptive_chunk_size(SimTime probe_kernel_time,
+                                   std::int64_t probe_chunk) const;
+
+  friend class ChunkContext;
+  const BufferView& view_of(std::string_view name) const;
+
+  gpu::Gpu& gpu_;
+  PipelineSpec spec_;
+  Bytes mem_limit_ = 0;
+  std::int64_t chunk_size_ = 1;
+  std::vector<gpu::Stream*> streams_;
+  std::vector<ArrayState> arrays_;
+  PipelineStats stats_;
+  sim::TaskPtr last_kernel_;  // most recent kernel (adaptive probe)
+};
+
+}  // namespace gpupipe::core

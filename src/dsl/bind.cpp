@@ -1,0 +1,99 @@
+#include "dsl/bind.hpp"
+
+namespace gpupipe::dsl {
+
+namespace {
+
+/// Verifies `e` is affine in `var` under `env` and extracts scale/offset.
+core::Affine extract_affine(const ExprPtr& e, const std::string& var, const Env& env,
+                            const std::string& where) {
+  Env probe = env;
+  auto at = [&](std::int64_t k) {
+    probe[var] = k;
+    return e->eval(probe);
+  };
+  const std::int64_t f0 = at(0), f1 = at(1), f2 = at(2);
+  if (f2 - f1 != f1 - f0)
+    throw BindError(where + ": split_iter expression '" + e->str() +
+                    "' is not affine in the loop variable");
+  return core::Affine{f1 - f0, f0};
+}
+
+}  // namespace
+
+core::PipelineSpec bind(const Directive& d, const std::string& loop_var,
+                        std::int64_t loop_begin, std::int64_t loop_end,
+                        const Bindings& arrays, const Env& env) {
+  core::PipelineSpec spec;
+  spec.schedule = d.schedule;
+  spec.loop_begin = loop_begin;
+  spec.loop_end = loop_end;
+  spec.mem_limit = d.mem_limit;
+  if (d.chunk_size) spec.chunk_size = d.chunk_size->eval(env);
+  if (d.num_streams) spec.num_streams = static_cast<int>(d.num_streams->eval(env));
+
+  for (const auto& m : d.maps) {
+    const std::string where = "pipeline_map(" + std::string(core::to_string(m.type)) + ": " +
+                              m.array + ")";
+    auto it = arrays.find(m.array);
+    if (it == arrays.end())
+      throw BindError(where + ": no host array named '" + m.array + "' was registered");
+    const HostArray& host = it->second;
+    if (host.dims.size() != m.dims.size())
+      throw BindError(where + ": directive declares " + std::to_string(m.dims.size()) +
+                      " dimensions but the registered array has " +
+                      std::to_string(host.dims.size()));
+
+    core::ArraySpec a;
+    a.name = m.array;
+    a.map = m.type;
+    a.host = host.ptr;
+    a.elem_size = host.elem_size;
+    a.dims = host.dims;
+
+    int split_dim = -1;
+    for (std::size_t dim = 0; dim < m.dims.size(); ++dim) {
+      const ParsedDim& pd = m.dims[dim];
+      if (pd.start->references(loop_var)) {
+        if (split_dim != -1)
+          throw BindError(where + ": more than one dimension references the loop variable '" +
+                          loop_var + "'; the prototype splits a single dimension");
+        split_dim = static_cast<int>(dim);
+        if (pd.extent->references(loop_var))
+          throw BindError(where + ": the split window size may not depend on the loop "
+                          "variable");
+        a.split.dim = split_dim;
+        a.split.start = extract_affine(pd.start, loop_var, env, where);
+        a.split.window = pd.extent->eval(env);
+      } else {
+        // Plain dimension: [0 : extent]; extent must match the registered
+        // array so indexing inside the kernel stays consistent.
+        if (pd.start->eval(env) != 0)
+          throw BindError(where + ": non-split dimension " + std::to_string(dim) +
+                          " must start at 0");
+        const std::int64_t extent = pd.extent->eval(env);
+        if (extent != host.dims[dim])
+          throw BindError(where + ": dimension " + std::to_string(dim) + " declared as " +
+                          std::to_string(extent) + " but the registered array has extent " +
+                          std::to_string(host.dims[dim]));
+      }
+    }
+    if (split_dim == -1)
+      throw BindError(where + ": no dimension references the loop variable '" + loop_var +
+                      "'");
+    spec.arrays.push_back(std::move(a));
+  }
+
+  spec.validate();
+  return spec;
+}
+
+core::PipelineSpec compile(std::string_view directive_text, const std::string& loop_var,
+                           std::int64_t loop_begin, std::int64_t loop_end,
+                           const Bindings& arrays, const Env& env) {
+  // Qualified: the unqualified name would also find std::bind via ADL.
+  return gpupipe::dsl::bind(parse(directive_text), loop_var, loop_begin, loop_end, arrays,
+                            env);
+}
+
+}  // namespace gpupipe::dsl

@@ -1,0 +1,57 @@
+// Binding a parsed directive to real host arrays.
+//
+// The paper's prototype passes all parameters explicitly to the runtime
+// (§III end); binding is the moment the directive text meets the program:
+// array names resolve to host pointers/extents, symbolic extents (ny, nx)
+// resolve through an environment, the split dimension is identified as the
+// one whose start expression references the loop variable, and that
+// expression is verified to be affine.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "dsl/expr.hpp"
+#include "dsl/parser.hpp"
+
+namespace gpupipe::dsl {
+
+/// Thrown when a directive cannot be bound to the supplied arrays.
+class BindError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Host-side description of one array available for mapping.
+struct HostArray {
+  std::byte* ptr = nullptr;
+  Bytes elem_size = sizeof(double);
+  /// Extents, outermost first (row-major).
+  std::vector<std::int64_t> dims;
+
+  template <typename T>
+  static HostArray of(T* data, std::vector<std::int64_t> dims) {
+    return HostArray{reinterpret_cast<std::byte*>(data), sizeof(T), std::move(dims)};
+  }
+};
+
+/// Name -> host array registry supplied by the application.
+using Bindings = std::map<std::string, HostArray>;
+
+/// Produces a runnable PipelineSpec from a parsed directive.
+///
+/// `loop_var` is the split loop's variable name as used in the directive;
+/// [loop_begin, loop_end) its iteration range; `env` supplies values for
+/// every other identifier the directive mentions (ny, nx, ...).
+core::PipelineSpec bind(const Directive& d, const std::string& loop_var,
+                        std::int64_t loop_begin, std::int64_t loop_end,
+                        const Bindings& arrays, const Env& env = {});
+
+/// Convenience: parse + bind in one step.
+core::PipelineSpec compile(std::string_view directive_text, const std::string& loop_var,
+                           std::int64_t loop_begin, std::int64_t loop_end,
+                           const Bindings& arrays, const Env& env = {});
+
+}  // namespace gpupipe::dsl

@@ -1,0 +1,55 @@
+// Source-to-source translation (extension).
+//
+// The paper's future work considers "a source-to-source translator based on
+// our previous work". This module is that translator's back end: given the
+// directive text plus declarations of the loop and the mapped arrays, it
+// emits a self-contained C++ function that registers the arrays, compiles
+// the directive against them, constructs the pipeline, and runs a
+// per-chunk kernel. The user pastes their loop body (rewritten against the
+// BufferViews, which carry the index translation) into the marked slot —
+// or passes it in via CodegenInput::kernel_body.
+//
+// The tools/gpupipe_translate binary wraps this as a command-line tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsl/parser.hpp"
+
+namespace gpupipe::dsl {
+
+/// Thrown when the declarations do not cover the directive.
+class CodegenError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Everything the translator needs besides the directive itself.
+struct CodegenInput {
+  /// The pragma/clause text (parsed and validated during generation).
+  std::string directive;
+  /// The split loop: variable name and C++ expressions for its bounds.
+  std::string loop_var = "k";
+  std::string loop_begin = "0";
+  std::string loop_end;
+
+  struct ArrayDecl {
+    std::string name;                    ///< must match a pipeline_map name
+    std::string elem_type = "double";    ///< C++ element type
+    std::vector<std::string> dims;       ///< extent expressions, outermost first
+  };
+  std::vector<ArrayDecl> arrays;
+
+  /// Name of the emitted function.
+  std::string function_name = "run_pipelined_region";
+  /// Optional kernel body statements (uses `ctx` and the generated
+  /// `<name>_view` BufferViews); a TODO placeholder is emitted when empty.
+  std::string kernel_body;
+};
+
+/// Generates the C++ source for the region described by `in`.
+/// Throws ParseError/CodegenError on an invalid directive or declarations.
+std::string generate_cpp(const CodegenInput& in);
+
+}  // namespace gpupipe::dsl

@@ -1,0 +1,269 @@
+#include "dsl/parser.hpp"
+
+#include <cctype>
+
+namespace gpupipe::dsl {
+
+namespace {
+
+enum class Tok { Ident, Number, LParen, RParen, LBracket, RBracket, Colon, Comma, Plus,
+                 Minus, Star, End };
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  std::int64_t value = 0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token next() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& msg, std::size_t pos) const {
+    // Caret diagnostic: show the text with a marker under the position.
+    std::string out = "directive parse error: " + msg + "\n  " + std::string(text_) + "\n  " +
+                      std::string(std::min(pos, text_.size()), ' ') + "^";
+    throw ParseError(out);
+  }
+  [[noreturn]] void fail_here(const std::string& msg) const { fail(msg, current_.pos); }
+
+ private:
+  void advance() {
+    // Skip whitespace, line continuations, and a leading pragma prefix.
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '\\') {
+        ++pos_;
+      } else if (c == '#') {
+        // "#pragma omp target" prefix: skip "#" and the next two words.
+        ++pos_;
+        skip_word("pragma");
+        skip_word("omp");
+        skip_word("target");
+      } else {
+        break;
+      }
+    }
+    current_.pos = pos_;
+    if (pos_ >= text_.size()) {
+      current_ = Token{Tok::End, "", 0, pos_};
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_'))
+        ++pos_;
+      current_ = Token{Tok::Ident, std::string(text_.substr(start, pos_ - start)), 0, start};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      std::int64_t v = 0;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        v = v * 10 + (text_[pos_] - '0');
+        ++pos_;
+      }
+      current_ = Token{Tok::Number, std::string(text_.substr(start, pos_ - start)), v, start};
+      return;
+    }
+    Tok k;
+    switch (c) {
+      case '(': k = Tok::LParen; break;
+      case ')': k = Tok::RParen; break;
+      case '[': k = Tok::LBracket; break;
+      case ']': k = Tok::RBracket; break;
+      case ':': k = Tok::Colon; break;
+      case ',': k = Tok::Comma; break;
+      case '+': k = Tok::Plus; break;
+      case '-': k = Tok::Minus; break;
+      case '*': k = Tok::Star; break;
+      default: fail(std::string("unexpected character '") + c + "'", pos_);
+    }
+    current_ = Token{k, std::string(1, c), 0, pos_};
+    ++pos_;
+  }
+
+  void skip_word(std::string_view expect) {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && std::isalpha(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (text_.substr(start, pos_ - start) != expect)
+      fail("expected '" + std::string(expect) + "' in pragma prefix", start);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lex_(text) {}
+
+  Directive parse_directive() {
+    Directive d;
+    bool saw_pipeline = false;
+    while (lex_.peek().kind != Tok::End) {
+      const Token t = expect(Tok::Ident, "clause name");
+      if (t.text == "pipeline") {
+        if (saw_pipeline) lex_.fail("duplicate pipeline() clause", t.pos);
+        saw_pipeline = true;
+        parse_pipeline_clause(d);
+      } else if (t.text == "pipeline_map") {
+        parse_map_clause(d);
+      } else if (t.text == "pipeline_mem_limit") {
+        if (d.mem_limit) lex_.fail("duplicate pipeline_mem_limit() clause", t.pos);
+        parse_mem_limit(d);
+      } else {
+        lex_.fail("unknown clause '" + t.text + "' (expected pipeline, pipeline_map, or "
+                  "pipeline_mem_limit)", t.pos);
+      }
+    }
+    if (d.maps.empty())
+      throw ParseError("directive parse error: at least one pipeline_map clause is required");
+    return d;
+  }
+
+ private:
+  Token expect(Tok kind, const char* what) {
+    if (lex_.peek().kind != kind) lex_.fail_here(std::string("expected ") + what);
+    return lex_.next();
+  }
+
+  // pipeline(schedule_kind[chunk_size, num_stream])
+  void parse_pipeline_clause(Directive& d) {
+    expect(Tok::LParen, "'('");
+    const Token kind = expect(Tok::Ident, "schedule kind (static or adaptive)");
+    if (kind.text == "static") {
+      d.schedule = core::ScheduleKind::Static;
+    } else if (kind.text == "adaptive") {
+      d.schedule = core::ScheduleKind::Adaptive;
+    } else {
+      lex_.fail("unknown schedule kind '" + kind.text + "'", kind.pos);
+    }
+    if (lex_.peek().kind == Tok::LBracket) {
+      lex_.next();
+      d.chunk_size = parse_expr();
+      expect(Tok::Comma, "','");
+      d.num_streams = parse_expr();
+      expect(Tok::RBracket, "']'");
+    }
+    expect(Tok::RParen, "')'");
+  }
+
+  // pipeline_map(map_type : var[start:extent]...)
+  void parse_map_clause(Directive& d) {
+    expect(Tok::LParen, "'('");
+    const Token type = expect(Tok::Ident, "map type (to, from, tofrom)");
+    ParsedMap m;
+    if (type.text == "to") {
+      m.type = core::MapType::To;
+    } else if (type.text == "from") {
+      m.type = core::MapType::From;
+    } else if (type.text == "tofrom") {
+      m.type = core::MapType::ToFrom;
+    } else {
+      lex_.fail("unknown map type '" + type.text + "'", type.pos);
+    }
+    expect(Tok::Colon, "':'");
+    m.array = expect(Tok::Ident, "array name").text;
+    while (lex_.peek().kind == Tok::LBracket) {
+      lex_.next();
+      ParsedDim dim;
+      dim.start = parse_expr();
+      expect(Tok::Colon, "':'");
+      dim.extent = parse_expr();
+      expect(Tok::RBracket, "']'");
+      m.dims.push_back(std::move(dim));
+    }
+    if (m.dims.empty()) lex_.fail_here("array section needs at least one [start:extent]");
+    expect(Tok::RParen, "')'");
+    d.maps.push_back(std::move(m));
+  }
+
+  // pipeline_mem_limit(MB_256 | GB_2 | KB_64 | <bytes>)
+  void parse_mem_limit(Directive& d) {
+    expect(Tok::LParen, "'('");
+    const Token t = lex_.next();
+    if (t.kind == Tok::Number) {
+      d.mem_limit = static_cast<Bytes>(t.value);
+    } else if (t.kind == Tok::Ident) {
+      const auto us = t.text.find('_');
+      if (us == std::string::npos) lex_.fail("expected UNIT_N like MB_256", t.pos);
+      const std::string unit = t.text.substr(0, us);
+      const std::string num = t.text.substr(us + 1);
+      Bytes mult = 0;
+      if (unit == "KB") mult = KiB;
+      if (unit == "MB") mult = MiB;
+      if (unit == "GB") mult = GiB;
+      if (mult == 0) lex_.fail("unknown memory unit '" + unit + "' (KB, MB, GB)", t.pos);
+      std::int64_t n = 0;
+      for (char c : num) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+          lex_.fail("expected UNIT_N like MB_256", t.pos);
+        n = n * 10 + (c - '0');
+      }
+      if (n <= 0) lex_.fail("memory limit must be positive", t.pos);
+      d.mem_limit = static_cast<Bytes>(n) * mult;
+    } else {
+      lex_.fail("expected a memory size", t.pos);
+    }
+    expect(Tok::RParen, "')'");
+  }
+
+  // expr := term (('+'|'-') term)* ; term := factor ('*' factor)* ;
+  // factor := number | ident | '-' factor | '(' expr ')'
+  ExprPtr parse_expr() {
+    ExprPtr e = parse_term();
+    while (lex_.peek().kind == Tok::Plus || lex_.peek().kind == Tok::Minus) {
+      const bool plus = lex_.next().kind == Tok::Plus;
+      ExprPtr rhs = parse_term();
+      e = plus ? Expr::add(std::move(e), std::move(rhs))
+               : Expr::sub(std::move(e), std::move(rhs));
+    }
+    return e;
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr e = parse_factor();
+    while (lex_.peek().kind == Tok::Star) {
+      lex_.next();
+      e = Expr::mul(std::move(e), parse_factor());
+    }
+    return e;
+  }
+
+  ExprPtr parse_factor() {
+    const Token t = lex_.next();
+    switch (t.kind) {
+      case Tok::Number: return Expr::num(t.value);
+      case Tok::Ident: return Expr::var(t.text);
+      case Tok::Minus: return Expr::neg(parse_factor());
+      case Tok::LParen: {
+        ExprPtr e = parse_expr();
+        expect(Tok::RParen, "')'");
+        return e;
+      }
+      default: lex_.fail("expected an expression", t.pos);
+    }
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Directive parse(std::string_view text) { return Parser(text).parse_directive(); }
+
+}  // namespace gpupipe::dsl

@@ -1,0 +1,63 @@
+// Parser for the paper's directive clause syntax (Fig. 1):
+//
+//   pipeline(schedule_kind[chunk_size, num_stream])
+//   pipeline_map(map_type : var[split_iter:size][0:m]...)
+//   pipeline_mem_limit(mem_size)
+//
+// The text may be the clause list alone or a full pragma line; a leading
+// `#pragma omp target` prefix and line-continuation backslashes are
+// accepted and ignored. Example (the paper's Fig. 2 stencil):
+//
+//   parse("pipeline(static[1,3]) "
+//         "pipeline_map(to: A0[k-1:3][0:ny][0:nx]) "
+//         "pipeline_map(from: Anext[k:1][0:ny][0:nx]) "
+//         "pipeline_mem_limit(MB_256)");
+//
+// mem_size accepts the paper's UNIT_N spelling (KB_64, MB_256, GB_2) or a
+// plain byte count. Parse failures throw ParseError with the offending
+// position and a caret diagnostic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/spec.hpp"
+#include "dsl/expr.hpp"
+
+namespace gpupipe::dsl {
+
+/// Thrown on malformed directive text; what() includes a caret diagnostic.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// One `[start : extent]` bracket pair as written.
+struct ParsedDim {
+  ExprPtr start;
+  ExprPtr extent;
+};
+
+/// One pipeline_map clause as written.
+struct ParsedMap {
+  core::MapType type = core::MapType::To;
+  std::string array;
+  std::vector<ParsedDim> dims;
+};
+
+/// The parsed directive, before binding to host arrays.
+struct Directive {
+  core::ScheduleKind schedule = core::ScheduleKind::Static;
+  ExprPtr chunk_size;   // null => default 1
+  ExprPtr num_streams;  // null => default 2
+  std::optional<Bytes> mem_limit;
+  std::vector<ParsedMap> maps;
+};
+
+/// Parses directive text. Throws ParseError.
+Directive parse(std::string_view text);
+
+}  // namespace gpupipe::dsl

@@ -1,0 +1,112 @@
+#include "gpu/device_profile.hpp"
+
+namespace gpupipe::gpu {
+
+// Calibration notes
+// -----------------
+// Capacities and roofline numbers follow the published specifications of the
+// two cards. Latency/overhead parameters are calibrated once so that the
+// *shape* of every figure in the paper is reproduced (see EXPERIMENTS.md);
+// they are in the plausible range reported by microbenchmark literature for
+// these driver stacks (kernel launch ~5-10us, copy setup ~5-20us).
+
+DeviceProfile nvidia_k40m() {
+  DeviceProfile p;
+  p.name = "NVIDIA Tesla K40m (simulated)";
+  // 12 GB GDDR5. The reserve models ECC overhead plus the CUDA context and
+  // is sized so that a 3 x 20480^2 double matmul working set (10.07 GB) does
+  // not fit, matching the out-of-memory boundary of Fig. 9/10.
+  p.total_memory = 12 * GiB;
+  p.reserved_memory = 2880 * MiB;
+  p.context_memory = 72 * MiB;
+  p.per_stream_memory = 6 * MiB;
+  p.peak_flops = gflops(1430.0);        // 1.43 TFLOP/s double precision
+  p.mem_bandwidth = gbps(288.0);        // GDDR5 peak
+  // Effective host<->device bandwidth of the paper-era testbed (shared by
+  // both directions: the DMA path is modelled half-duplex, which is what
+  // makes "perfect overlap" top out at the paper's 2x bound, SSV-A).
+  p.pcie_bandwidth = gbps(6.0);
+  p.pcie_half_saturation = 256 * KiB;   // saturates quickly
+  p.pcie_row_half_saturation = 2 * KiB;
+  p.pageable_penalty = 0.55;
+  p.copy_setup_latency = usec(8.0);
+  p.copy_segment_latency = usec(0.1);
+  p.kernel_launch_latency = usec(8.0);
+  p.api_call_host_overhead = usec(4.0);
+  p.sched_overhead_per_stream = usec(1.0);
+  p.h2d_engines = 1;
+  p.d2h_engines = 1;
+  p.unified_copy_engine = true;  // H2D and D2H share the DMA path
+  p.max_concurrent_kernels = 1;
+  p.pitch_alignment = 512;
+  p.alloc_alignment = 256;
+  return p;
+}
+
+DeviceProfile amd_hd7970() {
+  DeviceProfile p;
+  p.name = "AMD Radeon HD 7970 (simulated)";
+  p.total_memory = 3 * GiB;
+  p.reserved_memory = 256 * MiB;
+  p.context_memory = 64 * MiB;
+  p.per_stream_memory = 8 * MiB;
+  p.peak_flops = gflops(947.0);         // 0.947 TFLOP/s double precision
+  p.mem_bandwidth = gbps(264.0);
+  // The paper measured ~6 GB/s for the Naive version's large transfers but
+  // only ~2 GB/s once the data was split into per-chunk pieces (§V-B). A
+  // large half-saturation size reproduces that: small contiguous segments
+  // run far below peak.
+  p.pcie_bandwidth = gbps(6.5);
+  p.pcie_half_saturation = 1280 * KiB;
+  p.pcie_row_half_saturation = 8 * KiB;
+  p.pageable_penalty = 0.5;
+  // The OpenCL driver stack carries noticeably higher per-call costs; the
+  // paper attributes the AMD pipelining loss to "more API calls and high
+  // scheduling overhead".
+  // The paper's AMD APP Profiler run attributes the pipelining loss to
+  // per-transfer setup/scheduling cost; on this OpenCL stack each enqueued
+  // transfer carries substantial driver-side staging work.
+  p.copy_setup_latency = usec(350.0);
+  p.copy_segment_latency = usec(0.5);
+  p.kernel_launch_latency = usec(20.0);
+  p.api_call_host_overhead = usec(15.0);
+  p.sched_overhead_per_stream = usec(6.0);
+  p.h2d_engines = 1;
+  p.d2h_engines = 1;
+  p.unified_copy_engine = true;
+  p.max_concurrent_kernels = 1;
+  p.pitch_alignment = 256;
+  p.alloc_alignment = 256;
+  return p;
+}
+
+DeviceProfile intel_xeonphi() {
+  DeviceProfile p;
+  p.name = "Intel Xeon Phi 7120 (simulated)";
+  p.total_memory = 16 * GiB;
+  p.reserved_memory = 1 * GiB;  // card-side uOS and COI daemon
+  p.context_memory = 256 * MiB;
+  p.per_stream_memory = 4 * MiB;
+  p.peak_flops = gflops(1200.0);  // 1.2 TFLOP/s double precision
+  p.mem_bandwidth = gbps(200.0);  // effective GDDR5 stream bandwidth
+  // Offload transfers run through the COI software stack: decent peak but
+  // long ramp-up and high per-operation latency.
+  p.pcie_bandwidth = gbps(6.0);
+  p.pcie_half_saturation = 640 * KiB;
+  p.pcie_row_half_saturation = 4 * KiB;
+  p.pageable_penalty = 0.6;
+  p.copy_setup_latency = usec(60.0);
+  p.copy_segment_latency = usec(0.3);
+  p.kernel_launch_latency = usec(90.0);  // offload region spin-up
+  p.api_call_host_overhead = usec(10.0);
+  p.sched_overhead_per_stream = usec(3.0);
+  p.h2d_engines = 1;
+  p.d2h_engines = 1;
+  p.unified_copy_engine = true;
+  p.max_concurrent_kernels = 1;
+  p.pitch_alignment = 64;
+  p.alloc_alignment = 64;
+  return p;
+}
+
+}  // namespace gpupipe::gpu

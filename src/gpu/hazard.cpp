@@ -1,0 +1,93 @@
+#include "gpu/hazard.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gpupipe::gpu {
+
+namespace {
+// Two operations whose windows merely touch at one instant are ordered, not
+// racing; require a strictly positive overlap beyond this tolerance.
+constexpr SimTime kEps = 1e-12;
+
+// Contiguous interval [lo, hi) vs a strided range: any segment of `s`
+// intersecting the interval? O(1): a segment r intersects iff its start is
+// in (lo - size, hi), i.e. r in [ceil((lo - size + 1 - base)/stride),
+// floor((hi - 1 - base)/stride)] clipped to [0, rows).
+bool contiguous_vs_strided(const std::byte* lo, const std::byte* hi, const MemRange& s) {
+  if (hi <= lo || s.size == 0) return false;
+  if (s.rows <= 1 || s.stride == 0) {
+    return std::max(lo, s.ptr) < std::min(hi, s.ptr + s.size);
+  }
+  const auto base = reinterpret_cast<std::intptr_t>(s.ptr);
+  const auto ilo = reinterpret_cast<std::intptr_t>(lo);
+  const auto ihi = reinterpret_cast<std::intptr_t>(hi);
+  const auto stride = static_cast<std::intptr_t>(s.stride);
+  const auto size = static_cast<std::intptr_t>(s.size);
+  // Smallest r with base + r*stride + size > ilo  <=>  r > (ilo - size - base)/stride
+  std::intptr_t r_min = (ilo - size - base) / stride + 1;
+  if (base + (r_min - 1) * stride + size > ilo) --r_min;  // fix flooring of negatives
+  while (base + r_min * stride + size <= ilo) ++r_min;
+  // Largest r with base + r*stride < ihi
+  std::intptr_t r_max = (ihi - 1 - base) / stride;
+  while (base + r_max * stride >= ihi) --r_max;
+  r_min = std::max<std::intptr_t>(r_min, 0);
+  r_max = std::min<std::intptr_t>(r_max, static_cast<std::intptr_t>(s.rows) - 1);
+  return r_min <= r_max;
+}
+}  // namespace
+
+bool ranges_overlap(const MemRange& a, const MemRange& b) {
+  if (a.size == 0 || b.size == 0) return false;
+  // Bounding-box quick reject.
+  if (a.ptr + a.span() <= b.ptr || b.ptr + b.span() <= a.ptr) return false;
+  if (a.rows <= 1) return contiguous_vs_strided(a.ptr, a.ptr + a.size, b);
+  if (b.rows <= 1) return contiguous_vs_strided(b.ptr, b.ptr + b.size, a);
+  // Both strided: test each segment of the shorter one (exact; test-scale
+  // shapes keep this cheap, and benches disable hazard tracking).
+  const MemRange& outer = a.rows <= b.rows ? a : b;
+  const MemRange& inner = a.rows <= b.rows ? b : a;
+  for (Bytes r = 0; r < outer.rows; ++r) {
+    const std::byte* lo = outer.ptr + r * outer.stride;
+    if (contiguous_vs_strided(lo, lo + outer.size, inner)) return true;
+  }
+  return false;
+}
+
+void HazardTracker::begin_op(const MemEffects& effects, SimTime start, SimTime end,
+                             const std::string& label) {
+  if (!enabled_) return;
+  prune(start);
+
+  auto conflict = [&](const Record& r, const char* kind) {
+    std::ostringstream os;
+    os << kind << " hazard: '" << label << "' starting at " << start
+       << "s touches memory still in use by '" << r.label << "' (completes at " << r.end
+       << "s)";
+    throw HazardError(os.str());
+  };
+
+  for (const auto& m : effects.reads) {
+    for (const auto& r : records_) {
+      if (r.is_write && r.end > start + kEps && ranges_overlap(r.range, m))
+        conflict(r, "read-after-write");
+    }
+  }
+  for (const auto& m : effects.writes) {
+    for (const auto& r : records_) {
+      if (r.end > start + kEps && ranges_overlap(r.range, m))
+        conflict(r, r.is_write ? "write-after-write" : "write-after-read");
+    }
+  }
+
+  for (const auto& m : effects.reads)
+    if (m.size > 0) records_.push_back({m, end, false, label});
+  for (const auto& m : effects.writes)
+    if (m.size > 0) records_.push_back({m, end, true, label});
+}
+
+void HazardTracker::prune(SimTime now) {
+  std::erase_if(records_, [&](const Record& r) { return r.end <= now + kEps; });
+}
+
+}  // namespace gpupipe::gpu

@@ -1,0 +1,92 @@
+// Hazard (missing-dependency) detection for device memory.
+//
+// Every operation that touches device memory can declare the byte ranges it
+// reads and writes. When an operation *starts* in virtual time, the tracker
+// verifies that no in-flight operation conflicts with it:
+//   * a read starting before a producing write completes  => RAW hazard
+//   * a write starting before an overlapping read/write completes => WAR/WAW
+//
+// A correctly synchronised pipeline (stream order + events) never trips
+// these checks, because dependencies force start >= producer end. A missing
+// dependency puts the two operations on concurrent engines and is caught the
+// moment the consumer starts. Failure-injection tests rely on this to prove
+// the pipeline executor's event chaining is load-bearing.
+//
+// Ranges may be strided (2-D): `rows` segments of `size` bytes, `stride`
+// bytes apart — the shape of pitched-buffer accesses. Overlap tests are
+// exact for strided-vs-contiguous and strided-vs-strided shapes.
+//
+// Note: two racing operations that happen to share a capacity-1 engine
+// serialise physically and are not flagged — the tracker detects hazards
+// that manifest in the simulated schedule, not all latent ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace gpupipe::gpu {
+
+/// Thrown when an operation consumes device data before its producer
+/// completed (or overwrites data still being read).
+class HazardError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A (possibly strided) byte range in device memory touched by an operation:
+/// `rows` segments of `size` bytes starting `stride` bytes apart. A plain
+/// contiguous range has rows == 1.
+struct MemRange {
+  const std::byte* ptr = nullptr;
+  Bytes size = 0;
+  Bytes stride = 0;  ///< distance between segment starts; ignored if rows==1
+  Bytes rows = 1;
+
+  /// Total extent from first byte to one past the last byte.
+  Bytes span() const { return rows <= 1 ? size : (rows - 1) * stride + size; }
+};
+
+/// Declared memory effects of one operation.
+struct MemEffects {
+  std::vector<MemRange> reads;
+  std::vector<MemRange> writes;
+};
+
+/// True when the two (possibly strided) ranges share at least one byte.
+bool ranges_overlap(const MemRange& a, const MemRange& b);
+
+/// Tracks in-flight accesses and validates new ones against them.
+class HazardTracker {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Validates `effects` for an operation starting at `start` and finishing
+  /// at `end`, then records its accesses. Throws HazardError on conflict.
+  void begin_op(const MemEffects& effects, SimTime start, SimTime end,
+                const std::string& label);
+
+  /// Drops records of accesses that completed at or before `now`.
+  void prune(SimTime now);
+
+  /// Number of live access records (for tests).
+  std::size_t live_records() const { return records_.size(); }
+
+  void clear() { records_.clear(); }
+
+ private:
+  struct Record {
+    MemRange range;
+    SimTime end;
+    bool is_write;
+    std::string label;
+  };
+
+  bool enabled_ = true;
+  std::vector<Record> records_;
+};
+
+}  // namespace gpupipe::gpu

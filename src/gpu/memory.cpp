@@ -1,0 +1,82 @@
+#include "gpu/memory.hpp"
+
+#include <string>
+
+namespace gpupipe::gpu {
+
+namespace {
+constexpr Bytes round_up(Bytes v, Bytes align) { return (v + align - 1) / align * align; }
+}  // namespace
+
+Allocator::Allocator(ExecMode mode, Bytes capacity, Bytes alignment, std::uintptr_t fake_base)
+    : mode_(mode), capacity_(capacity), alignment_(alignment), next_fake_(fake_base) {
+  require(alignment >= 1, "alignment must be positive");
+}
+
+Allocator::~Allocator() { release_all(); }
+
+std::byte* Allocator::allocate(Bytes size) {
+  require(size > 0, "allocation size must be positive");
+  const Bytes rounded = round_up(size, alignment_);
+  if (capacity_ != 0 && stats_.current + rounded > capacity_) {
+    throw OomError("out of device memory: requested " + std::to_string(rounded) +
+                   " bytes with " + std::to_string(capacity_ - stats_.current) +
+                   " of " + std::to_string(capacity_) + " free");
+  }
+
+  Block block;
+  block.size = rounded;
+  std::uintptr_t addr;
+  if (mode_ == ExecMode::Functional) {
+    block.backing = std::make_unique<std::byte[]>(rounded);
+    addr = reinterpret_cast<std::uintptr_t>(block.backing.get());
+  } else {
+    addr = round_up(next_fake_, alignment_);
+    next_fake_ = addr + rounded;
+  }
+  blocks_.emplace(addr, std::move(block));
+
+  stats_.current += rounded;
+  stats_.peak = std::max(stats_.peak, stats_.current);
+  ++stats_.allocations;
+  ++stats_.total_allocations;
+  return reinterpret_cast<std::byte*>(addr);
+}
+
+Pitched Allocator::allocate_pitched(Bytes width_bytes, Bytes height, Bytes pitch_alignment) {
+  require(width_bytes > 0 && height > 0, "pitched dimensions must be positive");
+  const Bytes pitch = round_up(width_bytes, pitch_alignment);
+  return Pitched{allocate(pitch * height), pitch};
+}
+
+void Allocator::deallocate(std::byte* p) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  auto it = blocks_.find(addr);
+  require(it != blocks_.end(), "deallocate of pointer not owned by this allocator");
+  ensure(stats_.current >= it->second.size, "usage accounting underflow");
+  stats_.current -= it->second.size;
+  --stats_.allocations;
+  blocks_.erase(it);
+}
+
+void Allocator::release_all() {
+  stats_.current = 0;
+  stats_.allocations = 0;
+  blocks_.clear();
+}
+
+bool Allocator::contains(const std::byte* p, Bytes size) const {
+  return owner_base(p) != nullptr &&
+         owner_base(p + (size == 0 ? 0 : size - 1)) == owner_base(p);
+}
+
+const std::byte* Allocator::owner_base(const std::byte* p) const {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  auto it = blocks_.upper_bound(addr);
+  if (it == blocks_.begin()) return nullptr;
+  --it;
+  if (addr < it->first + it->second.size) return reinterpret_cast<const std::byte*>(it->first);
+  return nullptr;
+}
+
+}  // namespace gpupipe::gpu

@@ -1,0 +1,102 @@
+// Device and host memory management for the simulated GPU.
+//
+// In Functional mode, device allocations are backed by real host memory so
+// kernels and copies execute for real (tests/examples validate results
+// against references). In Modeled mode, allocations are address-space-only:
+// paper-scale datasets (up to ~15 GB) can be "allocated" and timed without
+// touching physical RAM; kernel bodies and copy payloads are skipped.
+//
+// The allocator tracks current and peak usage — the source of every memory
+// figure in the paper (Figs. 6 and 10) — and throws OomError when an
+// allocation exceeds usable device memory, which is how the two rightmost
+// matmul sizes of Fig. 9 fail for the non-buffered versions.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace gpupipe::gpu {
+
+/// Thrown when a device allocation does not fit in usable memory.
+class OomError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Whether allocations carry real backing store and payloads execute.
+enum class ExecMode {
+  Functional,  ///< real memory, kernels/copies actually run
+  Modeled,     ///< address-space only, timing-only execution
+};
+
+/// Current/peak usage snapshot.
+struct MemStats {
+  Bytes current = 0;
+  Bytes peak = 0;
+  std::uint64_t allocations = 0;  ///< live allocation count
+  std::uint64_t total_allocations = 0;
+};
+
+/// A 2-D (pitched) device allocation.
+struct Pitched {
+  std::byte* ptr = nullptr;
+  Bytes pitch = 0;  ///< bytes per row, >= requested width
+};
+
+/// Arena-style allocator for one memory space (device memory or pinned host
+/// memory). Tracks every allocation for usage accounting and bounds queries.
+class Allocator {
+ public:
+  /// `capacity` = usable bytes (0 = unlimited, used for host memory);
+  /// `fake_base` = synthetic address base used in Modeled mode.
+  Allocator(ExecMode mode, Bytes capacity, Bytes alignment, std::uintptr_t fake_base);
+  ~Allocator();
+  Allocator(const Allocator&) = delete;
+  Allocator& operator=(const Allocator&) = delete;
+
+  /// Allocates `size` bytes; throws OomError if capacity would be exceeded.
+  std::byte* allocate(Bytes size);
+
+  /// Allocates a pitched 2-D region: `height` rows, each at least
+  /// `width_bytes` wide, rows aligned to `pitch_alignment`.
+  Pitched allocate_pitched(Bytes width_bytes, Bytes height, Bytes pitch_alignment);
+
+  /// Frees a pointer previously returned by allocate/allocate_pitched.
+  void deallocate(std::byte* p);
+
+  /// Frees everything still live (used at teardown).
+  void release_all();
+
+  /// True when [p, p+size) lies inside one live allocation.
+  bool contains(const std::byte* p, Bytes size) const;
+
+  /// Returns the base pointer of the live allocation containing `p`, or
+  /// nullptr when `p` is not managed by this allocator.
+  const std::byte* owner_base(const std::byte* p) const;
+
+  const MemStats& stats() const { return stats_; }
+  ExecMode mode() const { return mode_; }
+  Bytes capacity() const { return capacity_; }
+
+  /// Resets the peak-usage watermark to current usage.
+  void reset_peak() { stats_.peak = stats_.current; }
+
+ private:
+  struct Block {
+    Bytes size = 0;
+    std::unique_ptr<std::byte[]> backing;  // null in Modeled mode
+  };
+
+  ExecMode mode_;
+  Bytes capacity_;
+  Bytes alignment_;
+  std::uintptr_t next_fake_;
+  MemStats stats_;
+  std::map<std::uintptr_t, Block> blocks_;  // keyed by address
+};
+
+}  // namespace gpupipe::gpu

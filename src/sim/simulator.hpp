@@ -1,0 +1,98 @@
+// Deterministic discrete-event simulation kernel.
+//
+// The simulator owns a virtual clock and an event queue. All GPU activity
+// (DMA transfers, kernel execution, queue scheduling) is expressed as events;
+// host code advances the clock only by waiting (run_until / run_all).
+// Determinism: simultaneous events fire in insertion order (sequence number
+// tie-break), so every run of a workload is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace gpupipe::sim {
+
+/// Event-queue driven virtual clock.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at virtual time `t` (must not be in the past).
+  void schedule(SimTime t, std::function<void()> fn) {
+    require(t >= now_, "cannot schedule an event in the past");
+    queue_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` to run `delay` after now.
+  void schedule_after(SimTime delay, std::function<void()> fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until `pred()` becomes true. Throws if the queue drains
+  /// first — that is a deadlock (something waits on an event that will
+  /// never fire).
+  void run_until(const std::function<bool()>& pred) {
+    while (!pred()) {
+      ensure(!queue_.empty(), "simulation deadlock: waiting on an event that never fires");
+      step();
+    }
+  }
+
+  /// Runs every pending event; returns the final virtual time.
+  SimTime run_all() {
+    while (!queue_.empty()) step();
+    return now_;
+  }
+
+  /// Runs events until virtual time reaches `t` (events at exactly `t` run).
+  void run_until_time(SimTime t) {
+    while (!queue_.empty() && queue_.top().time <= t) step();
+    now_ = std::max(now_, t);
+  }
+
+  /// Number of events executed so far (useful in tests).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// True when no events remain.
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    // Min-heap ordering: earliest time first, then earliest sequence.
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void step() {
+    // std::priority_queue::top is const; move out via const_cast is UB-free
+    // alternative: copy the function. We pop into a local first.
+    Event ev = queue_.top();
+    queue_.pop();
+    ensure(ev.time >= now_, "event queue time went backwards");
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace gpupipe::sim

@@ -1,0 +1,209 @@
+// Tasks and capacity-limited engines on top of the event queue.
+//
+// An Engine models a hardware resource that can service a bounded number of
+// operations concurrently (a DMA copy engine, the compute engine, the device
+// command scheduler). A Task is one unit of work with:
+//   * a fixed service duration,
+//   * predecessor dependencies (it cannot start before they complete),
+//   * a release time (it cannot start before the host enqueued it),
+//   * a payload executed at completion (the functional side effect — e.g.
+//     actually performing the memcpy or running the kernel body).
+//
+// Tasks queue FIFO per engine; an engine starts the oldest ready task
+// whenever a slot is free. This queueing structure — not any hard-coded
+// timing — is what produces overlap, contention, and pipeline bubbles.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace gpupipe::sim {
+
+class Engine;
+class Task;
+using TaskPtr = std::shared_ptr<Task>;
+
+/// One schedulable operation. Create via Task::create, wire dependencies,
+/// then submit(). All methods must be called from simulation context
+/// (single-threaded).
+class Task : public std::enable_shared_from_this<Task> {
+ public:
+  /// Creates a task serviced by `engine` for `duration` simulated seconds.
+  /// `payload` (may be empty) runs exactly once, at completion time.
+  static TaskPtr create(Engine& engine, SimTime duration, std::string label,
+                        std::function<void()> payload = {});
+
+  /// Declares that this task cannot start until `pred` completes.
+  /// Must be called before submit(). No-op if `pred` already completed.
+  void depends_on(const TaskPtr& pred);
+
+  /// Releases the task to its engine at virtual time `release` (>= now).
+  /// After submission the task starts as soon as its dependencies are done,
+  /// the release time has passed, and the engine has a free slot.
+  void submit(SimTime release);
+
+  /// Registers `fn` to run when the task completes. If already complete,
+  /// runs immediately.
+  void on_complete(std::function<void()> fn);
+
+  /// Registers `fn` to run when the task begins service (used e.g. for
+  /// hazard validation). Must be set before the task starts.
+  void on_start(std::function<void()> fn) {
+    require(!submitted_, "on_start must be set before submit()");
+    start_callback_ = std::move(fn);
+  }
+
+  bool submitted() const { return submitted_; }
+  bool done() const { return done_; }
+  /// Start of service (valid once started).
+  SimTime start_time() const { return start_; }
+  /// End of service (valid once done()).
+  SimTime end_time() const { return end_; }
+  const std::string& label() const { return label_; }
+  SimTime duration() const { return duration_; }
+
+ private:
+  friend class Engine;
+  Task(Engine& engine, SimTime duration, std::string label, std::function<void()> payload)
+      : engine_(engine), duration_(duration), label_(std::move(label)),
+        payload_(std::move(payload)) {}
+
+  void dependency_done();
+  void maybe_ready();
+  void complete();
+
+  Engine& engine_;
+  SimTime duration_;
+  std::string label_;
+  std::function<void()> payload_;
+  std::function<void()> start_callback_;
+  std::vector<std::function<void()>> completion_callbacks_;
+  std::vector<TaskPtr> successors_;  // tasks waiting on us
+  int pending_deps_ = 0;
+  bool submitted_ = false;
+  bool released_ = false;
+  bool queued_ = false;
+  bool done_ = false;
+  SimTime start_ = 0.0;
+  SimTime end_ = 0.0;
+};
+
+/// A capacity-limited FIFO server.
+class Engine {
+ public:
+  /// `capacity` concurrent service slots (e.g. 1 per DMA engine).
+  Engine(Simulator& sim, std::string name, int capacity)
+      : sim_(sim), name_(std::move(name)), capacity_(capacity) {
+    require(capacity >= 1, "engine capacity must be >= 1");
+  }
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const std::string& name() const { return name_; }
+  int capacity() const { return capacity_; }
+  /// Tasks currently in service.
+  int busy() const { return busy_; }
+  /// Tasks ready but waiting for a slot.
+  std::size_t queued() const { return ready_.size(); }
+  /// Total busy time integrated over all slots (for utilisation metrics).
+  SimTime busy_time() const { return busy_time_; }
+  Simulator& simulator() { return sim_; }
+
+ private:
+  friend class Task;
+  void enqueue(const TaskPtr& t) {
+    ready_.push_back(t);
+    dispatch();
+  }
+  void dispatch() {
+    while (busy_ < capacity_ && !ready_.empty()) {
+      TaskPtr t = ready_.front();
+      ready_.pop_front();
+      ++busy_;
+      t->start_ = sim_.now();
+      busy_time_ += t->duration_;
+      if (t->start_callback_) t->start_callback_();
+      sim_.schedule_after(t->duration_, [this, t] {
+        --busy_;
+        t->complete();
+        dispatch();
+      });
+    }
+  }
+
+  Simulator& sim_;
+  std::string name_;
+  int capacity_;
+  int busy_ = 0;
+  SimTime busy_time_ = 0.0;
+  std::deque<TaskPtr> ready_;
+};
+
+inline TaskPtr Task::create(Engine& engine, SimTime duration, std::string label,
+                            std::function<void()> payload) {
+  require(duration >= 0.0, "task duration must be non-negative");
+  return TaskPtr(new Task(engine, duration, std::move(label), std::move(payload)));
+}
+
+inline void Task::depends_on(const TaskPtr& pred) {
+  require(pred != nullptr, "dependency must not be null");
+  require(!submitted_, "dependencies must be declared before submit()");
+  if (pred->done_) return;
+  ++pending_deps_;
+  pred->successors_.push_back(shared_from_this());
+}
+
+inline void Task::submit(SimTime release) {
+  require(!submitted_, "task submitted twice");
+  submitted_ = true;
+  Simulator& sim = engine_.simulator();
+  require(release >= sim.now(), "release time is in the past");
+  if (release > sim.now()) {
+    auto self = shared_from_this();
+    sim.schedule(release, [self] {
+      self->released_ = true;
+      self->maybe_ready();
+    });
+  } else {
+    released_ = true;
+    maybe_ready();
+  }
+}
+
+inline void Task::on_complete(std::function<void()> fn) {
+  if (done_) {
+    fn();
+  } else {
+    completion_callbacks_.push_back(std::move(fn));
+  }
+}
+
+inline void Task::dependency_done() {
+  ensure(pending_deps_ > 0, "dependency count underflow");
+  --pending_deps_;
+  maybe_ready();
+}
+
+inline void Task::maybe_ready() {
+  if (queued_ || done_ || !submitted_ || !released_ || pending_deps_ > 0) return;
+  queued_ = true;
+  engine_.enqueue(shared_from_this());
+}
+
+inline void Task::complete() {
+  ensure(!done_, "task completed twice");
+  done_ = true;
+  end_ = engine_.simulator().now();
+  if (payload_) payload_();
+  for (auto& fn : completion_callbacks_) fn();
+  completion_callbacks_.clear();
+  for (auto& succ : successors_) succ->dependency_done();
+  successors_.clear();
+}
+
+}  // namespace gpupipe::sim

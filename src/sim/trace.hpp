@@ -1,0 +1,140 @@
+// Timeline trace recording.
+//
+// The GPU runtime records one span per completed operation; the profiler and
+// the Fig. 3 time-distribution bench aggregate these by category. Traces can
+// also be dumped as a human-readable timeline for debugging pipelines.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gpupipe::sim {
+
+/// Classification of a traced span.
+enum class SpanKind { HostApi, H2D, D2H, D2D, Kernel, Sync, Other };
+
+inline const char* to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::HostApi: return "host-api";
+    case SpanKind::H2D: return "HtoD";
+    case SpanKind::D2H: return "DtoH";
+    case SpanKind::D2D: return "DtoD";
+    case SpanKind::Kernel: return "kernel";
+    case SpanKind::Sync: return "sync";
+    case SpanKind::Other: return "other";
+  }
+  return "?";
+}
+
+/// One completed operation on the timeline.
+struct Span {
+  SpanKind kind = SpanKind::Other;
+  std::string lane;   // engine or stream name
+  std::string label;  // operation description
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  Bytes bytes = 0;  // payload size for transfers, 0 otherwise
+
+  SimTime duration() const { return end - start; }
+};
+
+/// Collects spans; cheap to disable (record() is a no-op when off).
+class Trace {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(Span s) {
+    if (enabled_) spans_.push_back(std::move(s));
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+  /// Total span time per kind (sum of durations, ignoring overlap).
+  std::map<SpanKind, SimTime> time_by_kind() const {
+    std::map<SpanKind, SimTime> out;
+    for (const auto& s : spans_) out[s.kind] += s.duration();
+    return out;
+  }
+
+  /// Union length of [start,end) intervals of the given kind — the wall time
+  /// during which at least one such operation was in flight.
+  SimTime occupancy(SpanKind kind) const {
+    std::vector<std::pair<SimTime, SimTime>> iv;
+    for (const auto& s : spans_)
+      if (s.kind == kind && s.end > s.start) iv.emplace_back(s.start, s.end);
+    std::sort(iv.begin(), iv.end());
+    SimTime total = 0.0, cur_lo = 0.0, cur_hi = -1.0;
+    for (auto [lo, hi] : iv) {
+      if (cur_hi < lo) {
+        if (cur_hi > cur_lo) total += cur_hi - cur_lo;
+        cur_lo = lo;
+        cur_hi = hi;
+      } else {
+        cur_hi = std::max(cur_hi, hi);
+      }
+    }
+    if (cur_hi > cur_lo) total += cur_hi - cur_lo;
+    return total;
+  }
+
+  /// Dumps the timeline in Chrome trace-event JSON ("catapult") format —
+  /// loadable in chrome://tracing or https://ui.perfetto.dev. Each lane
+  /// (stream/engine) becomes a thread row; span kinds become categories.
+  void dump_chrome_json(std::ostream& os) const {
+    auto escape = [](const std::string& s) {
+      std::string out;
+      for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      return out;
+    };
+    // Stable lane -> tid mapping in order of first appearance.
+    std::map<std::string, int> tids;
+    for (const auto& s : spans_)
+      tids.emplace(s.lane, static_cast<int>(tids.size()) + 1);
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto& [lane, tid] : tids) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+         << ",\"args\":{\"name\":\"" << escape(lane) << "\"}}";
+    }
+    for (const auto& s : spans_) {
+      os << ",{\"name\":\"" << escape(s.label) << "\",\"cat\":\"" << to_string(s.kind)
+         << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tids[s.lane]
+         << ",\"ts\":" << s.start * 1e6 << ",\"dur\":" << s.duration() * 1e6;
+      if (s.bytes > 0) {
+        os << ",\"args\":{\"bytes\":" << s.bytes << "}";
+      }
+      os << "}";
+    }
+    os << "]}";
+  }
+
+  /// Dumps a sorted timeline (for debugging).
+  void dump(std::ostream& os) const {
+    std::vector<Span> sorted = spans_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Span& a, const Span& b) { return a.start < b.start; });
+    for (const auto& s : sorted) {
+      os << "[" << s.start * 1e3 << "ms - " << s.end * 1e3 << "ms] " << s.lane << " "
+         << to_string(s.kind) << " " << s.label << "\n";
+    }
+  }
+
+ private:
+  bool enabled_ = true;
+  std::vector<Span> spans_;
+};
+
+}  // namespace gpupipe::sim

@@ -1,0 +1,105 @@
+// Correctness tests for the Lattice QCD application.
+#include <gtest/gtest.h>
+
+#include "apps/qcd.hpp"
+#include "gpu/device_profile.hpp"
+
+namespace gpupipe::apps {
+namespace {
+
+QcdConfig small_cfg() {
+  QcdConfig cfg;
+  cfg.n = 6;
+  cfg.passes = 1;
+  cfg.chunk_size = 1;
+  cfg.num_streams = 2;
+  return cfg;
+}
+
+TEST(QcdApp, NaiveMatchesReference) {
+  gpu::Gpu g(gpu::nvidia_k40m());
+  std::vector<double> out;
+  qcd_naive(g, small_cfg(), &out);
+  EXPECT_EQ(out, qcd_reference(small_cfg()));
+}
+
+TEST(QcdApp, PipelinedMatchesReference) {
+  gpu::Gpu g(gpu::nvidia_k40m());
+  std::vector<double> out;
+  qcd_pipelined(g, small_cfg(), &out);
+  EXPECT_EQ(out, qcd_reference(small_cfg()));
+}
+
+TEST(QcdApp, PipelinedBufferMatchesReference) {
+  gpu::Gpu g(gpu::nvidia_k40m());
+  std::vector<double> out;
+  qcd_pipelined_buffer(g, small_cfg(), &out);
+  EXPECT_EQ(out, qcd_reference(small_cfg()));
+}
+
+class QcdSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QcdSweep, BufferVersionCorrectForAllChunkStreamCombos) {
+  auto cfg = small_cfg();
+  cfg.chunk_size = std::get<0>(GetParam());
+  cfg.num_streams = std::get<1>(GetParam());
+  gpu::Gpu g(gpu::nvidia_k40m());
+  std::vector<double> out;
+  qcd_pipelined_buffer(g, cfg, &out);
+  EXPECT_EQ(out, qcd_reference(cfg));
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkStream, QcdSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(QcdApp, ReferenceIsNotTrivial) {
+  const auto ref = qcd_reference(small_cfg());
+  double sum = 0.0;
+  for (double v : ref) sum += std::abs(v);
+  EXPECT_GT(sum, 1.0);  // the operator actually produced signal
+}
+
+TEST(QcdApp, MemorySavingsGrowWithLatticeSize) {
+  // The paper: splitting reduces O(n^4) to O(C n^3), so savings grow with n.
+  auto ratio_at = [](std::int64_t n) {
+    QcdConfig cfg;
+    cfg.n = n;
+    gpu::Gpu g1(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+    gpu::Gpu g2(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+    const auto full = qcd_pipelined(g1, cfg);
+    const auto buf = qcd_pipelined_buffer(g2, cfg);
+    return static_cast<double>(buf.peak_device_mem) /
+           static_cast<double>(full.peak_device_mem);
+  };
+  const double r12 = ratio_at(12);
+  const double r24 = ratio_at(24);
+  EXPECT_LT(r24, r12);
+  EXPECT_LT(r24, 0.45);
+}
+
+TEST(QcdApp, TransferShareIsRoughlyHalfForNaive) {
+  // Fig. 3's premise: the naive QCD offload spends ~50% in transfers.
+  QcdConfig cfg;
+  cfg.n = 24;
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  const auto m = qcd_naive(g, cfg);
+  const double transfer_share = (m.h2d_time + m.d2h_time) / m.seconds;
+  EXPECT_GT(transfer_share, 0.35);
+  EXPECT_LT(transfer_share, 0.65);
+}
+
+TEST(QcdApp, PipelinedBufferIsFasterThanNaive) {
+  QcdConfig cfg;
+  cfg.n = 24;
+  cfg.chunk_size = 1;
+  cfg.num_streams = 2;
+  gpu::Gpu g1(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  gpu::Gpu g2(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  const auto naive = qcd_naive(g1, cfg);
+  const auto buf = qcd_pipelined_buffer(g2, cfg);
+  EXPECT_GT(naive.seconds / buf.seconds, 1.2);
+}
+
+}  // namespace
+}  // namespace gpupipe::apps

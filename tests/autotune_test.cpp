@@ -1,0 +1,153 @@
+// Tests for the analytic cost model and the autotuning scheduler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/autotune.hpp"
+#include "core/model.hpp"
+#include "gpu/device_profile.hpp"
+
+namespace gpupipe::core {
+namespace {
+
+PipelineSpec rows_spec(std::byte* in, std::byte* out, std::int64_t n, std::int64_t m) {
+  PipelineSpec spec;
+  spec.loop_begin = 0;
+  spec.loop_end = n;
+  spec.arrays = {
+      ArraySpec{"in", MapType::To, in, sizeof(double), {n, m}, SplitSpec{0, Affine{1, 0}, 1}},
+      ArraySpec{"out", MapType::From, out, sizeof(double), {n, m},
+                SplitSpec{0, Affine{1, 0}, 1}},
+  };
+  return spec;
+}
+
+KernelFactory kernel(std::int64_t m, double bytes_per_elem) {
+  return [m, bytes_per_elem](const ChunkContext& ctx) {
+    gpu::KernelDesc k;
+    k.flops = static_cast<double>(ctx.iterations() * m);
+    k.bytes = static_cast<Bytes>(static_cast<double>(ctx.iterations() * m) * bytes_per_elem);
+    return k;
+  };
+}
+
+TEST(CostModel, PredictsMonotoneChunkCosts) {
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  std::byte* in = g.host_alloc(1 * MiB);
+  std::byte* out = g.host_alloc(1 * MiB);
+  auto spec = rows_spec(in, out, 1024, 128);
+  const CostModel model(g.profile(), spec, usec(2.0));
+  const ChunkCost c1 = model.chunk_cost(1);
+  const ChunkCost c8 = model.chunk_cost(8);
+  EXPECT_GT(c8.copy_in, c1.copy_in);
+  EXPECT_GT(c8.kernel, c1.kernel);
+  // Per-iteration, larger chunks are cheaper (fixed costs amortise).
+  EXPECT_LT(c8.copy_in / 8.0, c1.copy_in);
+}
+
+TEST(CostModel, PredictionTracksSimulationWithinFactorTwo) {
+  // The model is coarse, but for a plain streaming workload it should land
+  // within 2x of the simulated region time across chunk sizes.
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  g.hazards().set_enabled(false);
+  const std::int64_t n = 512, m = 8192;  // 64 KiB rows
+  std::byte* in = g.host_alloc(static_cast<Bytes>(n * m) * sizeof(double));
+  std::byte* out = g.host_alloc(static_cast<Bytes>(n * m) * sizeof(double));
+
+  for (std::int64_t c : {2, 8, 32}) {
+    auto spec = rows_spec(in, out, n, m);
+    spec.chunk_size = c;
+    spec.num_streams = 2;
+    Pipeline p(g, spec);
+    const SimTime t0 = g.host_now();
+    p.run(kernel(m, 32.0));
+    const SimTime simulated = g.host_now() - t0;
+
+    // Seed the model with the true per-iteration kernel time.
+    const SimTime per_iter =
+        std::max(static_cast<double>(m) / g.profile().peak_flops,
+                 static_cast<double>(m) * 32.0 / g.profile().mem_bandwidth);
+    const CostModel model(g.profile(), spec, per_iter);
+    const SimTime predicted = model.region_time(c);
+    EXPECT_GT(predicted, 0.5 * simulated) << "chunk " << c;
+    EXPECT_LT(predicted, 2.0 * simulated) << "chunk " << c;
+  }
+}
+
+TEST(Autotune, FindsABetterConfigThanTheWorstCandidate) {
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  g.hazards().set_enabled(false);
+  const std::int64_t n = 1024, m = 512;  // 4 KiB rows: chunk 1 is terrible
+  std::byte* in = g.host_alloc(static_cast<Bytes>(n * m) * sizeof(double));
+  std::byte* out = g.host_alloc(static_cast<Bytes>(n * m) * sizeof(double));
+  auto spec = rows_spec(in, out, n, m);
+
+  TuneOptions opt;
+  opt.chunk_candidates = {1, 8, 64};
+  opt.stream_candidates = {1, 2};
+  opt.model_prefilter = false;  // measure everything
+  const TuneResult r = autotune(g, spec, kernel(m, 16.0), opt);
+
+  EXPECT_GT(r.chunk_size, 1);
+  EXPECT_GE(r.num_streams, 2);
+  SimTime worst = 0.0;
+  for (const auto& c : r.explored)
+    if (c.feasible) worst = std::max(worst, c.measured);
+  EXPECT_LT(r.best_time, worst / 2.0);
+  EXPECT_EQ(r.explored.size(), 6u);
+}
+
+TEST(Autotune, PrefilterPrunesBadChunksButKeepsTheWinner) {
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  g.hazards().set_enabled(false);
+  const std::int64_t n = 1024, m = 512;
+  std::byte* in = g.host_alloc(static_cast<Bytes>(n * m) * sizeof(double));
+  std::byte* out = g.host_alloc(static_cast<Bytes>(n * m) * sizeof(double));
+  auto spec = rows_spec(in, out, n, m);
+
+  TuneOptions filtered;
+  filtered.chunk_candidates = {1, 8, 64};
+  filtered.stream_candidates = {2};
+  filtered.model_prefilter = true;
+  filtered.prune_factor = 2.0;
+  const TuneResult with_filter = autotune(g, spec, kernel(m, 16.0), filtered);
+
+  TuneOptions full = filtered;
+  full.model_prefilter = false;
+  const TuneResult without = autotune(g, spec, kernel(m, 16.0), full);
+
+  EXPECT_EQ(with_filter.chunk_size, without.chunk_size);
+  EXPECT_LT(with_filter.explored.size(), without.explored.size());
+}
+
+TEST(Autotune, RespectsMemoryLimit) {
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  g.hazards().set_enabled(false);
+  const std::int64_t n = 1024, m = 65536;  // 512 KiB rows
+  std::byte* in = g.host_alloc(static_cast<Bytes>(n * m) * sizeof(double));
+  std::byte* out = g.host_alloc(static_cast<Bytes>(n * m) * sizeof(double));
+  auto spec = rows_spec(in, out, n, m);
+  spec.mem_limit = 32 * MiB;  // chunk 64 with 2 streams would need > 128 MiB
+
+  TuneOptions opt;
+  opt.chunk_candidates = {1, 4, 64};
+  opt.stream_candidates = {2};
+  opt.model_prefilter = false;
+  const TuneResult r = autotune(g, spec, kernel(m, 16.0), opt);
+  EXPECT_LE(r.chunk_size, 4);
+  bool infeasible_seen = false;
+  for (const auto& c : r.explored) infeasible_seen = infeasible_seen || !c.feasible;
+  EXPECT_TRUE(infeasible_seen);
+}
+
+TEST(Autotune, RejectsAdaptiveSchedule) {
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  std::byte* in = g.host_alloc(1 * MiB);
+  std::byte* out = g.host_alloc(1 * MiB);
+  auto spec = rows_spec(in, out, 64, 64);
+  spec.schedule = ScheduleKind::Adaptive;
+  EXPECT_THROW(autotune(g, spec, kernel(64, 16.0)), Error);
+}
+
+}  // namespace
+}  // namespace gpupipe::core

@@ -1,0 +1,140 @@
+// Unit tests for directive binding: resolving array names, identifying the
+// split dimension, affine extraction, and the validation diagnostics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsl/bind.hpp"
+
+namespace gpupipe::dsl {
+namespace {
+
+std::vector<double> storage(std::size_t n) { return std::vector<double>(n, 0.0); }
+
+TEST(Bind, BindsTheFig2Directive) {
+  auto a0 = storage(8 * 4 * 6);
+  auto anext = storage(8 * 4 * 6);
+  const core::PipelineSpec spec = compile(
+      "pipeline(static[1,3]) "
+      "pipeline_map(to: A0[k-1:3][0:ny][0:nx]) "
+      "pipeline_map(from: Anext[k:1][0:ny][0:nx])",
+      "k", 1, 7,
+      {{"A0", HostArray::of(a0.data(), {8, 4, 6})},
+       {"Anext", HostArray::of(anext.data(), {8, 4, 6})}},
+      {{"ny", 4}, {"nx", 6}});
+
+  EXPECT_EQ(spec.chunk_size, 1);
+  EXPECT_EQ(spec.num_streams, 3);
+  EXPECT_EQ(spec.loop_begin, 1);
+  EXPECT_EQ(spec.loop_end, 7);
+  ASSERT_EQ(spec.arrays.size(), 2u);
+  const auto& in = spec.arrays[0];
+  EXPECT_EQ(in.split.dim, 0);
+  EXPECT_EQ(in.split.start, (core::Affine{1, -1}));
+  EXPECT_EQ(in.split.window, 3);
+  EXPECT_EQ(in.dims, (std::vector<std::int64_t>{8, 4, 6}));
+  const auto& out = spec.arrays[1];
+  EXPECT_EQ(out.split.start, (core::Affine{1, 0}));
+  EXPECT_EQ(out.split.window, 1);
+}
+
+TEST(Bind, ExtractsScaledAffine) {
+  auto a = storage(64 * 2);
+  const core::PipelineSpec spec =
+      compile("pipeline_map(to: A[2*k+3:2][0:m])", "k", 0, 8,
+              {{"A", HostArray::of(a.data(), {64, 2})}}, {{"m", 2}});
+  EXPECT_EQ(spec.arrays[0].split.start, (core::Affine{2, 3}));
+}
+
+TEST(Bind, SecondDimensionSplitMakesBlock2d) {
+  auto a = storage(16 * 32);
+  const core::PipelineSpec spec =
+      compile("pipeline_map(to: A[0:n][k:1])", "k", 0, 32,
+              {{"A", HostArray::of(a.data(), {16, 32})}}, {{"n", 16}});
+  EXPECT_EQ(spec.arrays[0].split.dim, 1);
+}
+
+TEST(Bind, UnregisteredArrayThrowsWithName) {
+  try {
+    compile("pipeline_map(to: Missing[k:1][0:4])", "k", 0, 4, {}, {});
+    FAIL();
+  } catch (const BindError& e) {
+    EXPECT_NE(std::string(e.what()).find("Missing"), std::string::npos);
+  }
+}
+
+TEST(Bind, DimensionCountMismatchThrows) {
+  auto a = storage(8 * 8);
+  EXPECT_THROW(compile("pipeline_map(to: A[k:1])", "k", 0, 8,
+                       {{"A", HostArray::of(a.data(), {8, 8})}}, {}),
+               BindError);
+}
+
+TEST(Bind, ExtentMismatchThrows) {
+  auto a = storage(8 * 8);
+  EXPECT_THROW(compile("pipeline_map(to: A[k:1][0:9])", "k", 0, 8,
+                       {{"A", HostArray::of(a.data(), {8, 8})}}, {}),
+               BindError);
+}
+
+TEST(Bind, NonZeroBaseOfPlainDimensionThrows) {
+  auto a = storage(8 * 8);
+  EXPECT_THROW(compile("pipeline_map(to: A[k:1][2:8])", "k", 0, 8,
+                       {{"A", HostArray::of(a.data(), {8, 8})}}, {}),
+               BindError);
+}
+
+TEST(Bind, NoSplitDimensionThrows) {
+  auto a = storage(8 * 8);
+  EXPECT_THROW(compile("pipeline_map(to: A[0:8][0:8])", "k", 0, 8,
+                       {{"A", HostArray::of(a.data(), {8, 8})}}, {}),
+               BindError);
+}
+
+TEST(Bind, TwoSplitDimensionsThrow) {
+  auto a = storage(8 * 8);
+  EXPECT_THROW(compile("pipeline_map(to: A[k:1][k:1])", "k", 0, 8,
+                       {{"A", HostArray::of(a.data(), {8, 8})}}, {}),
+               BindError);
+}
+
+TEST(Bind, NonAffineSplitExpressionThrows) {
+  auto a = storage(64 * 2);
+  EXPECT_THROW(compile("pipeline_map(to: A[k*k:1][0:2])", "k", 0, 8,
+                       {{"A", HostArray::of(a.data(), {64, 2})}}, {}),
+               BindError);
+}
+
+TEST(Bind, WindowDependingOnLoopVarThrows) {
+  auto a = storage(64 * 2);
+  EXPECT_THROW(compile("pipeline_map(to: A[k:k][0:2])", "k", 0, 8,
+                       {{"A", HostArray::of(a.data(), {64, 2})}}, {}),
+               BindError);
+}
+
+TEST(Bind, EnvironmentFlowsIntoScheduleParameters) {
+  auto a = storage(64 * 2);
+  const core::PipelineSpec spec =
+      compile("pipeline(static[C,S]) pipeline_map(to: A[k:1][0:m])", "k", 0, 64,
+              {{"A", HostArray::of(a.data(), {64, 2})}}, {{"C", 8}, {"S", 4}, {"m", 2}});
+  EXPECT_EQ(spec.chunk_size, 8);
+  EXPECT_EQ(spec.num_streams, 4);
+}
+
+TEST(Bind, OutputWindowOverlapIsRejected) {
+  // An output declared as [k-1:3] would be written by several chunks.
+  auto a = storage(64 * 2);
+  EXPECT_THROW(compile("pipeline_map(from: A[k-1:3][0:2])", "k", 1, 8,
+                       {{"A", HostArray::of(a.data(), {64, 2})}}, {}),
+               Error);
+}
+
+TEST(Bind, DecreasingSplitIsRejected) {
+  auto a = storage(64 * 2);
+  EXPECT_THROW(compile("pipeline_map(to: A[8-k:1][0:2])", "k", 0, 8,
+                       {{"A", HostArray::of(a.data(), {64, 2})}}, {}),
+               Error);
+}
+
+}  // namespace
+}  // namespace gpupipe::dsl

@@ -1,0 +1,177 @@
+// Unit tests for the device ring buffers: layout, addressing, wrap-around
+// segmentation, footprint prediction, and effect-range generation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/buffer.hpp"
+#include "gpu/device_profile.hpp"
+
+namespace gpupipe::core {
+namespace {
+
+gpu::DeviceProfile profile() { return gpu::nvidia_k40m(); }
+
+ArraySpec slab_spec(std::byte* host, std::int64_t rows, std::int64_t cols) {
+  ArraySpec a;
+  a.name = "A";
+  a.map = MapType::To;
+  a.host = host;
+  a.elem_size = sizeof(double);
+  a.dims = {rows, cols};
+  a.split = SplitSpec{0, Affine{1, 0}, 1};
+  return a;
+}
+
+ArraySpec block2d_spec(std::byte* host, std::int64_t rows, std::int64_t cols) {
+  ArraySpec a = slab_spec(host, rows, cols);
+  a.split = SplitSpec{1, Affine{1, 0}, 1};
+  return a;
+}
+
+TEST(RingBuffer, SlabLayoutAndAddressing) {
+  gpu::Gpu g(profile());
+  std::vector<double> host(20 * 4);
+  RingBuffer rb(g, slab_spec(reinterpret_cast<std::byte*>(host.data()), 20, 4), 6);
+  EXPECT_EQ(rb.ring_len(), 6);
+  EXPECT_EQ(rb.footprint(), 6u * 4 * sizeof(double));
+  const BufferView v = rb.view();
+  EXPECT_FALSE(v.block2d);
+  EXPECT_EQ(v.slab, 4 * sizeof(double));
+  EXPECT_EQ(v.slot(7), 1);
+  EXPECT_EQ(reinterpret_cast<std::byte*>(v.slab_ptr(7)), v.base + 1 * v.slab);
+}
+
+TEST(RingBuffer, RingNeverExceedsArrayExtent) {
+  gpu::Gpu g(profile());
+  std::vector<double> host(5 * 4);
+  RingBuffer rb(g, slab_spec(reinterpret_cast<std::byte*>(host.data()), 5, 4), 100);
+  EXPECT_EQ(rb.ring_len(), 5);
+}
+
+TEST(RingBuffer, SlabRoundTripThroughRing) {
+  gpu::Gpu g(profile());
+  const std::int64_t rows = 20, cols = 8;
+  std::vector<double> in(rows * cols), out(rows * cols, 0.0);
+  std::iota(in.begin(), in.end(), 0.0);
+  ArraySpec in_spec = slab_spec(reinterpret_cast<std::byte*>(in.data()), rows, cols);
+  ArraySpec out_spec = slab_spec(reinterpret_cast<std::byte*>(out.data()), rows, cols);
+  out_spec.map = MapType::From;
+  RingBuffer rin(g, in_spec, 4);
+  RingBuffer rout(g, out_spec, 4);
+
+  // Stream rows through the 4-slot rings in blocks of 2, copying in, then
+  // device-to-device via views, then out.
+  for (std::int64_t lo = 0; lo < rows; lo += 2) {
+    rin.copy_in(g.default_stream(), lo, lo + 2);
+    gpu::KernelDesc k;
+    k.flops = 1;
+    const BufferView vi = rin.view(), vo = rout.view();
+    k.body = [vi, vo, lo, cols] {
+      for (std::int64_t r = lo; r < lo + 2; ++r)
+        for (std::int64_t c = 0; c < cols; ++c) vo.slab_ptr(r)[c] = vi.slab_ptr(r)[c];
+    };
+    g.launch(g.default_stream(), std::move(k));
+    rout.copy_out(g.default_stream(), lo, lo + 2);
+  }
+  g.synchronize();
+  EXPECT_EQ(in, out);
+}
+
+TEST(RingBuffer, WrappingRangeSplitsIntoTwoTransfers) {
+  gpu::Gpu g(profile());
+  std::vector<double> host(20 * 4);
+  RingBuffer rb(g, slab_spec(reinterpret_cast<std::byte*>(host.data()), 20, 4), 6);
+  EXPECT_EQ(rb.copy_in(g.default_stream(), 0, 6), 1);   // exactly one ring
+  EXPECT_EQ(rb.copy_in(g.default_stream(), 4, 8), 2);   // wraps at slot 6
+  EXPECT_EQ(rb.copy_in(g.default_stream(), 6, 12), 1);  // aligned again
+  g.synchronize();
+}
+
+TEST(RingBuffer, RangeLargerThanRingThrows) {
+  gpu::Gpu g(profile());
+  std::vector<double> host(20 * 4);
+  RingBuffer rb(g, slab_spec(reinterpret_cast<std::byte*>(host.data()), 20, 4), 4);
+  EXPECT_THROW(rb.copy_in(g.default_stream(), 0, 5), Error);
+  EXPECT_THROW(rb.copy_in(g.default_stream(), -1, 2), Error);
+  EXPECT_THROW(rb.copy_in(g.default_stream(), 18, 21), Error);  // beyond extent
+}
+
+TEST(RingBuffer, Block2dLayoutUsesPitchedAllocation) {
+  gpu::Gpu g(profile());
+  std::vector<double> host(16 * 32);
+  RingBuffer rb(g, block2d_spec(reinterpret_cast<std::byte*>(host.data()), 16, 32), 8);
+  const BufferView v = rb.view();
+  EXPECT_TRUE(v.block2d);
+  EXPECT_EQ(v.height, 16);
+  EXPECT_GE(v.pitch, 8 * sizeof(double));
+  // Element (row 3, col 10) lives at slot 10 % 8 = 2 of buffer row 3.
+  EXPECT_EQ(reinterpret_cast<std::byte*>(v.elem_ptr(3, 10)),
+            v.base + 3 * v.pitch + 2 * sizeof(double));
+}
+
+TEST(RingBuffer, Block2dRoundTrip) {
+  gpu::Gpu g(profile());
+  const std::int64_t rows = 8, cols = 24;
+  std::vector<double> in(rows * cols);
+  std::iota(in.begin(), in.end(), 0.0);
+  RingBuffer rb(g, block2d_spec(reinterpret_cast<std::byte*>(in.data()), rows, cols), 6);
+  rb.copy_in(g.default_stream(), 6, 12);  // columns 6..11 -> slots 0..5
+  g.synchronize();
+  const BufferView v = rb.view();
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 6; c < 12; ++c)
+      ASSERT_DOUBLE_EQ(*v.elem_ptr(r, c), in[static_cast<std::size_t>(r * cols + c)]);
+}
+
+TEST(RingBuffer, PredictFootprintMatchesActual) {
+  gpu::Gpu g(profile());
+  std::vector<double> host(64 * 16);
+  auto s = slab_spec(reinterpret_cast<std::byte*>(host.data()), 64, 16);
+  RingBuffer rb(g, s, 10);
+  EXPECT_EQ(RingBuffer::predict_footprint(g, s, 10), rb.footprint());
+  auto b = block2d_spec(reinterpret_cast<std::byte*>(host.data()), 64, 16);
+  RingBuffer rb2(g, b, 10);
+  EXPECT_EQ(RingBuffer::predict_footprint(g, b, 10), rb2.footprint());
+}
+
+TEST(RingBuffer, AppendRangesCoversCopiedBytes) {
+  gpu::Gpu g(profile());
+  std::vector<double> host(20 * 4);
+  RingBuffer rb(g, slab_spec(reinterpret_cast<std::byte*>(host.data()), 20, 4), 6);
+  std::vector<gpu::MemRange> ranges;
+  rb.append_ranges(ranges, 4, 8);  // wraps: [slot 4..6) + [slot 0..2)
+  ASSERT_EQ(ranges.size(), 2u);
+  Bytes total = 0;
+  for (const auto& r : ranges) total += r.size * r.rows;
+  EXPECT_EQ(total, 4u * 4 * sizeof(double));
+}
+
+TEST(RingBuffer, FreesDeviceMemoryOnDestruction) {
+  gpu::Gpu g(profile());
+  std::vector<double> host(64 * 16);
+  const Bytes before = g.device_mem_stats().current;
+  {
+    RingBuffer rb(g, slab_spec(reinterpret_cast<std::byte*>(host.data()), 64, 16), 8);
+    EXPECT_GT(g.device_mem_stats().current, before);
+  }
+  EXPECT_EQ(g.device_mem_stats().current, before);
+}
+
+TEST(RingBuffer, RebindHostSwitchesSourceArray) {
+  gpu::Gpu g(profile());
+  std::vector<double> a(8 * 2, 1.0), b(8 * 2, 2.0), out(2);
+  RingBuffer rb(g, slab_spec(reinterpret_cast<std::byte*>(a.data()), 8, 2), 4);
+  rb.copy_in(g.default_stream(), 0, 1);
+  g.synchronize();
+  EXPECT_DOUBLE_EQ(rb.view().slab_ptr(0)[0], 1.0);
+  rb.rebind_host(reinterpret_cast<std::byte*>(b.data()));
+  rb.copy_in(g.default_stream(), 1, 2);
+  g.synchronize();
+  EXPECT_DOUBLE_EQ(rb.view().slab_ptr(1)[0], 2.0);
+  (void)out;
+}
+
+}  // namespace
+}  // namespace gpupipe::core

@@ -1,0 +1,96 @@
+// Unit tests for the source-to-source code generator.
+#include <gtest/gtest.h>
+
+#include "dsl/codegen.hpp"
+
+namespace gpupipe::dsl {
+namespace {
+
+CodegenInput fig2_input() {
+  CodegenInput in;
+  in.directive =
+      "pipeline(static[1,3]) "
+      "pipeline_map(to: A0[k-1:3][0:ny][0:nx]) "
+      "pipeline_map(from: Anext[k:1][0:ny][0:nx])";
+  in.loop_var = "k";
+  in.loop_begin = "1";
+  in.loop_end = "nz - 1";
+  in.arrays = {{"A0", "double", {"nz", "ny", "nx"}}, {"Anext", "double", {"nz", "ny", "nx"}}};
+  in.function_name = "stencil_region";
+  return in;
+}
+
+TEST(Codegen, EmitsAllThePlumbing) {
+  const std::string code = generate_cpp(fig2_input());
+  // Function signature: device + arrays + every free symbol.
+  EXPECT_NE(code.find("void stencil_region(gpupipe::gpu::Gpu& device"), std::string::npos);
+  EXPECT_NE(code.find("double* A0"), std::string::npos);
+  EXPECT_NE(code.find("double* Anext"), std::string::npos);
+  EXPECT_NE(code.find("std::int64_t nx"), std::string::npos);
+  EXPECT_NE(code.find("std::int64_t ny"), std::string::npos);
+  EXPECT_NE(code.find("std::int64_t nz"), std::string::npos);
+  // Bindings and environment.
+  EXPECT_NE(code.find("dsl::HostArray::of(A0"), std::string::npos);
+  EXPECT_NE(code.find("{\"ny\", ny}"), std::string::npos);
+  // Directive round-trips verbatim into dsl::compile.
+  EXPECT_NE(code.find("pipeline_map(to: A0[k-1:3][0:ny][0:nx])"), std::string::npos);
+  EXPECT_NE(code.find("\"k\", (1), (nz - 1)"), std::string::npos);
+  // Views and the kernel scaffold.
+  EXPECT_NE(code.find("ctx.view(\"A0\")"), std::string::npos);
+  EXPECT_NE(code.find("ctx.view(\"Anext\")"), std::string::npos);
+  EXPECT_NE(code.find("pipeline.run"), std::string::npos);
+  EXPECT_NE(code.find("TODO"), std::string::npos);  // placeholder body
+}
+
+TEST(Codegen, InsertsProvidedKernelBody) {
+  CodegenInput in = fig2_input();
+  in.kernel_body = "do_the_math(A0_view, Anext_view, k_begin, k_end);";
+  const std::string code = generate_cpp(in);
+  EXPECT_NE(code.find("do_the_math(A0_view, Anext_view"), std::string::npos);
+  EXPECT_EQ(code.find("TODO: port the loop body"), std::string::npos);
+}
+
+TEST(Codegen, LoopVariableIsNotAParameter) {
+  const std::string code = generate_cpp(fig2_input());
+  EXPECT_EQ(code.find("std::int64_t k)"), std::string::npos);
+  EXPECT_EQ(code.find("std::int64_t k,"), std::string::npos);
+}
+
+TEST(Codegen, MissingArrayDeclarationThrows) {
+  CodegenInput in = fig2_input();
+  in.arrays.pop_back();  // drop Anext
+  EXPECT_THROW(generate_cpp(in), CodegenError);
+}
+
+TEST(Codegen, UnusedArrayDeclarationThrows) {
+  CodegenInput in = fig2_input();
+  in.arrays.push_back({"Stray", "float", {"n"}});
+  EXPECT_THROW(generate_cpp(in), CodegenError);
+}
+
+TEST(Codegen, DimensionCountMismatchThrows) {
+  CodegenInput in = fig2_input();
+  in.arrays[0].dims = {"nz", "ny"};  // directive has 3 dims
+  EXPECT_THROW(generate_cpp(in), CodegenError);
+}
+
+TEST(Codegen, InvalidDirectiveSurfacesParseError) {
+  CodegenInput in = fig2_input();
+  in.directive = "pipeline(bogus)";
+  EXPECT_THROW(generate_cpp(in), ParseError);
+}
+
+TEST(Codegen, MissingLoopEndThrows) {
+  CodegenInput in = fig2_input();
+  in.loop_end.clear();
+  EXPECT_THROW(generate_cpp(in), Error);
+}
+
+TEST(Codegen, RejectsNonIdentifierFunctionName) {
+  CodegenInput in = fig2_input();
+  in.function_name = "not a name";
+  EXPECT_THROW(generate_cpp(in), Error);
+}
+
+}  // namespace
+}  // namespace gpupipe::dsl

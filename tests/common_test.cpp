@@ -1,0 +1,128 @@
+// Unit tests for the shared utilities: units, error helpers, RNG,
+// checksums, and the table printer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace gpupipe {
+namespace {
+
+TEST(Units, ByteConstantsAndConversions) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024);
+  EXPECT_EQ(GiB, 1024u * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(to_mib(5 * MiB), 5.0);
+  EXPECT_DOUBLE_EQ(to_gib(3 * GiB), 3.0);
+}
+
+TEST(Units, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(usec(3.0), 3e-6);
+  EXPECT_DOUBLE_EQ(msec(2.0), 2e-3);
+  EXPECT_DOUBLE_EQ(gbps(6.0), 6e9);
+  EXPECT_DOUBLE_EQ(gflops(1.43), 1.43e9);
+}
+
+TEST(Units, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 100), 1);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+}
+
+TEST(Errors, RequireCarriesMessageAndLocation) {
+  try {
+    require(false, "bad argument here");
+    FAIL();
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad argument here"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(ensure(false, "invariant"), Error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs = differs || (a2.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, DoublesAreInUnitInterval) {
+  Rng r(7);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.05);  // covers the range
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, UniformAndBelowRespectBounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-2.0, 3.0);
+    ASSERT_GE(v, -2.0);
+    ASSERT_LT(v, 3.0);
+    ASSERT_LT(r.next_below(17), 17u);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Checksum, Fnv1aIsOrderSensitive) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{3.0, 2.0, 1.0};
+  EXPECT_NE(fnv1a(std::span<const double>(a)), fnv1a(std::span<const double>(b)));
+  EXPECT_EQ(fnv1a(std::span<const double>(a)), fnv1a(std::span<const double>(a)));
+}
+
+TEST(Checksum, ApproxEqualHandlesSizeAndTolerance) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0, 2.0 + 1e-12};
+  const std::vector<double> c{1.0};
+  EXPECT_TRUE(approx_equal(a, b, 1e-9));
+  EXPECT_FALSE(approx_equal(a, b, 1e-15));
+  EXPECT_FALSE(approx_equal(a, c));
+  EXPECT_NEAR(max_abs_diff(a, b), 1e-12, 1e-15);
+}
+
+TEST(Table, AlignsColumnsAndFormatsNumbers) {
+  Table t({"name", "value"});
+  t.add_row({"short", Table::num(1.5)});
+  t.add_row({"much longer name", Table::num(12.345, 1)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| short            |"), std::string::npos);
+  EXPECT_NE(out.find("12.3"), std::string::npos);
+  EXPECT_NE(out.find("|------"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(SplitMix, ProducesDistinctStates) {
+  std::uint64_t s = 1;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(splitmix64(s));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace gpupipe

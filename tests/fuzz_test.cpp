@@ -1,0 +1,135 @@
+// Deterministic fuzz tests: randomly generated directives round-trip
+// through parse + bind, and randomly configured pipelines always reproduce
+// the host reference. Seeds are fixed, so failures are reproducible.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "dsl/bind.hpp"
+#include "gpu/device_profile.hpp"
+
+namespace gpupipe {
+namespace {
+
+TEST(DirectiveFuzz, RandomValidDirectivesParseAndBind) {
+  Rng rng(0xD1CE);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t window = 1 + static_cast<std::int64_t>(rng.next_below(4));
+    const std::int64_t offset = -static_cast<std::int64_t>(rng.next_below(window));
+    const std::int64_t scale = 1 + static_cast<std::int64_t>(rng.next_below(3));
+    const std::int64_t inner = 2 + static_cast<std::int64_t>(rng.next_below(30));
+    const std::int64_t chunk = 1 + static_cast<std::int64_t>(rng.next_below(8));
+    const int streams = 1 + static_cast<int>(rng.next_below(6));
+    const std::int64_t iters = 4 + static_cast<std::int64_t>(rng.next_below(40));
+
+    // Split dimension extent must cover every window the loop touches.
+    const std::int64_t loop_begin = std::max<std::int64_t>(0, -offset);
+    const std::int64_t loop_end = loop_begin + iters;
+    const std::int64_t outer = scale * (loop_end - 1) + offset + window;
+
+    std::ostringstream dir;
+    dir << "pipeline(static[" << chunk << "," << streams << "]) "
+        << "pipeline_map(to: A[";
+    if (scale != 1) dir << scale << "*";
+    dir << "k";
+    if (offset > 0) dir << "+" << offset;
+    if (offset < 0) dir << offset;
+    dir << ":" << window << "][0:m])";
+
+    std::vector<double> data(static_cast<std::size_t>(outer * inner), 1.0);
+    const core::PipelineSpec spec = dsl::compile(
+        dir.str(), "k", loop_begin, loop_end,
+        {{"A", dsl::HostArray::of(data.data(), {outer, inner})}}, {{"m", inner}});
+
+    ASSERT_EQ(spec.chunk_size, chunk) << dir.str();
+    ASSERT_EQ(spec.num_streams, streams);
+    ASSERT_EQ(spec.arrays[0].split.start, (core::Affine{scale, offset})) << dir.str();
+    ASSERT_EQ(spec.arrays[0].split.window, window);
+    ASSERT_NO_THROW(spec.validate());
+  }
+}
+
+TEST(PipelineFuzz, RandomConfigurationsMatchTheReference) {
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::int64_t n = 3 + static_cast<std::int64_t>(rng.next_below(60));
+    const std::int64_t m = 1 + static_cast<std::int64_t>(rng.next_below(24));
+    const std::int64_t chunk = 1 + static_cast<std::int64_t>(rng.next_below(12));
+    const int streams = 1 + static_cast<int>(rng.next_below(6));
+    const std::int64_t window = 1 + static_cast<std::int64_t>(rng.next_below(3));
+    // Input window [k, k+window) over loop [0, n-window+1).
+    const std::int64_t loop_end = n - window + 1;
+    if (loop_end <= 0) continue;
+
+    gpu::Gpu g(gpu::nvidia_k40m());
+    std::vector<double> in(n * m);
+    std::vector<double> out(loop_end * m, 0.0);
+    for (auto& v : in) v = rng.uniform(-1.0, 1.0);
+
+    core::PipelineSpec spec;
+    spec.chunk_size = chunk;
+    spec.num_streams = streams;
+    spec.loop_begin = 0;
+    spec.loop_end = loop_end;
+    spec.arrays = {
+        core::ArraySpec{"in", core::MapType::To, reinterpret_cast<std::byte*>(in.data()),
+                        sizeof(double), {n, m},
+                        core::SplitSpec{0, core::Affine{1, 0}, window}},
+        core::ArraySpec{"out", core::MapType::From,
+                        reinterpret_cast<std::byte*>(out.data()), sizeof(double),
+                        {loop_end, m}, core::SplitSpec{0, core::Affine{1, 0}, 1}},
+    };
+    core::Pipeline p(g, spec);
+    p.run([m, window](const core::ChunkContext& ctx) {
+      gpu::KernelDesc k;
+      const core::BufferView vin = ctx.view("in");
+      const core::BufferView vout = ctx.view("out");
+      const std::int64_t lo = ctx.begin(), hi = ctx.end();
+      // out[k] = sum of the window rows.
+      k.body = [vin, vout, lo, hi, m, window] {
+        for (std::int64_t r = lo; r < hi; ++r) {
+          double* dst = vout.slab_ptr(r);
+          for (std::int64_t j = 0; j < m; ++j) {
+            dst[j] = 0.0;
+            for (std::int64_t w = 0; w < window; ++w) dst[j] += vin.slab_ptr(r + w)[j];
+          }
+        }
+      };
+      return k;
+    });
+
+    for (std::int64_t r = 0; r < loop_end; ++r) {
+      for (std::int64_t j = 0; j < m; ++j) {
+        double expect = 0.0;
+        for (std::int64_t w = 0; w < window; ++w) expect += in[(r + w) * m + j];
+        ASSERT_DOUBLE_EQ(out[r * m + j], expect)
+            << "trial " << trial << " n=" << n << " m=" << m << " chunk=" << chunk
+            << " streams=" << streams << " window=" << window;
+      }
+    }
+  }
+}
+
+TEST(ParserFuzz, GarbageNeverCrashesOnlyThrows) {
+  Rng rng(0xBAD);
+  const std::string alphabet = "pipeline_map(to:A[k-1:3][0,]) *+x9 ";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    const std::size_t len = rng.next_below(60);
+    for (std::size_t i = 0; i < len; ++i)
+      text += alphabet[static_cast<std::size_t>(rng.next_below(alphabet.size()))];
+    try {
+      (void)dsl::parse(text);  // may succeed on lucky strings
+    } catch (const Error&) {
+      // expected for most inputs
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gpupipe

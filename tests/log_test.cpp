@@ -1,0 +1,103 @@
+// Tests for the logging facility and the runtime's use of it.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "core/pipeline.hpp"
+#include "gpu/device_profile.hpp"
+
+namespace gpupipe {
+namespace {
+
+/// RAII capture of log output; restores the previous configuration.
+class LogCapture {
+ public:
+  explicit LogCapture(LogLevel level) : prev_level_(log_level()) {
+    set_log_level(level);
+    set_log_sink([this](LogLevel l, const std::string& m) { lines_.push_back({l, m}); });
+  }
+  ~LogCapture() {
+    set_log_sink({});
+    set_log_level(prev_level_);
+  }
+  bool contains(const std::string& needle) const {
+    for (const auto& [l, m] : lines_)
+      if (m.find(needle) != std::string::npos) return true;
+    return false;
+  }
+  std::size_t count() const { return lines_.size(); }
+
+ private:
+  LogLevel prev_level_;
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+};
+
+TEST(Log, LevelsFilterMessages) {
+  LogCapture cap(LogLevel::Info);
+  log_debug("dropped");
+  log_info("kept ", 42);
+  log_warn("also kept");
+  EXPECT_EQ(cap.count(), 2u);
+  EXPECT_TRUE(cap.contains("kept 42"));
+  EXPECT_FALSE(cap.contains("dropped"));
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogCapture cap(LogLevel::Off);
+  log_warn("nope");
+  EXPECT_EQ(cap.count(), 0u);
+}
+
+TEST(Log, MemoryLimitShrinkingIsLogged) {
+  LogCapture cap(LogLevel::Debug);
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  std::byte* in = g.host_alloc(64 * MiB);
+  std::byte* out = g.host_alloc(64 * MiB);
+  core::PipelineSpec spec;
+  spec.chunk_size = 256;
+  spec.num_streams = 2;
+  spec.loop_begin = 0;
+  spec.loop_end = 1024;
+  spec.mem_limit = 2 * MiB;
+  spec.arrays = {
+      core::ArraySpec{"in", core::MapType::To, in, 8, {1024, 1024},
+                      core::SplitSpec{0, core::Affine{1, 0}, 1}},
+      core::ArraySpec{"out", core::MapType::From, out, 8, {1024, 1024},
+                      core::SplitSpec{0, core::Affine{1, 0}, 1}},
+  };
+  core::Pipeline p(g, spec);
+  EXPECT_LT(p.effective_chunk_size(), 256);
+  EXPECT_TRUE(cap.contains("shrinking chunk_size"));
+}
+
+TEST(Log, AdaptiveRechunkIsLogged) {
+  LogCapture cap(LogLevel::Debug);
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  g.hazards().set_enabled(false);
+  std::byte* in = g.host_alloc(16 * MiB);
+  std::byte* out = g.host_alloc(16 * MiB);
+  core::PipelineSpec spec;
+  spec.schedule = core::ScheduleKind::Adaptive;
+  spec.chunk_size = 1;
+  spec.num_streams = 2;
+  spec.loop_begin = 0;
+  spec.loop_end = 512;
+  spec.arrays = {
+      core::ArraySpec{"in", core::MapType::To, in, 8, {512, 64},
+                      core::SplitSpec{0, core::Affine{1, 0}, 1}},
+      core::ArraySpec{"out", core::MapType::From, out, 8, {512, 64},
+                      core::SplitSpec{0, core::Affine{1, 0}, 1}},
+  };
+  core::Pipeline p(g, spec);
+  p.run([](const core::ChunkContext& ctx) {
+    gpu::KernelDesc k;
+    k.flops = static_cast<double>(ctx.iterations()) * 64;
+    return k;
+  });
+  EXPECT_GT(p.effective_chunk_size(), 1);
+  EXPECT_TRUE(cap.contains("adaptive schedule re-chunks"));
+}
+
+}  // namespace
+}  // namespace gpupipe

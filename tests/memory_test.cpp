@@ -1,0 +1,107 @@
+// Unit tests for the device/host memory allocator.
+#include <gtest/gtest.h>
+
+#include "gpu/memory.hpp"
+
+namespace gpupipe::gpu {
+namespace {
+
+TEST(Allocator, TracksCurrentAndPeakUsage) {
+  Allocator a(ExecMode::Functional, 1 * MiB, 256, 0);
+  std::byte* p1 = a.allocate(1000);  // rounds to 1024
+  EXPECT_EQ(a.stats().current, 1024u);
+  std::byte* p2 = a.allocate(256);
+  EXPECT_EQ(a.stats().current, 1280u);
+  EXPECT_EQ(a.stats().peak, 1280u);
+  a.deallocate(p1);
+  EXPECT_EQ(a.stats().current, 256u);
+  EXPECT_EQ(a.stats().peak, 1280u);  // peak is sticky
+  a.deallocate(p2);
+  EXPECT_EQ(a.stats().current, 0u);
+  EXPECT_EQ(a.stats().allocations, 0u);
+  EXPECT_EQ(a.stats().total_allocations, 2u);
+}
+
+TEST(Allocator, ThrowsOomWhenCapacityExceeded) {
+  Allocator a(ExecMode::Functional, 1024, 256, 0);
+  a.allocate(512);
+  EXPECT_THROW(a.allocate(1024), OomError);
+  // The failed allocation must not change accounting.
+  EXPECT_EQ(a.stats().current, 512u);
+  EXPECT_NO_THROW(a.allocate(512));
+}
+
+TEST(Allocator, UnlimitedCapacityNeverOoms) {
+  Allocator a(ExecMode::Functional, 0, 64, 0);
+  EXPECT_NO_THROW(a.allocate(64 * MiB));
+}
+
+TEST(Allocator, FunctionalModeReturnsWritableMemory) {
+  Allocator a(ExecMode::Functional, 1 * MiB, 64, 0);
+  std::byte* p = a.allocate(128);
+  p[0] = std::byte{42};
+  p[127] = std::byte{7};
+  EXPECT_EQ(p[0], std::byte{42});
+  a.deallocate(p);
+}
+
+TEST(Allocator, ModeledModeReturnsDistinctFakeAddresses) {
+  Allocator a(ExecMode::Modeled, 32ULL * GiB, 256, 0x1000);
+  std::byte* p1 = a.allocate(16ULL * GiB);  // far beyond physical RAM
+  std::byte* p2 = a.allocate(8ULL * GiB);
+  EXPECT_NE(p1, p2);
+  EXPECT_GE(reinterpret_cast<std::uintptr_t>(p2),
+            reinterpret_cast<std::uintptr_t>(p1) + 16ULL * GiB);
+}
+
+TEST(Allocator, ContainsAndOwnerBaseWork) {
+  Allocator a(ExecMode::Modeled, 1 * MiB, 256, 0x1000);
+  std::byte* p = a.allocate(512);
+  EXPECT_TRUE(a.contains(p, 512));
+  EXPECT_TRUE(a.contains(p + 100, 100));
+  EXPECT_FALSE(a.contains(p + 100, 500));  // crosses the end
+  EXPECT_EQ(a.owner_base(p + 511), p);
+  EXPECT_EQ(a.owner_base(p + 512), nullptr);
+  a.deallocate(p);
+  EXPECT_FALSE(a.contains(p, 1));
+}
+
+TEST(Allocator, ContainsRejectsRangeSpanningTwoAllocations) {
+  Allocator a(ExecMode::Modeled, 1 * MiB, 256, 0x1000);
+  std::byte* p1 = a.allocate(256);
+  std::byte* p2 = a.allocate(256);
+  // p1 and p2 are adjacent in the fake address space, but a range crossing
+  // the boundary is not contained in one allocation.
+  ASSERT_EQ(p1 + 256, p2);
+  EXPECT_FALSE(a.contains(p1 + 128, 256));
+}
+
+TEST(Allocator, PitchedAllocationRoundsRowWidth) {
+  Allocator a(ExecMode::Modeled, 1 * MiB, 64, 0x1000);
+  Pitched p = a.allocate_pitched(100, 10, 512);
+  EXPECT_EQ(p.pitch, 512u);
+  EXPECT_TRUE(a.contains(p.ptr, 512 * 10));
+}
+
+TEST(Allocator, DeallocateOfUnknownPointerThrows) {
+  Allocator a(ExecMode::Functional, 1 * MiB, 64, 0);
+  std::byte stack_var;
+  EXPECT_THROW(a.deallocate(&stack_var), Error);
+}
+
+TEST(Allocator, ZeroSizeAllocationThrows) {
+  Allocator a(ExecMode::Functional, 1 * MiB, 64, 0);
+  EXPECT_THROW(a.allocate(0), Error);
+}
+
+TEST(Allocator, ResetPeakDropsToCurrent) {
+  Allocator a(ExecMode::Functional, 1 * MiB, 64, 0);
+  std::byte* p = a.allocate(1024);
+  a.deallocate(p);
+  EXPECT_EQ(a.stats().peak, 1024u);
+  a.reset_peak();
+  EXPECT_EQ(a.stats().peak, 0u);
+}
+
+}  // namespace
+}  // namespace gpupipe::gpu

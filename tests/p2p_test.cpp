@@ -1,0 +1,97 @@
+// Tests for peer-to-peer device copies and the machine-wide hazard tracker.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpu/device_profile.hpp"
+#include "gpu/gpu.hpp"
+
+namespace gpupipe::gpu {
+namespace {
+
+TEST(P2P, RoundTripsDataBetweenDevices) {
+  auto ctx = make_shared_context();
+  Gpu a(nvidia_k40m(), ExecMode::Functional, ctx);
+  Gpu b(nvidia_k40m(), ExecMode::Functional, ctx);
+  std::vector<double> host(256, 7.5), back(256, 0.0);
+
+  std::byte* dev_a = a.device_malloc(256 * sizeof(double));
+  std::byte* dev_b = b.device_malloc(256 * sizeof(double));
+  a.memcpy_h2d(dev_a, reinterpret_cast<std::byte*>(host.data()), 256 * sizeof(double));
+  a.memcpy_p2p_async(b, dev_b, dev_a, 256 * sizeof(double), a.default_stream());
+  a.synchronize();
+  b.memcpy_d2h(reinterpret_cast<std::byte*>(back.data()), dev_b, 256 * sizeof(double));
+  EXPECT_EQ(host, back);
+}
+
+TEST(P2P, RateIsTheSlowerDevicesBus) {
+  auto ctx = make_shared_context();
+  Gpu fast(nvidia_k40m(), ExecMode::Modeled, ctx);   // 6.0 GB/s
+  Gpu slow(amd_hd7970(), ExecMode::Modeled, ctx);    // 6.5 GB/s peak
+  std::byte* df = fast.device_malloc(64 * MiB);
+  std::byte* ds = slow.device_malloc(64 * MiB);
+  auto t = fast.memcpy_p2p_async(slow, ds, df, 64 * MiB, fast.default_stream());
+  fast.synchronize();
+  const double expected =
+      fast.profile().copy_setup_latency + static_cast<double>(64 * MiB) / 6.0e9;
+  EXPECT_NEAR(t->duration(), expected, 1e-9);
+}
+
+TEST(P2P, RequiresASharedContext) {
+  Gpu a(nvidia_k40m(), ExecMode::Modeled);
+  Gpu b(nvidia_k40m(), ExecMode::Modeled);
+  std::byte* da = a.device_malloc(1024);
+  std::byte* db = b.device_malloc(1024);
+  EXPECT_THROW(a.memcpy_p2p_async(b, db, da, 1024, a.default_stream()), Error);
+}
+
+TEST(P2P, BoundsAreCheckedOnBothDevices) {
+  auto ctx = make_shared_context();
+  Gpu a(nvidia_k40m(), ExecMode::Modeled, ctx);
+  Gpu b(nvidia_k40m(), ExecMode::Modeled, ctx);
+  std::byte* da = a.device_malloc(1024);
+  std::byte* db = b.device_malloc(512);
+  EXPECT_THROW(a.memcpy_p2p_async(b, db, da, 1024, a.default_stream()), Error);
+  std::byte* db2 = b.device_malloc(1024);
+  EXPECT_NO_THROW(a.memcpy_p2p_async(b, db2, da, 1024, a.default_stream()));
+  a.synchronize();
+}
+
+TEST(P2P, CrossDeviceRaceIsCaughtByTheSharedTracker) {
+  // Device A pushes into device B's buffer while a kernel on B still reads
+  // it and no event orders the two — the machine-wide tracker must object.
+  auto ctx = make_shared_context();
+  Gpu a(nvidia_k40m(), ExecMode::Functional, ctx);
+  Gpu b(nvidia_k40m(), ExecMode::Functional, ctx);
+  std::byte* da = a.device_malloc(8 * MiB);
+  std::byte* db = b.device_malloc(8 * MiB);
+
+  KernelDesc reader;
+  reader.name = "b-reader";
+  reader.fixed_duration = 1.0;
+  reader.effects.reads.push_back({db, 8 * MiB});
+  b.launch(b.default_stream(), std::move(reader));
+  a.memcpy_p2p_async(b, db, da, 8 * MiB, a.default_stream());
+  EXPECT_THROW(a.synchronize(), HazardError);
+}
+
+TEST(P2P, EventOrderingAcrossDevicesFixesTheRace) {
+  auto ctx = make_shared_context();
+  Gpu a(nvidia_k40m(), ExecMode::Functional, ctx);
+  Gpu b(nvidia_k40m(), ExecMode::Functional, ctx);
+  std::byte* da = a.device_malloc(8 * MiB);
+  std::byte* db = b.device_malloc(8 * MiB);
+
+  KernelDesc reader;
+  reader.fixed_duration = 1.0;
+  reader.effects.reads.push_back({db, 8 * MiB});
+  b.launch(b.default_stream(), std::move(reader));
+  EventPtr done = b.record_event(b.default_stream());
+  // Cross-device event wait: A's stream waits for B's kernel.
+  a.wait_event(a.default_stream(), done);
+  a.memcpy_p2p_async(b, db, da, 8 * MiB, a.default_stream());
+  EXPECT_NO_THROW(a.synchronize());
+}
+
+}  // namespace
+}  // namespace gpupipe::gpu

@@ -1,0 +1,148 @@
+// Unit tests for the directive parser (the Fig. 1 clause syntax).
+#include <gtest/gtest.h>
+
+#include "dsl/parser.hpp"
+
+namespace gpupipe::dsl {
+namespace {
+
+TEST(Parser, ParsesThePapersFig2Directive) {
+  const Directive d = parse(
+      "pipeline(static[1,3]) "
+      "pipeline_map(to:A0[k-1:3][0:ny][0:nx]) "
+      "pipeline_map(from:Anext[k:1][0:ny][0:nx]) "
+      "pipeline_mem_limit(MB_256)");
+  EXPECT_EQ(d.schedule, core::ScheduleKind::Static);
+  EXPECT_EQ(d.chunk_size->eval({}), 1);
+  EXPECT_EQ(d.num_streams->eval({}), 3);
+  ASSERT_TRUE(d.mem_limit.has_value());
+  EXPECT_EQ(*d.mem_limit, 256 * MiB);
+  ASSERT_EQ(d.maps.size(), 2u);
+  EXPECT_EQ(d.maps[0].type, core::MapType::To);
+  EXPECT_EQ(d.maps[0].array, "A0");
+  ASSERT_EQ(d.maps[0].dims.size(), 3u);
+  EXPECT_EQ(d.maps[0].dims[0].start->eval({{"k", 5}}), 4);
+  EXPECT_EQ(d.maps[0].dims[0].extent->eval({}), 3);
+  EXPECT_EQ(d.maps[1].type, core::MapType::From);
+  EXPECT_EQ(d.maps[1].array, "Anext");
+}
+
+TEST(Parser, AcceptsAPragmaPrefixAndLineContinuations) {
+  const Directive d = parse(
+      "#pragma omp target \\\n"
+      "  pipeline(static[2, 4]) \\\n"
+      "  pipeline_map(tofrom: A[i:1][0:n])");
+  EXPECT_EQ(d.chunk_size->eval({}), 2);
+  ASSERT_EQ(d.maps.size(), 1u);
+  EXPECT_EQ(d.maps[0].type, core::MapType::ToFrom);
+}
+
+TEST(Parser, ScheduleParametersAreOptional) {
+  const Directive d = parse("pipeline(static) pipeline_map(to: A[i:1][0:n])");
+  EXPECT_EQ(d.chunk_size, nullptr);
+  EXPECT_EQ(d.num_streams, nullptr);
+}
+
+TEST(Parser, ParsesAdaptiveSchedule) {
+  const Directive d = parse("pipeline(adaptive[8,2]) pipeline_map(to: A[i:1][0:n])");
+  EXPECT_EQ(d.schedule, core::ScheduleKind::Adaptive);
+}
+
+TEST(Parser, ParsesArithmeticExpressions) {
+  const Directive d = parse("pipeline_map(to: A[2*k+1 : w-2][0 : nx*ny])");
+  const auto& dim0 = d.maps[0].dims[0];
+  EXPECT_EQ(dim0.start->eval({{"k", 10}}), 21);
+  EXPECT_EQ(dim0.extent->eval({{"w", 5}}), 3);
+  EXPECT_EQ(d.maps[0].dims[1].extent->eval({{"nx", 4}, {"ny", 6}}), 24);
+}
+
+TEST(Parser, ParsesNegationAndParentheses) {
+  const Directive d = parse("pipeline_map(to: A[-1+k : (2+1)*2][0:n])");
+  EXPECT_EQ(d.maps[0].dims[0].start->eval({{"k", 3}}), 2);
+  EXPECT_EQ(d.maps[0].dims[0].extent->eval({}), 6);
+}
+
+TEST(Parser, MemLimitAcceptsAllUnits) {
+  EXPECT_EQ(*parse("pipeline_map(to:A[k:1]) pipeline_mem_limit(KB_64)").mem_limit, 64 * KiB);
+  EXPECT_EQ(*parse("pipeline_map(to:A[k:1]) pipeline_mem_limit(GB_2)").mem_limit, 2 * GiB);
+  EXPECT_EQ(*parse("pipeline_map(to:A[k:1]) pipeline_mem_limit(12345)").mem_limit, 12345u);
+}
+
+TEST(Parser, ChunkAndStreamsMayBeSymbolic) {
+  const Directive d = parse("pipeline(static[C, S]) pipeline_map(to:A[k:1][0:n])");
+  EXPECT_EQ(d.chunk_size->eval({{"C", 16}}), 16);
+  EXPECT_EQ(d.num_streams->eval({{"S", 4}}), 4);
+}
+
+TEST(Parser, RejectsUnknownClause) {
+  EXPECT_THROW(parse("pipelinx(static)"), ParseError);
+}
+
+TEST(Parser, RejectsUnknownMapType) {
+  EXPECT_THROW(parse("pipeline_map(inout: A[k:1])"), ParseError);
+}
+
+TEST(Parser, RejectsUnknownSchedule) {
+  EXPECT_THROW(parse("pipeline(dynamic[1,2]) pipeline_map(to:A[k:1])"), ParseError);
+}
+
+TEST(Parser, RejectsMissingMapClause) {
+  EXPECT_THROW(parse("pipeline(static[1,2])"), ParseError);
+}
+
+TEST(Parser, RejectsDuplicateClauses) {
+  EXPECT_THROW(parse("pipeline(static) pipeline(static) pipeline_map(to:A[k:1])"),
+               ParseError);
+  EXPECT_THROW(parse("pipeline_map(to:A[k:1]) pipeline_mem_limit(MB_1) "
+                     "pipeline_mem_limit(MB_2)"),
+               ParseError);
+}
+
+TEST(Parser, RejectsMalformedSections) {
+  EXPECT_THROW(parse("pipeline_map(to: A)"), ParseError);          // no section
+  EXPECT_THROW(parse("pipeline_map(to: A[k:1)"), ParseError);      // missing ]
+  EXPECT_THROW(parse("pipeline_map(to: A[k 1])"), ParseError);     // missing :
+  EXPECT_THROW(parse("pipeline_map(to: A[k:1][0:])"), ParseError); // empty extent
+}
+
+TEST(Parser, RejectsBadMemLimit) {
+  EXPECT_THROW(parse("pipeline_map(to:A[k:1]) pipeline_mem_limit(TB_1)"), ParseError);
+  EXPECT_THROW(parse("pipeline_map(to:A[k:1]) pipeline_mem_limit(MB_x)"), ParseError);
+  EXPECT_THROW(parse("pipeline_map(to:A[k:1]) pipeline_mem_limit(MB_0)"), ParseError);
+}
+
+TEST(Parser, DiagnosticsCarryACaret) {
+  try {
+    parse("pipeline_map(to: A[k:1][0:n]) pipeline(wrong)");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find('^'), std::string::npos);
+    EXPECT_NE(msg.find("wrong"), std::string::npos);
+  }
+}
+
+TEST(Parser, UnboundVariableFailsAtEvalWithName) {
+  const Directive d = parse("pipeline_map(to: A[k:1][0:n])");
+  try {
+    d.maps[0].dims[1].extent->eval({});
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("'n'"), std::string::npos);
+  }
+}
+
+TEST(Expr, ReferencesDetectsVariables) {
+  const Directive d = parse("pipeline_map(to: A[2*k-1:3][0:ny])");
+  EXPECT_TRUE(d.maps[0].dims[0].start->references("k"));
+  EXPECT_FALSE(d.maps[0].dims[0].start->references("ny"));
+  EXPECT_TRUE(d.maps[0].dims[1].extent->references("ny"));
+}
+
+TEST(Expr, StrIsReadable) {
+  const Directive d = parse("pipeline_map(to: A[2*k+1:3][0:n])");
+  EXPECT_EQ(d.maps[0].dims[0].start->str(), "((2*k)+1)");
+}
+
+}  // namespace
+}  // namespace gpupipe::dsl

@@ -1,0 +1,269 @@
+// Unit tests for the discrete-event core: event queue ordering, task
+// dependencies, engine capacity, and deadlock detection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+
+namespace gpupipe::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SimultaneousEventsRunInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.schedule(1.0, [&, i] { order.push_back(i); });
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.run_all();
+  EXPECT_THROW(sim.schedule(0.5, [] {}), Error);
+}
+
+TEST(Simulator, RunUntilPredicateStopsEarly) {
+  Simulator sim;
+  bool flag = false;
+  sim.schedule(1.0, [&] { flag = true; });
+  sim.schedule(5.0, [] {});
+  sim.run_until([&] { return flag; });
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  EXPECT_FALSE(sim.idle());
+}
+
+TEST(Simulator, RunUntilUnreachablePredicateThrowsDeadlock) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  EXPECT_THROW(sim.run_until([] { return false; }), Error);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule_after(1.0, chain);
+  };
+  sim.schedule(0.0, chain);
+  sim.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, RunUntilTimeAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until_time(7.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.5);
+}
+
+TEST(Task, RunsForItsDurationAndExecutesPayload) {
+  Simulator sim;
+  Engine eng(sim, "e", 1);
+  bool ran = false;
+  auto t = Task::create(eng, 2.5, "t", [&] { ran = true; });
+  t->submit(0.0);
+  sim.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(t->done());
+  EXPECT_DOUBLE_EQ(t->start_time(), 0.0);
+  EXPECT_DOUBLE_EQ(t->end_time(), 2.5);
+}
+
+TEST(Task, ReleaseTimeDelaysStart) {
+  Simulator sim;
+  Engine eng(sim, "e", 1);
+  auto t = Task::create(eng, 1.0, "t");
+  t->submit(3.0);
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(t->start_time(), 3.0);
+  EXPECT_DOUBLE_EQ(t->end_time(), 4.0);
+}
+
+TEST(Task, DependencySequencesAcrossEngines) {
+  Simulator sim;
+  Engine a(sim, "a", 1);
+  Engine b(sim, "b", 1);
+  auto t1 = Task::create(a, 2.0, "t1");
+  auto t2 = Task::create(b, 1.0, "t2");
+  t2->depends_on(t1);
+  t2->submit(0.0);
+  t1->submit(0.0);
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(t2->start_time(), 2.0);
+  EXPECT_DOUBLE_EQ(t2->end_time(), 3.0);
+}
+
+TEST(Task, DependencyOnCompletedTaskIsNoOp) {
+  Simulator sim;
+  Engine eng(sim, "e", 1);
+  auto t1 = Task::create(eng, 1.0, "t1");
+  t1->submit(0.0);
+  sim.run_all();
+  auto t2 = Task::create(eng, 1.0, "t2");
+  t2->depends_on(t1);
+  t2->submit(sim.now());
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(t2->end_time(), 2.0);
+}
+
+TEST(Task, CapacityOneEngineSerialises) {
+  Simulator sim;
+  Engine eng(sim, "e", 1);
+  auto t1 = Task::create(eng, 2.0, "t1");
+  auto t2 = Task::create(eng, 2.0, "t2");
+  t1->submit(0.0);
+  t2->submit(0.0);
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(t1->end_time(), 2.0);
+  EXPECT_DOUBLE_EQ(t2->start_time(), 2.0);
+  EXPECT_DOUBLE_EQ(t2->end_time(), 4.0);
+}
+
+TEST(Task, CapacityTwoEngineRunsTwoConcurrently) {
+  Simulator sim;
+  Engine eng(sim, "e", 2);
+  auto t1 = Task::create(eng, 2.0, "t1");
+  auto t2 = Task::create(eng, 2.0, "t2");
+  auto t3 = Task::create(eng, 2.0, "t3");
+  t1->submit(0.0);
+  t2->submit(0.0);
+  t3->submit(0.0);
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(t1->end_time(), 2.0);
+  EXPECT_DOUBLE_EQ(t2->end_time(), 2.0);
+  EXPECT_DOUBLE_EQ(t3->start_time(), 2.0);
+}
+
+TEST(Task, FifoOrderWithinEngine) {
+  Simulator sim;
+  Engine eng(sim, "e", 1);
+  std::vector<std::string> order;
+  std::vector<TaskPtr> tasks;
+  for (int i = 0; i < 4; ++i) {
+    auto t = Task::create(eng, 1.0, "t" + std::to_string(i));
+    t->on_complete([&, i] { order.push_back("t" + std::to_string(i)); });
+    tasks.push_back(t);
+  }
+  for (auto& t : tasks) t->submit(0.0);
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<std::string>{"t0", "t1", "t2", "t3"}));
+}
+
+TEST(Task, OnCompleteAfterDoneRunsImmediately) {
+  Simulator sim;
+  Engine eng(sim, "e", 1);
+  auto t = Task::create(eng, 1.0, "t");
+  t->submit(0.0);
+  sim.run_all();
+  bool called = false;
+  t->on_complete([&] { called = true; });
+  EXPECT_TRUE(called);
+}
+
+TEST(Task, OnStartFiresAtServiceStart) {
+  Simulator sim;
+  Engine eng(sim, "e", 1);
+  auto blocker = Task::create(eng, 3.0, "blocker");
+  auto t = Task::create(eng, 1.0, "t");
+  SimTime started_at = -1.0;
+  t->on_start([&] { started_at = sim.now(); });
+  blocker->submit(0.0);
+  t->submit(0.0);
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(started_at, 3.0);
+}
+
+TEST(Task, DoubleSubmitThrows) {
+  Simulator sim;
+  Engine eng(sim, "e", 1);
+  auto t = Task::create(eng, 1.0, "t");
+  t->submit(0.0);
+  EXPECT_THROW(t->submit(0.0), Error);
+}
+
+TEST(Task, NegativeDurationThrows) {
+  Simulator sim;
+  Engine eng(sim, "e", 1);
+  EXPECT_THROW(Task::create(eng, -1.0, "t"), Error);
+}
+
+TEST(Engine, BusyTimeAccumulates) {
+  Simulator sim;
+  Engine eng(sim, "e", 1);
+  auto t1 = Task::create(eng, 2.0, "t1");
+  auto t2 = Task::create(eng, 3.0, "t2");
+  t1->submit(0.0);
+  t2->submit(0.0);
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(eng.busy_time(), 5.0);
+}
+
+TEST(Trace, AggregatesByKindAndComputesOccupancy) {
+  Trace trace;
+  trace.record({SpanKind::H2D, "s0", "a", 0.0, 2.0, 100});
+  trace.record({SpanKind::H2D, "s1", "b", 1.0, 3.0, 100});
+  trace.record({SpanKind::Kernel, "s0", "k", 2.0, 5.0, 0});
+  auto by_kind = trace.time_by_kind();
+  EXPECT_DOUBLE_EQ(by_kind[SpanKind::H2D], 4.0);
+  EXPECT_DOUBLE_EQ(by_kind[SpanKind::Kernel], 3.0);
+  // The two H2D spans overlap during [1,2): union is [0,3) = 3s.
+  EXPECT_DOUBLE_EQ(trace.occupancy(SpanKind::H2D), 3.0);
+}
+
+TEST(Trace, DisabledTraceRecordsNothing) {
+  Trace trace;
+  trace.set_enabled(false);
+  trace.record({SpanKind::H2D, "s0", "a", 0.0, 2.0, 100});
+  EXPECT_TRUE(trace.spans().empty());
+}
+
+TEST(Trace, ChromeJsonExportIsWellFormed) {
+  Trace trace;
+  trace.record({SpanKind::H2D, "pipe0", "h2d[1024B]", 0.0, 0.001, 1024});
+  trace.record({SpanKind::Kernel, "pipe1", "stencil \"k\"", 0.001, 0.003, 0});
+  std::ostringstream os;
+  trace.dump_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"HtoD\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"kernel\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":1024"), std::string::npos);
+  // Quotes in labels are escaped.
+  EXPECT_NE(json.find("stencil \\\"k\\\""), std::string::npos);
+  // Both lanes got thread-name metadata.
+  EXPECT_NE(json.find("pipe0"), std::string::npos);
+  EXPECT_NE(json.find("pipe1"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace gpupipe::sim
+
