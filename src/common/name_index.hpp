@@ -1,0 +1,29 @@
+// Heterogeneous name -> index lookup.
+//
+// The pipeline executors resolve mapped-array names on every kernel-factory
+// call (ChunkContext::view); a transparent hash lets callers pass a
+// std::string_view without materialising a std::string per lookup.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace gpupipe {
+
+/// Transparent string hash enabling find(std::string_view) on
+/// std::unordered_map<std::string, ...>.
+struct NameHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Name -> index map built once at construction; lookups are O(1) and accept
+/// string_view keys.
+using NameIndex = std::unordered_map<std::string, std::size_t, NameHash, std::equal_to<>>;
+
+}  // namespace gpupipe

@@ -16,8 +16,10 @@ TuneResult autotune(gpu::Gpu& g, PipelineSpec spec, const KernelFactory& make_ke
           "autotune needs candidates");
 
   // Probe once (chunk 1, one stream) to seed the cost model's kernel term.
+  // A dry run with an analytic kernel_cost needs no probe — and therefore
+  // no device interaction at all.
   SimTime per_iter_kernel = 0.0;
-  {
+  if (!(options.dry_run && options.kernel_cost)) {
     PipelineSpec probe_spec = spec;
     probe_spec.chunk_size = 1;
     probe_spec.num_streams = 1;
@@ -31,6 +33,53 @@ TuneResult autotune(gpu::Gpu& g, PipelineSpec spec, const KernelFactory& make_ke
         per_iter_kernel = std::max(per_iter_kernel, span.duration() - launch);
     }
   }
+
+  // Cost-model-only sweep: score every candidate by replaying its plan
+  // through a private simulation. No buffers, no kernels, no allocations.
+  if (options.dry_run) {
+    const Bytes limit = spec.mem_limit ? std::min(*spec.mem_limit, g.device_mem_free())
+                                       : g.device_mem_free();
+    TuneResult result;
+    result.best_time = std::numeric_limits<SimTime>::infinity();
+    for (auto c : options.chunk_candidates) {
+      for (int s : options.stream_candidates) {
+        TuneCandidate cand{c, s, std::numeric_limits<SimTime>::infinity(), true};
+        PipelineSpec trial = spec;
+        trial.chunk_size = c;
+        trial.num_streams = s;
+        try {
+          const auto [ec, es] = solve_pipeline_memory(g, trial, limit);
+          if (ec != c || es != s) {
+            // The memory limit would reshape the config; skip duplicates.
+            cand.feasible = false;
+          } else {
+            DryRunCost cost;
+            if (options.kernel_cost) {
+              cost.flops_per_iter = options.kernel_cost->flops_per_iter;
+              cost.bytes_per_iter = options.kernel_cost->bytes_per_iter;
+            } else {
+              cost.seconds_per_iter = per_iter_kernel;
+            }
+            cost.live_streams = s;
+            cand.measured =
+                dry_run(PlanBuilder::pipeline(g, trial), g.profile(), cost).makespan;
+          }
+        } catch (const gpu::OomError&) {
+          cand.feasible = false;
+        }
+        if (cand.feasible && cand.measured < result.best_time) {
+          result.best_time = cand.measured;
+          result.chunk_size = c;
+          result.num_streams = s;
+        }
+        result.explored.push_back(cand);
+      }
+    }
+    require(result.best_time < std::numeric_limits<SimTime>::infinity(),
+            "autotune found no feasible configuration");
+    return result;
+  }
+
   const CostModel model(g.profile(), spec, per_iter_kernel);
 
   // Model pre-filter: drop chunk candidates predicted far off the best.

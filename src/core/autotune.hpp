@@ -11,6 +11,7 @@
 // on a real system the same procedure would measure wall time.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -33,6 +34,13 @@ struct TuneResult {
   std::vector<TuneCandidate> explored;
 };
 
+/// Analytic kernel cost per loop iteration (roofline inputs) for dry-run
+/// tuning without a probe execution.
+struct KernelCostHint {
+  double flops_per_iter = 0.0;
+  double bytes_per_iter = 0.0;
+};
+
 /// Sweep options.
 struct TuneOptions {
   std::vector<std::int64_t> chunk_candidates = {1, 2, 4, 8, 16, 32, 64};
@@ -42,11 +50,23 @@ struct TuneOptions {
   /// any measurement.
   bool model_prefilter = true;
   double prune_factor = 3.0;
+  /// Cost-model-only mode: score each candidate by replaying its
+  /// ExecutionPlan through a private simulation (core/plan.hpp dry_run)
+  /// instead of executing the workload — no buffers are allocated and no
+  /// kernels run. With kernel_cost also set, not even the probe executes,
+  /// so tuning touches the device not at all. The prefilter is skipped
+  /// (dry runs are already cheap).
+  bool dry_run = false;
+  /// Kernel roofline inputs for dry runs; when absent, a one-chunk probe
+  /// execution measures seconds-per-iteration instead.
+  std::optional<KernelCostHint> kernel_cost;
 };
 
 /// Measures candidate configurations of `spec` on `g` and returns the best.
 /// The spec's own chunk_size/num_streams are ignored; its schedule must be
-/// static. The workload runs once per surviving candidate.
+/// static. The workload runs once per surviving candidate — unless
+/// options.dry_run is set, in which case candidates are scored by plan
+/// replay without executing (and without allocating) anything.
 TuneResult autotune(gpu::Gpu& g, PipelineSpec spec, const KernelFactory& make_kernel,
                     const TuneOptions& options = {});
 

@@ -1,10 +1,8 @@
 #include "core/buffer.hpp"
 
-namespace gpupipe::core {
+#include "core/layout.hpp"
 
-namespace {
-constexpr Bytes round_up(Bytes v, Bytes align) { return (v + align - 1) / align * align; }
-}  // namespace
+namespace gpupipe::core {
 
 RingBuffer::RingBuffer(gpu::Gpu& gpu, const ArraySpec& spec, std::int64_t ring_len)
     : gpu_(gpu), spec_(spec), ring_len_(ring_len) {
@@ -44,7 +42,8 @@ Bytes RingBuffer::predict_footprint(const gpu::Gpu& gpu, const ArraySpec& spec,
     return static_cast<Bytes>(ring_len) * slab;
   }
   const Bytes width = static_cast<Bytes>(ring_len) * spec.elem_size;
-  return round_up(width, gpu.profile().pitch_alignment) * static_cast<Bytes>(spec.dims[0]);
+  return layout::round_up(width, gpu.profile().pitch_alignment) *
+         static_cast<Bytes>(spec.dims[0]);
 }
 
 template <typename Fn>

@@ -1,0 +1,148 @@
+// Shared chunk/ring layout arithmetic.
+//
+// The 1-D pipeline, the 2-D tile pipeline, the cost model, and the plan
+// builder all need the same small set of layout computations: alignment
+// round-up, per-split-index byte counts, ring-length sizing (how many split
+// indices a device ring must hold so no in-flight chunk's window is
+// overwritten), ring-segment enumeration (wrap decomposition of an index
+// range into non-wrapping slot runs), and the weighted loop partition used
+// for multi-device co-scheduling. Hoisted here so the arithmetic exists
+// exactly once.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/spec.hpp"
+
+namespace gpupipe::core::layout {
+
+/// Rounds `v` up to the next multiple of `align` (align >= 1).
+template <typename T>
+constexpr T round_up(T v, T align) {
+  return (v + align - 1) / align * align;
+}
+
+/// Bytes of one split-dim index of `a` (a slab, or one column for block2d).
+inline Bytes unit_bytes(const ArraySpec& a) {
+  if (a.split.dim == 0) return static_cast<Bytes>(a.inner_elems()) * a.elem_size;
+  return static_cast<Bytes>(a.dims[0]) * a.elem_size;
+}
+
+/// How far a window of `window` indices extends beyond its chunk's stride.
+constexpr std::int64_t halo(std::int64_t window, std::int64_t scale) {
+  return std::max<std::int64_t>(0, window - scale);
+}
+
+/// Ring length (in split-dim indices) for an affine split under chunk size
+/// `c` and `s` in-flight streams: consecutive chunk starts differ by
+/// `stride` = scale*c and up to `s` chunks overlap, plus the halo a window
+/// extends beyond its chunk's stride. Everything is kept a multiple of the
+/// stride so a chunk's window never wraps mid-chunk (mid-chunk wraps would
+/// split transfers into slivers far below the bandwidth saturation width).
+constexpr std::int64_t ring_len_affine(std::int64_t scale, std::int64_t window,
+                                       std::int64_t c, int s) {
+  const std::int64_t stride = scale * c;
+  return stride * s + ceil_div(halo(window, scale), stride) * stride;
+}
+
+/// Split-index window a chunk over iterations [lo, hi) touches (handles
+/// both affine splits and window functions).
+inline std::pair<std::int64_t, std::int64_t> window_of(const ArraySpec& a, std::int64_t lo,
+                                                       std::int64_t hi) {
+  return {a.split.range_of(lo).first, a.split.range_of(hi - 1).second};
+}
+
+/// Ring length for `a` under loop range [loop_begin, loop_end): the affine
+/// formula, or a scan of the loop for window-function splits (which also
+/// validates monotonicity and output disjointness).
+inline std::int64_t ring_len_for_spec(const ArraySpec& a, std::int64_t loop_begin,
+                                      std::int64_t loop_end, std::int64_t c, int s) {
+  if (!a.split.window_fn) return ring_len_affine(a.split.start.scale, a.split.window, c, s);
+  // Scan the loop once per configuration: every group of `s` consecutive
+  // chunks must fit in the ring simultaneously.
+  std::vector<std::pair<std::int64_t, std::int64_t>> wins;
+  for (std::int64_t lo = loop_begin; lo < loop_end; lo += c) {
+    const std::int64_t hi = std::min(lo + c, loop_end);
+    const auto w = window_of(a, lo, hi);
+    require(0 <= w.first && w.first < w.second && w.second <= a.dims[a.split.dim],
+            "array '" + a.name + "': window_fn returned a range outside the array");
+    if (!wins.empty()) {
+      require(w.first >= wins.back().first && w.second >= wins.back().second,
+              "array '" + a.name + "': window_fn ranges must be non-decreasing");
+      if (a.map != MapType::To)
+        require(w.first >= wins.back().second,
+                "array '" + a.name + "': output windows of different chunks overlap");
+    }
+    wins.push_back(w);
+  }
+  std::int64_t need = 1;
+  for (std::size_t i = 0; i < wins.size(); ++i) {
+    const std::size_t j = std::min(wins.size() - 1, i + static_cast<std::size_t>(s) - 1);
+    need = std::max(need, wins[j].second - wins[i].first);
+  }
+  return need;
+}
+
+/// One non-wrapping run of ring slots covering host indices
+/// [index, index + count).
+struct RingSegment {
+  std::int64_t slot = 0;
+  std::int64_t index = 0;
+  std::int64_t count = 0;
+};
+
+/// Invokes `fn(slot, index, count)` for each non-wrapping segment of host
+/// index range [a, b) in a ring of `ring_len` slots (at most two segments
+/// when b - a <= ring_len).
+template <typename Fn>
+void for_ring_segments(std::int64_t a, std::int64_t b, std::int64_t ring_len, Fn&& fn) {
+  std::int64_t idx = a;
+  while (idx < b) {
+    const std::int64_t slot = idx % ring_len;
+    const std::int64_t count = std::min(b - idx, ring_len - slot);
+    fn(slot, idx, count);
+    idx += count;
+  }
+}
+
+/// Materialised for_ring_segments.
+inline std::vector<RingSegment> ring_segments(std::int64_t a, std::int64_t b,
+                                              std::int64_t ring_len) {
+  std::vector<RingSegment> out;
+  for_ring_segments(a, b, ring_len, [&](std::int64_t slot, std::int64_t idx,
+                                        std::int64_t count) {
+    out.push_back({slot, idx, count});
+  });
+  return out;
+}
+
+/// Proportional integer partition of `total` items by `weights`, each part
+/// rounded to a multiple of `granule` (except the last, which absorbs the
+/// remainder). Used to slice the split loop across devices.
+inline std::vector<std::int64_t> partition_weighted(std::int64_t total,
+                                                    const std::vector<double>& weights,
+                                                    std::int64_t granule) {
+  require(!weights.empty(), "partition needs at least one weight");
+  require(granule >= 1, "partition granule must be >= 1");
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  require(sum > 0.0, "partition weights must sum to a positive value");
+
+  std::vector<std::int64_t> parts(weights.size(), 0);
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    std::int64_t want =
+        static_cast<std::int64_t>(static_cast<double>(total) * weights[i] / sum + 0.5);
+    want = want / granule * granule;  // keep chunks whole
+    want = std::clamp<std::int64_t>(want, 0, total - assigned);
+    parts[i] = want;
+    assigned += want;
+  }
+  parts.back() = total - assigned;
+  return parts;
+}
+
+}  // namespace gpupipe::core::layout

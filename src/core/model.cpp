@@ -1,16 +1,9 @@
 #include "core/model.hpp"
 
 #include "core/buffer.hpp"
-#include "core/pipeline.hpp"
+#include "core/layout.hpp"
 
 namespace gpupipe::core {
-
-namespace {
-Bytes unit_bytes(const ArraySpec& a) {
-  if (a.split.dim == 0) return static_cast<Bytes>(a.inner_elems()) * a.elem_size;
-  return static_cast<Bytes>(a.dims[0]) * a.elem_size;
-}
-}  // namespace
 
 CostModel::CostModel(const gpu::DeviceProfile& profile, const PipelineSpec& spec,
                      SimTime per_iter_kernel)
@@ -27,7 +20,7 @@ ChunkCost CostModel::chunk_cost(std::int64_t c) const {
     // Steady state: each chunk brings scale*c new split indices (the halo
     // was brought by earlier chunks).
     const std::int64_t steady = a.split.start.scale * c;
-    const Bytes bytes = static_cast<Bytes>(steady) * unit_bytes(a);
+    const Bytes bytes = static_cast<Bytes>(steady) * layout::unit_bytes(a);
     Bytes row_width = bytes;  // contiguous slab transfers
     if (a.split.dim != 0) row_width = static_cast<Bytes>(steady) * a.elem_size;
     const SimTime t =
@@ -59,7 +52,8 @@ std::int64_t CostModel::best_chunk(const gpu::Gpu& g, Bytes mem_limit, int strea
   for (std::int64_t c = 2; c <= spec_.iterations(); c *= 2) {
     Bytes fp = 0;
     for (const auto& a : spec_.arrays)
-      fp += RingBuffer::predict_footprint(g, a, Pipeline::ring_len_for(a, c, streams));
+      fp += RingBuffer::predict_footprint(
+          g, a, layout::ring_len_affine(a.split.start.scale, a.split.window, c, streams));
     if (fp > mem_limit) break;
     const SimTime t = region_time(c);
     if (t < best_t) {

@@ -1,30 +1,13 @@
 #include "core/multi.hpp"
 
-#include <algorithm>
-#include <numeric>
+#include "core/layout.hpp"
 
 namespace gpupipe::core {
 
 std::vector<std::int64_t> MultiPipeline::partition(std::int64_t total,
                                                    const std::vector<double>& weights,
                                                    std::int64_t granule) {
-  require(!weights.empty(), "partition needs at least one weight");
-  require(granule >= 1, "partition granule must be >= 1");
-  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
-  require(sum > 0.0, "partition weights must sum to a positive value");
-
-  std::vector<std::int64_t> parts(weights.size(), 0);
-  std::int64_t assigned = 0;
-  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
-    std::int64_t want = static_cast<std::int64_t>(
-        static_cast<double>(total) * weights[i] / sum + 0.5);
-    want = want / granule * granule;  // keep chunks whole
-    want = std::clamp<std::int64_t>(want, 0, total - assigned);
-    parts[i] = want;
-    assigned += want;
-  }
-  parts.back() = total - assigned;
-  return parts;
+  return layout::partition_weighted(total, weights, granule);
 }
 
 MultiPipeline::MultiPipeline(std::vector<DeviceShare> devices, const PipelineSpec& spec) {

@@ -1,20 +1,22 @@
 #include "core/pipeline.hpp"
 
-#include "core/model.hpp"
-
 #include <algorithm>
 #include <ostream>
+#include <utility>
 
 #include "common/log.hpp"
+#include "core/layout.hpp"
+#include "core/model.hpp"
 
 namespace gpupipe::core {
 
 namespace {
 
-/// Bytes of one split-dim index of `a` (a slab, or one column for block2d).
-Bytes unit_bytes(const ArraySpec& a) {
-  if (a.split.dim == 0) return static_cast<Bytes>(a.inner_elems()) * a.elem_size;
-  return static_cast<Bytes>(a.dims[0]) * a.elem_size;
+bool is_input(const ArraySpec& a) {
+  return a.map == MapType::To || a.map == MapType::ToFrom;
+}
+bool is_output(const ArraySpec& a) {
+  return a.map == MapType::From || a.map == MapType::ToFrom;
 }
 
 }  // namespace
@@ -27,38 +29,33 @@ const BufferView& ChunkContext::view(std::string_view array_name) const {
 
 void Pipeline::rebind_host(std::string_view array_name, std::byte* host) {
   require(host != nullptr, "rebind_host: pointer is null");
-  for (auto& a : arrays_) {
-    if (a.spec.name == array_name) {
-      a.spec.host = host;
-      a.ring->rebind_host(host);
-      return;
-    }
-  }
-  throw Error("pipeline has no mapped array named '" + std::string(array_name) + "'");
+  auto it = index_.find(array_name);
+  if (it == index_.end())
+    throw Error("pipeline has no mapped array named '" + std::string(array_name) + "'");
+  ArrayState& a = arrays_[it->second];
+  a.spec.host = host;
+  a.ring->rebind_host(host);
 }
 
 const BufferView& Pipeline::view_of(std::string_view name) const {
-  for (const auto& a : arrays_) {
-    if (a.spec.name == name) return a.ring->view();
-  }
-  throw Error("pipeline has no mapped array named '" + std::string(name) + "'");
+  auto it = index_.find(name);
+  if (it == index_.end())
+    throw Error("pipeline has no mapped array named '" + std::string(name) + "'");
+  return arrays_[it->second].ring->view();
 }
 
 // --- Construction / configuration ---
 
 std::int64_t Pipeline::ring_len_for(const ArraySpec& a, std::int64_t c, int s) {
-  // Enough slots for every in-flight chunk's window: consecutive chunk
-  // starts differ by `stride` = scale*c and up to `s` chunks overlap, plus
-  // the halo a window extends beyond its chunk's stride. Everything is kept
-  // a multiple of the stride so a chunk's window never wraps mid-chunk
-  // (mid-chunk wraps would split transfers into slivers far below the
-  // bandwidth saturation width).
-  const std::int64_t stride = a.split.start.scale * c;
-  const std::int64_t halo = std::max<std::int64_t>(0, a.split.window - a.split.start.scale);
-  return stride * s + ceil_div(halo, stride) * stride;
+  return layout::ring_len_affine(a.split.start.scale, a.split.window, c, s);
 }
 
-Pipeline::Pipeline(gpu::Gpu& gpu, PipelineSpec spec) : gpu_(gpu), spec_(std::move(spec)) {
+std::int64_t Pipeline::ring_len_for_spec(const ArraySpec& a, std::int64_t c, int s) const {
+  return layout::ring_len_for_spec(a, spec_.loop_begin, spec_.loop_end, c, s);
+}
+
+Pipeline::Pipeline(gpu::Gpu& gpu, PipelineSpec spec)
+    : gpu_(gpu), spec_(std::move(spec)), executor_(gpu_, &stats_) {
   spec_.validate();
   if (spec_.schedule == ScheduleKind::Adaptive) {
     for (const auto& a : spec_.arrays)
@@ -67,12 +64,13 @@ Pipeline::Pipeline(gpu::Gpu& gpu, PipelineSpec spec) : gpu_(gpu), spec_(std::mov
   }
   mem_limit_ = spec_.mem_limit ? std::min(*spec_.mem_limit, gpu_.device_mem_free())
                                : gpu_.device_mem_free();
-  auto [c, s] = solve_memory(mem_limit_);
+  auto [c, s] = solve_pipeline_memory(gpu_, spec_, mem_limit_);
   chunk_size_ = c;
   for (int i = 0; i < s; ++i)
     streams_.push_back(&gpu_.create_stream("pipe" + std::to_string(i)));
   arrays_.reserve(spec_.arrays.size());
   for (const auto& a : spec_.arrays) {
+    index_.emplace(a.name, arrays_.size());
     ArrayState st;
     st.spec = a;
     arrays_.push_back(std::move(st));
@@ -88,71 +86,35 @@ Pipeline::~Pipeline() {
   for (auto* s : streams_) gpu_.destroy_stream(*s);
 }
 
-std::int64_t Pipeline::ring_len_for_spec(const ArraySpec& a, std::int64_t c, int s) const {
-  if (!a.split.window_fn) return ring_len_for(a, c, s);
-  // Scan the loop once per configuration: every group of `s` consecutive
-  // chunks must fit in the ring simultaneously.
-  std::vector<std::pair<std::int64_t, std::int64_t>> wins;
-  for (std::int64_t lo = spec_.loop_begin; lo < spec_.loop_end; lo += c) {
-    const std::int64_t hi = std::min(lo + c, spec_.loop_end);
-    const auto w = window_of(a, lo, hi);
-    require(0 <= w.first && w.first < w.second && w.second <= a.dims[a.split.dim],
-            "array '" + a.name + "': window_fn returned a range outside the array");
-    if (!wins.empty()) {
-      require(w.first >= wins.back().first && w.second >= wins.back().second,
-              "array '" + a.name + "': window_fn ranges must be non-decreasing");
-      if (a.map != MapType::To)
-        require(w.first >= wins.back().second,
-                "array '" + a.name + "': output windows of different chunks overlap");
-    }
-    wins.push_back(w);
-  }
-  std::int64_t need = 1;
-  for (std::size_t i = 0; i < wins.size(); ++i) {
-    const std::size_t j = std::min(wins.size() - 1, i + static_cast<std::size_t>(s) - 1);
-    need = std::max(need, wins[j].second - wins[i].first);
-  }
-  return need;
-}
-
-std::pair<std::int64_t, int> Pipeline::solve_memory(Bytes limit) const {
-  auto footprint = [&](std::int64_t c, int s) {
-    Bytes total = 0;
-    for (const auto& a : spec_.arrays)
-      total += RingBuffer::predict_footprint(gpu_, a, ring_len_for_spec(a, c, s));
-    return total;
-  };
-  std::int64_t c = spec_.chunk_size;
-  int s = spec_.num_streams;
-  while (footprint(c, s) > limit) {
-    if (c > 1) {
-      log_debug("pipeline: shrinking chunk_size ", c, " -> ", (c + 1) / 2,
-                " to meet the memory limit (need ", footprint(c, s), " of ", limit,
-                " bytes)");
-      c = (c + 1) / 2;
-    } else if (s > 1) {
-      log_debug("pipeline: dropping to ", s - 1, " stream(s) to meet the memory limit");
-      --s;
-    } else {
-      throw gpu::OomError(
-          "pipeline_mem_limit unsatisfiable: even chunk_size=1 with one stream needs " +
-          std::to_string(footprint(1, 1)) + " bytes, limit is " + std::to_string(limit));
-    }
-  }
-  return {c, s};
-}
-
 void Pipeline::configure_buffers() {
   const int s = effective_streams();
+  std::vector<PlanArrayBinding*> bindings;
+  bindings.reserve(arrays_.size());
   for (auto& a : arrays_) {
     a.ring =
         std::make_unique<RingBuffer>(gpu_, a.spec, ring_len_for_spec(a.spec, chunk_size_, s));
-    a.copied_hi = 0;
-    a.copied_any = false;
-    a.copy_event.clear();
-    a.slot_reader.assign(static_cast<std::size_t>(a.ring->ring_len()), {});
-    a.slot_drained.assign(static_cast<std::size_t>(a.ring->ring_len()), {});
+    a.binding = std::make_unique<RingBufferBinding>(*a.ring);
+    bindings.push_back(a.binding.get());
   }
+  plan_ = build_plan(spec_.loop_begin, spec_.loop_end, 0);
+  executor_.bind(streams_, std::move(bindings));
+}
+
+ExecutionPlan Pipeline::build_plan(std::int64_t from, std::int64_t to,
+                                   std::int64_t first_chunk) const {
+  PipelineBuildState state;
+  state.first_chunk = first_chunk;
+  state.ring_lens.reserve(arrays_.size());
+  state.pinned.reserve(arrays_.size());
+  for (const auto& a : arrays_) {
+    state.ring_lens.push_back(a.ring->ring_len());
+    state.pinned.push_back(gpu_.is_pinned(a.spec.host));
+  }
+  return PlanBuilder::pipeline(spec_, chunk_size_, effective_streams(), from, to, state);
+}
+
+void Pipeline::maybe_validate(const ExecutionPlan& p) const {
+  if (gpu_.hazards().enabled()) p.validate();
 }
 
 Bytes Pipeline::buffer_footprint() const {
@@ -163,21 +125,30 @@ Bytes Pipeline::buffer_footprint() const {
 
 // --- Execution ---
 
+PlanKernelMaker Pipeline::maker(const KernelFactory& make_kernel) const {
+  return [this, &make_kernel](const PlanNode& n) {
+    const ChunkContext ctx(*this, n.chunk, n.begin, n.end);
+    return make_kernel(ctx);
+  };
+}
+
 void Pipeline::run(const KernelFactory& make_kernel) {
-  std::int64_t chunk_counter = 0;
+  const PlanKernelMaker mk = maker(make_kernel);
   if (spec_.schedule == ScheduleKind::Static) {
-    run_range(make_kernel, spec_.loop_begin, spec_.loop_end, chunk_counter);
-    finish_region();
+    maybe_validate(plan_);
+    executor_.run(plan_, mk);
     return;
   }
 
   // Adaptive extension: probe the first chunk, model the rest.
   const std::int64_t probe_hi = std::min(spec_.loop_begin + chunk_size_, spec_.loop_end);
-  run_range(make_kernel, spec_.loop_begin, probe_hi, chunk_counter);
-  finish_region();
+  const ExecutionPlan probe = build_plan(spec_.loop_begin, probe_hi, 0);
+  maybe_validate(probe);
+  executor_.run(probe, mk);
   if (probe_hi == spec_.loop_end) return;
 
-  const SimTime probe_kernel = last_kernel_ ? last_kernel_->duration() : 0.0;
+  const SimTime probe_kernel =
+      executor_.last_kernel() ? executor_.last_kernel()->duration() : 0.0;
   const std::int64_t c_star = adaptive_chunk_size(probe_kernel, probe_hi - spec_.loop_begin);
   if (c_star != chunk_size_) {
     log_debug("pipeline: adaptive schedule re-chunks ", chunk_size_, " -> ", c_star,
@@ -185,134 +156,19 @@ void Pipeline::run(const KernelFactory& make_kernel) {
     chunk_size_ = c_star;
     configure_buffers();
   }
-  run_range(make_kernel, probe_hi, spec_.loop_end, chunk_counter);
-  finish_region();
-}
-
-void Pipeline::run_range(const KernelFactory& make_kernel, std::int64_t from, std::int64_t to,
-                         std::int64_t& chunk_counter) {
-  // Deduplicating event-wait helper: waits on every distinct foreign-stream
-  // event in the table rows covering split indices [a, b).
-  std::vector<const gpu::GpuEvent*> seen;
-  auto wait_distinct = [&](gpu::Stream& s, const std::pair<gpu::EventPtr, gpu::Stream*>& e) {
-    if (!e.first || e.second == &s) return;  // same stream: already ordered
-    if (std::find(seen.begin(), seen.end(), e.first.get()) != seen.end()) return;
-    seen.push_back(e.first.get());
-    gpu_.wait_event(s, e.first);
-    ++stats_.stream_waits;
-  };
-
-  struct NewRange {
-    ArrayState* array;
-    std::int64_t lo, hi;
-  };
-  std::vector<NewRange> fresh;
-
-  for (std::int64_t lo = from; lo < to; lo += chunk_size_, ++chunk_counter) {
-    const std::int64_t hi = std::min(lo + chunk_size_, to);
-    gpu::Stream& s = *streams_[static_cast<std::size_t>(chunk_counter) % streams_.size()];
-
-    // ---- copy-in: schedule newly required input slices ----
-    fresh.clear();
-    for (auto& a : arrays_) {
-      if (!is_input(a)) continue;
-      const auto [w_lo, w_hi] = window_of(a.spec, lo, hi);
-      const std::int64_t n_lo = a.copied_any ? std::max(a.copied_hi, w_lo) : w_lo;
-      if (n_lo < w_hi) {
-        // Slot-reuse guard: the incoming data overwrites ring slots whose
-        // previous occupants may still be read by in-flight kernels.
-        seen.clear();
-        for (std::int64_t idx = n_lo; idx < w_hi; ++idx)
-          wait_distinct(s, a.slot_reader[static_cast<std::size_t>(idx % a.ring->ring_len())]);
-        stats_.h2d_copies += a.ring->copy_in(s, n_lo, w_hi);
-        stats_.h2d_bytes += static_cast<Bytes>(w_hi - n_lo) * unit_bytes(a.spec);
-        fresh.push_back({&a, n_lo, w_hi});
-      }
-      a.copied_hi = std::max(a.copied_hi, w_hi);
-      a.copied_any = true;
-    }
-    if (!fresh.empty()) {
-      gpu::EventPtr ev = gpu_.record_event(s);
-      ++stats_.events;
-      for (const auto& r : fresh)
-        for (std::int64_t idx = r.lo; idx < r.hi; ++idx)
-          r.array->copy_event[idx] = {ev, &s};
-    }
-
-    // ---- kernel dependencies ----
-    seen.clear();
-    for (auto& a : arrays_) {
-      if (is_input(a)) {
-        // Wait for every copy that brought this chunk's input window
-        // (copies issued by earlier chunks may live on other streams).
-        const auto [w_lo, w_hi] = window_of(a.spec, lo, hi);
-        for (std::int64_t idx = w_lo; idx < w_hi; ++idx) {
-          auto it = a.copy_event.find(idx);
-          ensure(it != a.copy_event.end(), "input slice was never scheduled for copy");
-          wait_distinct(s, it->second);
-        }
-      }
-      if (is_output(a)) {
-        // Output-slot rewrite guard: the slots this kernel writes must have
-        // been drained to the host by the previous occupant's copy-out.
-        const auto [o_lo, o_hi] = window_of(a.spec, lo, hi);
-        for (std::int64_t idx = o_lo; idx < o_hi; ++idx)
-          wait_distinct(s, a.slot_drained[static_cast<std::size_t>(idx % a.ring->ring_len())]);
-      }
-    }
-
-    // ---- kernel ----
-    const ChunkContext ctx(*this, chunk_counter, lo, hi);
-    gpu::KernelDesc desc = make_kernel(ctx);
-    for (auto& a : arrays_) {
-      const auto [w_lo, w_hi] = window_of(a.spec, lo, hi);
-      if (is_input(a)) a.ring->append_ranges(desc.effects.reads, w_lo, w_hi);
-      if (is_output(a)) a.ring->append_ranges(desc.effects.writes, w_lo, w_hi);
-    }
-    if (desc.name == "kernel") desc.name = "chunk" + std::to_string(chunk_counter);
-    last_kernel_ = gpu_.launch(s, std::move(desc));
-    ++stats_.kernels;
-
-    gpu::EventPtr k_ev = gpu_.record_event(s);
-    ++stats_.events;
-    for (auto& a : arrays_) {
-      if (!is_input(a)) continue;
-      const auto [w_lo, w_hi] = window_of(a.spec, lo, hi);
-      for (std::int64_t idx = w_lo; idx < w_hi; ++idx)
-        a.slot_reader[static_cast<std::size_t>(idx % a.ring->ring_len())] = {k_ev, &s};
-    }
-
-    // ---- copy-out: drain produced output slices ----
-    bool drained = false;
-    for (auto& a : arrays_) {
-      if (!is_output(a)) continue;
-      const auto [o_lo, o_hi] = window_of(a.spec, lo, hi);
-      stats_.d2h_copies += a.ring->copy_out(s, o_lo, o_hi);
-      stats_.d2h_bytes += static_cast<Bytes>(o_hi - o_lo) * unit_bytes(a.spec);
-      drained = true;
-    }
-    if (drained) {
-      gpu::EventPtr d_ev = gpu_.record_event(s);
-      ++stats_.events;
-      for (auto& a : arrays_) {
-        if (!is_output(a)) continue;
-        const auto [o_lo, o_hi] = window_of(a.spec, lo, hi);
-        for (std::int64_t idx = o_lo; idx < o_hi; ++idx)
-          a.slot_drained[static_cast<std::size_t>(idx % a.ring->ring_len())] = {d_ev, &s};
-      }
-    }
-    ++stats_.chunks;
-  }
+  const ExecutionPlan rest = build_plan(probe_hi, spec_.loop_end, 1);
+  maybe_validate(rest);
+  executor_.run(rest, mk);
 }
 
 void Pipeline::enqueue(const KernelFactory& make_kernel) {
   require(spec_.schedule == ScheduleKind::Static,
           "split-phase execution requires the static schedule");
-  std::int64_t chunk_counter = 0;
-  run_range(make_kernel, spec_.loop_begin, spec_.loop_end, chunk_counter);
+  maybe_validate(plan_);
+  executor_.enqueue(plan_, maker(make_kernel));
 }
 
-void Pipeline::wait() { finish_region(); }
+void Pipeline::wait() { executor_.wait(); }
 
 std::vector<ChunkPlan> Pipeline::plan() const {
   std::vector<ChunkPlan> out;
@@ -329,14 +185,14 @@ std::vector<ChunkPlan> Pipeline::plan() const {
     cp.end = hi;
     for (std::size_t ai = 0; ai < arrays_.size(); ++ai) {
       const auto& a = arrays_[ai];
-      const auto [w_lo, w_hi] = window_of(a.spec, lo, hi);
-      if (is_input(a)) {
+      const auto [w_lo, w_hi] = layout::window_of(a.spec, lo, hi);
+      if (is_input(a.spec)) {
         const std::int64_t n_lo = copied_any[ai] ? std::max(copied_hi[ai], w_lo) : w_lo;
         if (n_lo < w_hi) cp.copies_in.push_back({a.spec.name, n_lo, w_hi});
         copied_hi[ai] = std::max(copied_hi[ai], w_hi);
         copied_any[ai] = true;
       }
-      if (is_output(a)) cp.copies_out.push_back({a.spec.name, w_lo, w_hi});
+      if (is_output(a.spec)) cp.copies_out.push_back({a.spec.name, w_lo, w_hi});
     }
     out.push_back(std::move(cp));
   }
@@ -355,19 +211,6 @@ void Pipeline::print_plan(std::ostream& os) const {
     for (const auto& m : cp.copies_out)
       os << " out " << m.array << "[" << m.lo << "," << m.hi << ")";
     os << "\n";
-  }
-}
-
-void Pipeline::finish_region() {
-  for (auto* s : streams_) gpu_.synchronize(*s);
-  for (auto& a : arrays_) {
-    a.copied_hi = 0;
-    a.copied_any = false;
-    a.copy_event.clear();
-    std::fill(a.slot_reader.begin(), a.slot_reader.end(),
-              std::pair<gpu::EventPtr, gpu::Stream*>{});
-    std::fill(a.slot_drained.begin(), a.slot_drained.end(),
-              std::pair<gpu::EventPtr, gpu::Stream*>{});
   }
 }
 

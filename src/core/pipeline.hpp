@@ -5,31 +5,32 @@
 //   1. sizes and pre-allocates one device ring buffer per mapped array,
 //      shrinking chunk_size/num_streams until the footprint fits the memory
 //      limit (pipeline_mem_limit) or free device memory,
-//   2. partitions the split loop into chunks and issues, per chunk:
-//      sliding-window H2D copies of newly required input slices, the user's
-//      kernel, and D2H copies of produced output slices — round-robin across
-//      num_streams GPU streams,
-//   3. chains correctness dependencies with events: a kernel waits for every
-//      copy that brought its inputs (including copies issued by earlier
-//      chunks on other streams); a copy that reuses a ring slot waits for
-//      the last kernel that read it; a kernel that rewrites an output slot
-//      waits for the copy-out that drained it,
-//   4. declares each operation's memory effects so the hazard tracker can
-//      independently verify the schedule.
+//   2. compiles the split loop into an ExecutionPlan (core/plan.hpp): per
+//      chunk, sliding-window H2D copies of newly required input slices, the
+//      user's kernel, and D2H copies of produced output slices — round-robin
+//      across num_streams GPU streams — with explicit slot-reuse and
+//      copy/kernel dependency edges,
+//   3. delegates execution to the shared PlanExecutor, which replays the
+//      node graph against the Gpu (events, waits, stats) — the Pipeline
+//      itself never issues raw stream operations,
+//   4. statically validates the plan against the hazard checker before the
+//      first node is issued (when hazard tracking is enabled), in addition
+//      to the tracker's runtime verification.
 //
 // The adaptive schedule (the paper's stated future work, implemented here as
 // an extension) probes the first chunk, models per-chunk costs from the
 // device profile, picks the chunk size minimising predicted makespan, and
-// reconfigures the ring buffers before running the remaining iterations.
+// reconfigures the ring buffers before planning the remaining iterations.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/name_index.hpp"
 #include "core/buffer.hpp"
+#include "core/plan.hpp"
 #include "core/spec.hpp"
 #include "gpu/gpu.hpp"
 
@@ -81,18 +82,6 @@ struct ChunkPlan {
   std::vector<Move> copies_out;
 };
 
-/// Execution counters for one or more run() calls.
-struct PipelineStats {
-  std::int64_t chunks = 0;
-  std::int64_t h2d_copies = 0;
-  std::int64_t d2h_copies = 0;
-  Bytes h2d_bytes = 0;
-  Bytes d2h_bytes = 0;
-  std::int64_t kernels = 0;
-  std::int64_t events = 0;
-  std::int64_t stream_waits = 0;
-};
-
 /// A reusable pipelined offload region bound to one simulated GPU.
 class Pipeline {
  public:
@@ -107,7 +96,7 @@ class Pipeline {
   /// Executes the region once: every chunk's transfers and kernel are
   /// enqueued and the host blocks until the region completes (the
   /// synchronous semantics of a `target` region). May be called repeatedly;
-  /// buffers and streams are reused.
+  /// buffers, streams, and the compiled plan are reused.
   void run(const KernelFactory& make_kernel);
 
   /// Split-phase variant for co-scheduling across devices: enqueue() issues
@@ -124,6 +113,11 @@ class Pipeline {
   std::vector<ChunkPlan> plan() const;
   /// Prints plan() in a human-readable form.
   void print_plan(std::ostream& os) const;
+
+  /// The compiled op graph run() executes (static schedule; the adaptive
+  /// schedule re-plans around its probe). Rebuilt whenever buffers are
+  /// reconfigured.
+  const ExecutionPlan& execution_plan() const { return plan_; }
 
   /// Re-points a mapped array at a different host allocation of identical
   /// shape (e.g. ping-pong buffers between Jacobi sweeps). Takes effect for
@@ -155,43 +149,18 @@ class Pipeline {
   struct ArrayState {
     ArraySpec spec;
     std::unique_ptr<RingBuffer> ring;
-    /// Host indices [first, copied_hi) already scheduled for copy-in.
-    std::int64_t copied_hi = 0;
-    bool copied_any = false;
-    /// For each copied-in split index: the event signalling its arrival and
-    /// the stream that issued it (kernels on other streams must wait on it).
-    std::unordered_map<std::int64_t, std::pair<gpu::EventPtr, gpu::Stream*>> copy_event;
-    /// Per ring slot: event of the last kernel that read it (guards reuse).
-    std::vector<std::pair<gpu::EventPtr, gpu::Stream*>> slot_reader;
-    /// Per ring slot: event of the last copy-out that drained it (guards
-    /// output-slot rewrite).
-    std::vector<std::pair<gpu::EventPtr, gpu::Stream*>> slot_drained;
+    std::unique_ptr<RingBufferBinding> binding;
   };
 
-  bool is_input(const ArrayState& a) const {
-    return a.spec.map == MapType::To || a.spec.map == MapType::ToFrom;
-  }
-  bool is_output(const ArrayState& a) const {
-    return a.spec.map == MapType::From || a.spec.map == MapType::ToFrom;
-  }
-  /// Split-index window a chunk over iterations [lo, hi) touches (handles
-  /// both affine splits and window functions).
-  static std::pair<std::int64_t, std::int64_t> window_of(const ArraySpec& a, std::int64_t lo,
-                                                         std::int64_t hi) {
-    return {a.split.range_of(lo).first, a.split.range_of(hi - 1).second};
-  }
-
-
-  /// Solves the memory limit: shrinks chunk_size (then num_streams) until
-  /// predicted footprints fit `limit`. Returns the chosen (chunk, streams).
-  std::pair<std::int64_t, int> solve_memory(Bytes limit) const;
-  /// (Re)allocates ring buffers for the current chunk_size/stream count.
+  /// (Re)allocates ring buffers, recompiles the plan, and re-binds the
+  /// executor for the current chunk_size/stream count.
   void configure_buffers();
-  /// Runs iterations [from, to) through the chunk loop.
-  void run_range(const KernelFactory& make_kernel, std::int64_t from, std::int64_t to,
-                 std::int64_t& chunk_counter);
-  /// Drains all pipeline streams and clears dependency bookkeeping.
-  void finish_region();
+  /// Compiles iterations [from, to) against the current buffers.
+  ExecutionPlan build_plan(std::int64_t from, std::int64_t to, std::int64_t first_chunk) const;
+  /// Statically validates `p` once per (re)build when hazards are enabled.
+  void maybe_validate(const ExecutionPlan& p) const;
+  /// Adapts the KernelFactory to the executor's node-level interface.
+  PlanKernelMaker maker(const KernelFactory& make_kernel) const;
   /// Adaptive extension: pick a chunk size from a probe kernel's duration.
   std::int64_t adaptive_chunk_size(SimTime probe_kernel_time,
                                    std::int64_t probe_chunk) const;
@@ -205,8 +174,10 @@ class Pipeline {
   std::int64_t chunk_size_ = 1;
   std::vector<gpu::Stream*> streams_;
   std::vector<ArrayState> arrays_;
+  NameIndex index_;  ///< array name -> arrays_ position (view_of/rebind_host)
   PipelineStats stats_;
-  sim::TaskPtr last_kernel_;  // most recent kernel (adaptive probe)
+  ExecutionPlan plan_;      ///< compiled full-loop plan for the current shape
+  PlanExecutor executor_;
 };
 
 }  // namespace gpupipe::core

@@ -2,12 +2,63 @@
 
 #include <algorithm>
 
+#include "core/layout.hpp"
+
 namespace gpupipe::core {
 
 namespace {
-constexpr std::int64_t round_up(std::int64_t v, std::int64_t align) {
-  return (v + align - 1) / align * align;
-}
+
+/// PlanArrayBinding over a 2-D (pitched) tile ring buffer: ships each plan
+/// segment as one pitched copy and reconstructs kernel-access device ranges
+/// by the same wrap decomposition the builder used.
+class TileBinding final : public PlanArrayBinding {
+ public:
+  TileBinding(gpu::Gpu& gpu, const TileArraySpec& spec, const TileBufferView& view)
+      : gpu_(&gpu), spec_(&spec), view_(&view) {}
+
+  int transfer(gpu::Stream& s, const PlanNode& n, bool to_device) override {
+    const Bytes host_pitch = static_cast<Bytes>(spec_->cols) * spec_->elem_size;
+    int transfers = 0;
+    for (const PlanSegment& seg : n.segments) {
+      std::byte* dev = view_->base + static_cast<Bytes>(seg.row_slot) * view_->pitch +
+                       static_cast<Bytes>(seg.slot) * view_->elem;
+      std::byte* host = spec_->host + static_cast<Bytes>(seg.row) * host_pitch +
+                        static_cast<Bytes>(seg.index) * view_->elem;
+      if (to_device) {
+        gpu_->memcpy2d_h2d_async(dev, view_->pitch, host, host_pitch, seg.width, seg.height,
+                                 s);
+      } else {
+        gpu_->memcpy2d_d2h_async(host, host_pitch, dev, view_->pitch, seg.width, seg.height,
+                                 s);
+      }
+      ++transfers;
+    }
+    return transfers;
+  }
+
+  void append_ranges(std::vector<gpu::MemRange>& out, const PlanAccess& a) const override {
+    for (std::int64_t r = a.row_lo; r < a.row_hi;) {
+      const std::int64_t slot_r = r % view_->ring_rows;
+      const std::int64_t nr = std::min(a.row_hi - r, view_->ring_rows - slot_r);
+      for (std::int64_t c = a.lo; c < a.hi;) {
+        const std::int64_t slot_c = c % view_->ring_cols;
+        const std::int64_t nc = std::min(a.hi - c, view_->ring_cols - slot_c);
+        out.push_back({view_->base + static_cast<Bytes>(slot_r) * view_->pitch +
+                           static_cast<Bytes>(slot_c) * view_->elem,
+                       static_cast<Bytes>(nc) * view_->elem, view_->pitch,
+                       static_cast<Bytes>(nr)});
+        c += nc;
+      }
+      r += nr;
+    }
+  }
+
+ private:
+  gpu::Gpu* gpu_;
+  const TileArraySpec* spec_;
+  const TileBufferView* view_;
+};
+
 }  // namespace
 
 void TileArraySpec::validate() const {
@@ -34,11 +85,14 @@ void TileSpec::validate() const {
 }
 
 TilePipeline::TilePipeline(gpu::Gpu& gpu, TileSpec spec)
-    : gpu_(gpu), spec_(std::move(spec)) {
+    : gpu_(gpu), spec_(std::move(spec)), executor_(gpu_, &stats_) {
   spec_.validate();
   for (int i = 0; i < spec_.num_streams; ++i)
     streams_.push_back(&gpu_.create_stream("tile" + std::to_string(i)));
 
+  std::vector<PlanArrayBinding*> bindings;
+  bindings.reserve(spec_.arrays.size());
+  arrays_.reserve(spec_.arrays.size());  // bindings point into the elements
   for (const auto& a : spec_.arrays) {
     ArrayState st;
     st.spec = a;
@@ -47,17 +101,20 @@ TilePipeline::TilePipeline(gpu::Gpu& gpu, TileSpec spec)
     // Column ring: like the 1-D pipeline — in-flight tiles plus the halo,
     // aligned to the column stride to avoid mid-tile wraps.
     const std::int64_t stride_c = a.col_split.start.scale;
-    const std::int64_t halo_c = std::max<std::int64_t>(0, a.col_split.window - stride_c);
+    const std::int64_t halo_c = layout::halo(a.col_split.window, stride_c);
     const std::int64_t ring_cols = std::min(
-        a.cols, stride_c * spec_.num_streams + round_up(halo_c, stride_c));
+        a.cols, stride_c * spec_.num_streams + layout::round_up(halo_c, stride_c));
     gpu::Pitched p = gpu_.device_malloc_pitched(
         static_cast<Bytes>(ring_cols) * a.elem_size, static_cast<Bytes>(ring_rows));
     st.buffer = p.ptr;
     st.view = TileBufferView{p.ptr, a.elem_size, p.pitch, ring_rows, ring_cols};
-    st.col_reader.assign(static_cast<std::size_t>(ring_cols), {});
-    st.col_drained.assign(static_cast<std::size_t>(ring_cols), {});
+    index_.emplace(a.name, arrays_.size());
     arrays_.push_back(std::move(st));
+    arrays_.back().binding =
+        std::make_unique<TileBinding>(gpu_, arrays_.back().spec, arrays_.back().view);
+    bindings.push_back(arrays_.back().binding.get());
   }
+  executor_.bind(streams_, std::move(bindings));
 }
 
 TilePipeline::~TilePipeline() {
@@ -74,215 +131,34 @@ Bytes TilePipeline::buffer_footprint() const {
 }
 
 const TileBufferView& TilePipeline::view_of(std::string_view name) const {
-  for (const auto& a : arrays_)
-    if (a.spec.name == name) return a.view;
-  throw Error("tile pipeline has no mapped array named '" + std::string(name) + "'");
+  auto it = index_.find(name);
+  if (it == index_.end())
+    throw Error("tile pipeline has no mapped array named '" + std::string(name) + "'");
+  return arrays_[it->second].view;
 }
 
 const TileBufferView& TileContext::view(std::string_view array_name) const {
   return pipeline_->view_of(array_name);
 }
 
-void TilePipeline::copy_block(ArrayState& a, gpu::Stream& s, bool to_device,
-                              std::int64_t rlo, std::int64_t rhi, std::int64_t clo,
-                              std::int64_t chi, std::vector<gpu::MemRange>* ranges) {
-  require(0 <= rlo && rlo < rhi && rhi <= a.spec.rows && 0 <= clo && clo < chi &&
-              chi <= a.spec.cols,
-          "tile array '" + a.spec.name + "': block outside the host matrix");
-  const Bytes host_pitch = static_cast<Bytes>(a.spec.cols) * a.spec.elem_size;
-  const TileBufferView& v = a.view;
-  for (std::int64_t r = rlo; r < rhi;) {
-    const std::int64_t slot_r = r % v.ring_rows;
-    const std::int64_t nr = std::min(rhi - r, v.ring_rows - slot_r);
-    for (std::int64_t c = clo; c < chi;) {
-      const std::int64_t slot_c = c % v.ring_cols;
-      const std::int64_t nc = std::min(chi - c, v.ring_cols - slot_c);
-      std::byte* dev = v.base + static_cast<Bytes>(slot_r) * v.pitch +
-                       static_cast<Bytes>(slot_c) * v.elem;
-      std::byte* host = a.spec.host + static_cast<Bytes>(r) * host_pitch +
-                        static_cast<Bytes>(c) * v.elem;
-      const Bytes width = static_cast<Bytes>(nc) * v.elem;
-      if (to_device) {
-        gpu_.memcpy2d_h2d_async(dev, v.pitch, host, host_pitch, width,
-                                static_cast<Bytes>(nr), s);
-        h2d_bytes_ += width * static_cast<Bytes>(nr);
-      } else {
-        gpu_.memcpy2d_d2h_async(host, host_pitch, dev, v.pitch, width,
-                                static_cast<Bytes>(nr), s);
-      }
-      if (ranges) ranges->push_back({dev, width, v.pitch, static_cast<Bytes>(nr)});
-      c += nc;
-    }
-    r += nr;
-  }
-}
-
 void TilePipeline::run(const TileKernelFactory& make_kernel) {
-  std::vector<const gpu::GpuEvent*> seen;
-  auto wait_distinct = [&](gpu::Stream& s, const std::pair<gpu::EventPtr, gpu::Stream*>& e) {
-    if (!e.first || e.second == &s) return;
-    if (std::find(seen.begin(), seen.end(), e.first.get()) != seen.end()) return;
-    seen.push_back(e.first.get());
-    gpu_.wait_event(s, e.first);
-  };
-
-  std::vector<gpu::EventPtr> prev_band_tails;
-  std::int64_t tile_counter = 0;
-  band_tail_scratch_.assign(streams_.size(), nullptr);
-
-  for (std::int64_t i = 0; i < spec_.ni; ++i) {
-    // Band start: column bookkeeping resets; the barrier below protects the
-    // buffer rows the new band will overwrite.
-    for (auto& a : arrays_) {
-      a.copied_any = false;
-      a.copied_hi = 0;
-      a.col_event.clear();
-      std::fill(a.col_reader.begin(), a.col_reader.end(),
-                std::pair<gpu::EventPtr, gpu::Stream*>{});
-      std::fill(a.col_drained.begin(), a.col_drained.end(),
-                std::pair<gpu::EventPtr, gpu::Stream*>{});
-    }
-    std::vector<bool> barrier_done(streams_.size(), prev_band_tails.empty());
-    std::vector<bool> used(streams_.size(), false);
-
-    for (std::int64_t j = 0; j < spec_.nj; ++j, ++tile_counter) {
-      const std::size_t si = static_cast<std::size_t>(tile_counter) % streams_.size();
-      gpu::Stream& s = *streams_[si];
-      used[si] = true;
-      if (!barrier_done[si]) {
-        seen.clear();
-        for (const auto& ev : prev_band_tails)
-          if (ev) gpu_.wait_event(s, ev);
-        barrier_done[si] = true;
-      }
-
-      // ---- copy-in: new columns of every input's block ----
-      bool copied = false;
-      struct Fresh {
-        ArrayState* array;
-        std::int64_t lo, hi;
-      };
-      std::vector<Fresh> fresh;
-      for (auto& a : arrays_) {
-        if (!is_input(a)) continue;
-        const std::int64_t rs = a.spec.row_split.start(i);
-        const std::int64_t rh = rs + a.spec.row_split.window;
-        const std::int64_t cs = a.spec.col_split.start(j);
-        const std::int64_t ch = cs + a.spec.col_split.window;
-        const std::int64_t n_lo = a.copied_any ? std::max(a.copied_hi, cs) : cs;
-        if (n_lo < ch) {
-          seen.clear();
-          for (std::int64_t c = n_lo; c < ch; ++c)
-            wait_distinct(s, a.col_reader[static_cast<std::size_t>(c % a.view.ring_cols)]);
-          copy_block(a, s, /*to_device=*/true, rs, rh, n_lo, ch, nullptr);
-          fresh.push_back({&a, n_lo, ch});
-          copied = true;
-        }
-        a.copied_hi = std::max(a.copied_hi, ch);
-        a.copied_any = true;
-      }
-      if (copied) {
-        gpu::EventPtr ev = gpu_.record_event(s);
-        for (const auto& f : fresh)
-          for (std::int64_t c = f.lo; c < f.hi; ++c) f.array->col_event[c] = {ev, &s};
-      }
-
-      // ---- kernel dependencies ----
-      seen.clear();
-      for (auto& a : arrays_) {
-        const std::int64_t cs = a.spec.col_split.start(j);
-        const std::int64_t ch = cs + a.spec.col_split.window;
-        if (is_input(a)) {
-          for (std::int64_t c = cs; c < ch; ++c) {
-            auto it = a.col_event.find(c);
-            ensure(it != a.col_event.end(), "tile input column was never copied");
-            wait_distinct(s, it->second);
-          }
-        }
-        if (is_output(a)) {
-          for (std::int64_t c = cs; c < ch; ++c)
-            wait_distinct(s, a.col_drained[static_cast<std::size_t>(c % a.view.ring_cols)]);
-        }
-      }
-
-      // ---- kernel ----
-      const TileContext ctx(*this, i, j);
-      gpu::KernelDesc desc = make_kernel(ctx);
-      for (auto& a : arrays_) {
-        const std::int64_t rs = a.spec.row_split.start(i);
-        const std::int64_t rh = rs + a.spec.row_split.window;
-        const std::int64_t cs = a.spec.col_split.start(j);
-        const std::int64_t ch = cs + a.spec.col_split.window;
-        // Reuse copy_block's wrap decomposition to declare precise ranges
-        // (no transfer: collect the device ranges only).
-        std::vector<gpu::MemRange> ranges;
-        const TileBufferView& v = a.view;
-        for (std::int64_t r = rs; r < rh;) {
-          const std::int64_t slot_r = r % v.ring_rows;
-          const std::int64_t nr = std::min(rh - r, v.ring_rows - slot_r);
-          for (std::int64_t c = cs; c < ch;) {
-            const std::int64_t slot_c = c % v.ring_cols;
-            const std::int64_t nc = std::min(ch - c, v.ring_cols - slot_c);
-            ranges.push_back({v.base + static_cast<Bytes>(slot_r) * v.pitch +
-                                  static_cast<Bytes>(slot_c) * v.elem,
-                              static_cast<Bytes>(nc) * v.elem, v.pitch,
-                              static_cast<Bytes>(nr)});
-            c += nc;
-          }
-          r += nr;
-        }
-        for (auto& rg : ranges) {
-          if (is_input(a)) desc.effects.reads.push_back(rg);
-          if (is_output(a)) desc.effects.writes.push_back(rg);
-        }
-      }
-      if (desc.name == "kernel")
-        desc.name = "tile(" + std::to_string(i) + "," + std::to_string(j) + ")";
-      gpu_.launch(s, std::move(desc));
-      gpu::EventPtr k_ev = gpu_.record_event(s);
-      for (auto& a : arrays_) {
-        if (!is_input(a)) continue;
-        const std::int64_t cs = a.spec.col_split.start(j);
-        const std::int64_t ch = cs + a.spec.col_split.window;
-        for (std::int64_t c = cs; c < ch; ++c)
-          a.col_reader[static_cast<std::size_t>(c % a.view.ring_cols)] = {k_ev, &s};
-      }
-
-      // ---- copy-out ----
-      bool drained = false;
-      for (auto& a : arrays_) {
-        if (!is_output(a)) continue;
-        const std::int64_t rs = a.spec.row_split.start(i);
-        const std::int64_t rh = rs + a.spec.row_split.window;
-        const std::int64_t cs = a.spec.col_split.start(j);
-        const std::int64_t ch = cs + a.spec.col_split.window;
-        copy_block(a, s, /*to_device=*/false, rs, rh, cs, ch, nullptr);
-        drained = true;
-      }
-      gpu::EventPtr tail = drained ? gpu_.record_event(s) : k_ev;
-      if (drained) {
-        for (auto& a : arrays_) {
-          if (!is_output(a)) continue;
-          const std::int64_t cs = a.spec.col_split.start(j);
-          const std::int64_t ch = cs + a.spec.col_split.window;
-          for (std::int64_t c = cs; c < ch; ++c)
-            a.col_drained[static_cast<std::size_t>(c % a.view.ring_cols)] = {tail, &s};
-        }
-      }
-
-      // Track the band's last event per stream for the next band's barrier.
-      band_tail_scratch_[si] = tail;
-    }
-
-    // Band end: next band's barrier waits on each used stream's last event.
-    std::vector<gpu::EventPtr> tails;
-    for (std::size_t k = 0; k < streams_.size(); ++k)
-      if (used[k] && band_tail_scratch_[k]) tails.push_back(band_tail_scratch_[k]);
-    prev_band_tails = std::move(tails);
-    band_tail_scratch_.assign(streams_.size(), nullptr);
+  // Compiled fresh per run so block-range errors surface here, mirroring the
+  // runtime semantics of the hand-issued schedule this replaced.
+  TileBuildState state;
+  state.ring_rows.reserve(arrays_.size());
+  state.ring_cols.reserve(arrays_.size());
+  state.pinned.reserve(arrays_.size());
+  for (const auto& a : arrays_) {
+    state.ring_rows.push_back(a.view.ring_rows);
+    state.ring_cols.push_back(a.view.ring_cols);
+    state.pinned.push_back(gpu_.is_pinned(a.spec.host));
   }
-
-  for (auto* s : streams_) gpu_.synchronize(*s);
+  const ExecutionPlan plan = PlanBuilder::tiles(spec_, state);
+  if (gpu_.hazards().enabled()) plan.validate();
+  executor_.run(plan, [this, &make_kernel](const PlanNode& n) {
+    const TileContext ctx(*this, n.tile_i, n.tile_j);
+    return make_kernel(ctx);
+  });
 }
 
 }  // namespace gpupipe::core

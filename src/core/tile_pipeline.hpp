@@ -11,20 +11,25 @@
 // Execution order is row-major over tiles ("bands" of constant i). Within a
 // band the column dimension behaves exactly like the 1-D pipeline: sliding-
 // window copy elision, per-column arrival events, ring-slot reuse guarded by
-// reader events. At a band transition the row window moves; the executor
-// inserts a cross-stream join (every stream waits for the previous band's
-// last kernels) before the new band's rows may overwrite buffer rows. Row
+// reader events. At a band transition the row window moves; the plan inserts
+// a cross-stream barrier (every stream waits for the previous band's last
+// operations) before the new band's rows may overwrite buffer rows. Row
 // halos shared between bands are re-transferred (documented simplification;
 // the intra-band column elision is where the traffic is).
+//
+// Like the 1-D Pipeline, the schedule is compiled into an ExecutionPlan
+// (PlanBuilder::tiles) and replayed by the shared PlanExecutor — the tile
+// pipeline issues no raw stream operations itself. The plan is rebuilt per
+// run() so out-of-range tile blocks surface at run time, not construction.
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <optional>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/name_index.hpp"
+#include "core/plan.hpp"
 #include "core/spec.hpp"
 #include "gpu/gpu.hpp"
 
@@ -112,33 +117,16 @@ class TilePipeline {
   Bytes buffer_footprint() const;
   int effective_streams() const { return static_cast<int>(streams_.size()); }
   /// H2D bytes actually transferred (tests verify the column elision).
-  Bytes h2d_bytes() const { return h2d_bytes_; }
+  Bytes h2d_bytes() const { return stats_.h2d_bytes; }
+  const PipelineStats& stats() const { return stats_; }
 
  private:
   struct ArrayState {
     TileArraySpec spec;
     std::byte* buffer = nullptr;
     TileBufferView view;
-    /// Within the current band: columns [*, copied_hi) already scheduled.
-    std::int64_t copied_hi = 0;
-    bool copied_any = false;
-    std::unordered_map<std::int64_t, std::pair<gpu::EventPtr, gpu::Stream*>> col_event;
-    std::vector<std::pair<gpu::EventPtr, gpu::Stream*>> col_reader;   // per col slot
-    std::vector<std::pair<gpu::EventPtr, gpu::Stream*>> col_drained;  // per col slot
+    std::unique_ptr<PlanArrayBinding> binding;
   };
-
-  bool is_input(const ArrayState& a) const {
-    return a.spec.map == MapType::To || a.spec.map == MapType::ToFrom;
-  }
-  bool is_output(const ArrayState& a) const {
-    return a.spec.map == MapType::From || a.spec.map == MapType::ToFrom;
-  }
-
-  /// Issues up to four pitched copies for the wrapping 2-D block and
-  /// appends the matching device ranges to `ranges` (may be null).
-  void copy_block(ArrayState& a, gpu::Stream& s, bool to_device, std::int64_t rlo,
-                  std::int64_t rhi, std::int64_t clo, std::int64_t chi,
-                  std::vector<gpu::MemRange>* ranges);
 
   friend class TileContext;
   const TileBufferView& view_of(std::string_view name) const;
@@ -147,8 +135,9 @@ class TilePipeline {
   TileSpec spec_;
   std::vector<gpu::Stream*> streams_;
   std::vector<ArrayState> arrays_;
-  std::vector<gpu::EventPtr> band_tail_scratch_;
-  Bytes h2d_bytes_ = 0;
+  NameIndex index_;  ///< array name -> arrays_ position
+  PipelineStats stats_;
+  PlanExecutor executor_;
 };
 
 }  // namespace gpupipe::core

@@ -54,6 +54,84 @@ bool ranges_overlap(const MemRange& a, const MemRange& b) {
   return false;
 }
 
+void validate_static_schedule(const std::vector<StaticOp>& ops, int num_queues) {
+  require(num_queues >= 1, "static schedule needs at least one queue");
+  const int n = static_cast<int>(ops.size());
+
+  // Happens-before as per-queue ancestor frontiers: frontier[b][q] is the
+  // largest list position on queue q that strictly precedes op b. Because a
+  // queue's ops are totally ordered, "a precedes b" is exactly
+  // pos(a) <= frontier[b][queue(a)]. Frontiers compose incrementally from
+  // the previous op on b's queue and b's explicit deps.
+  std::vector<std::vector<int>> frontier(static_cast<std::size_t>(n),
+                                         std::vector<int>(static_cast<std::size_t>(num_queues), -1));
+  std::vector<int> queue_tail(static_cast<std::size_t>(num_queues), -1);
+
+  auto merge_from = [&](std::vector<int>& dst, int src) {
+    const auto& f = frontier[static_cast<std::size_t>(src)];
+    for (int q = 0; q < num_queues; ++q)
+      dst[static_cast<std::size_t>(q)] = std::max(dst[static_cast<std::size_t>(q)],
+                                                  f[static_cast<std::size_t>(q)]);
+    const int sq = ops[static_cast<std::size_t>(src)].queue;
+    dst[static_cast<std::size_t>(sq)] = std::max(dst[static_cast<std::size_t>(sq)], src);
+  };
+
+  // Per (resource, slot): the last writer and the readers since that write.
+  struct SlotState {
+    int last_writer = -1;
+    std::vector<int> readers;
+  };
+  std::vector<std::vector<SlotState>> slots;  // indexed by resource
+
+  for (int i = 0; i < n; ++i) {
+    const StaticOp& op = ops[static_cast<std::size_t>(i)];
+    require(0 <= op.queue && op.queue < num_queues,
+            "static op '" + op.label + "': queue out of range");
+    auto& f = frontier[static_cast<std::size_t>(i)];
+    if (queue_tail[static_cast<std::size_t>(op.queue)] >= 0)
+      merge_from(f, queue_tail[static_cast<std::size_t>(op.queue)]);
+    for (int d : op.deps) {
+      require(0 <= d && d < i, "static op '" + op.label + "': dep must index an earlier op");
+      merge_from(f, d);
+    }
+    queue_tail[static_cast<std::size_t>(op.queue)] = i;
+
+    auto ordered_before = [&](int a) {
+      const int aq = ops[static_cast<std::size_t>(a)].queue;
+      return a <= f[static_cast<std::size_t>(aq)];
+    };
+    auto conflict = [&](int prior, const char* kind) {
+      const StaticOp& p = ops[static_cast<std::size_t>(prior)];
+      throw HazardError("static " + std::string(kind) + " hazard: '" + op.label +
+                        "' conflicts with '" + p.label +
+                        "' without an ordering dependency between them");
+    };
+
+    for (const auto& acc : op.accesses) {
+      require(acc.resource >= 0 && acc.lo <= acc.hi,
+              "static op '" + op.label + "': malformed access");
+      if (static_cast<std::size_t>(acc.resource) >= slots.size())
+        slots.resize(static_cast<std::size_t>(acc.resource) + 1);
+      auto& res = slots[static_cast<std::size_t>(acc.resource)];
+      if (static_cast<std::size_t>(acc.hi) > res.size())
+        res.resize(static_cast<std::size_t>(acc.hi));
+      for (std::int64_t slot = acc.lo; slot < acc.hi; ++slot) {
+        SlotState& st = res[static_cast<std::size_t>(slot)];
+        if (st.last_writer >= 0 && st.last_writer != i && !ordered_before(st.last_writer))
+          conflict(st.last_writer, acc.write ? "write-after-write" : "read-after-write");
+        if (acc.write) {
+          for (int r : st.readers)
+            if (r != i && !ordered_before(r)) conflict(r, "write-after-read");
+          st.last_writer = i;
+          st.readers.clear();
+        } else if (st.readers.empty() || st.readers.back() != i) {
+          st.readers.push_back(i);
+        }
+      }
+    }
+  }
+}
+
 void HazardTracker::begin_op(const MemEffects& effects, SimTime start, SimTime end,
                              const std::string& label) {
   if (!enabled_) return;

@@ -58,6 +58,38 @@ struct MemEffects {
 /// True when the two (possibly strided) ranges share at least one byte.
 bool ranges_overlap(const MemRange& a, const MemRange& b);
 
+/// One operation of a static schedule submitted for validation *before*
+/// execution (see validate_static_schedule). Operations are listed in issue
+/// order; ops sharing a queue execute in list order, and `deps` index
+/// earlier list entries the op explicitly waits on.
+struct StaticOp {
+  int queue = 0;
+  std::vector<int> deps;
+  /// One access in an abstract resource's slot space (e.g. a ring buffer's
+  /// slot indices): the op touches slots [lo, hi) of `resource`.
+  struct Access {
+    int resource = 0;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    bool write = false;
+  };
+  std::vector<Access> accesses;
+  std::string label;
+};
+
+/// Static (pre-execution) schedule validation: proves that every pair of
+/// conflicting accesses (overlapping slots, at least one write) is ordered
+/// by happens-before — the union of per-queue program order and the `deps`
+/// edges. Throws HazardError naming the first unordered pair. A missing
+/// slot-reuse edge in an execution plan is caught here before any operation
+/// is issued, complementing HazardTracker's runtime detection (which only
+/// sees races that manifest in one particular simulated timing).
+///
+/// Cost: O(ops * queues) for the happens-before closure (per-queue ancestor
+/// frontiers — exact because each queue is totally ordered) plus O(total
+/// slots touched) for the conflict scan.
+void validate_static_schedule(const std::vector<StaticOp>& ops, int num_queues);
+
 /// Tracks in-flight accesses and validates new ones against them.
 class HazardTracker {
  public:

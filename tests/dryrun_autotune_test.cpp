@@ -1,0 +1,137 @@
+// Dry-run autotuning fidelity: the cost-model-only sweep (plan replay, no
+// execution, no allocations) must select the same configuration as the
+// measured sweep on the paper's Fig. 4 / Fig. 7 style workloads.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/autotune.hpp"
+#include "gpu/device_profile.hpp"
+
+namespace gpupipe::core {
+namespace {
+
+// Lattice-QCD-shaped region (Fig. 4): spinor + gauge planes in with a halo,
+// result planes out, t the split dimension.
+PipelineSpec qcd_spec(gpu::Gpu& g, std::int64_t n) {
+  const std::int64_t v = n * n * n * 24;  // spinor doubles per t-plane
+  const std::int64_t u = n * n * n * 72;  // gauge doubles per t-plane
+  std::byte* psi = g.host_alloc(static_cast<Bytes>(n * v) * 8);
+  std::byte* gauge = g.host_alloc(static_cast<Bytes>(n * u) * 8);
+  std::byte* out = g.host_alloc(static_cast<Bytes>(n * v) * 8);
+  PipelineSpec spec;
+  spec.loop_begin = 1;
+  spec.loop_end = n - 1;
+  spec.arrays = {
+      ArraySpec{"psi", MapType::To, psi, 8, {n, v}, SplitSpec{0, Affine{1, -1}, 3}},
+      ArraySpec{"U", MapType::To, gauge, 8, {n, u}, SplitSpec{0, Affine{1, -1}, 2}},
+      ArraySpec{"out", MapType::From, out, 8, {n, v}, SplitSpec{0, Affine{1, 0}, 1}},
+  };
+  return spec;
+}
+
+// Stencil-shaped region (Fig. 7): one halo'd input grid, one output grid.
+PipelineSpec stencil_spec(gpu::Gpu& g, std::int64_t nz, std::int64_t plane) {
+  std::byte* in = g.host_alloc(static_cast<Bytes>(nz * plane) * 8);
+  std::byte* out = g.host_alloc(static_cast<Bytes>(nz * plane) * 8);
+  PipelineSpec spec;
+  spec.loop_begin = 1;
+  spec.loop_end = nz - 1;
+  spec.arrays = {
+      ArraySpec{"in", MapType::To, in, 8, {nz, plane}, SplitSpec{0, Affine{1, -1}, 3}},
+      ArraySpec{"out", MapType::From, out, 8, {nz, plane}, SplitSpec{0, Affine{1, 0}, 1}},
+  };
+  return spec;
+}
+
+// A kernel whose cost is exactly linear in the iteration count, so the
+// analytic hint reproduces the measured kernel term bit-for-bit.
+KernelFactory linear_kernel(double flops_per_iter, double bytes_per_iter) {
+  return [=](const ChunkContext& ctx) {
+    gpu::KernelDesc k;
+    k.flops = flops_per_iter * static_cast<double>(ctx.iterations());
+    k.bytes = static_cast<Bytes>(bytes_per_iter * static_cast<double>(ctx.iterations()));
+    return k;
+  };
+}
+
+void expect_same_pick(gpu::Gpu& g, const PipelineSpec& spec, const KernelCostHint& hint,
+                      const std::vector<std::int64_t>& chunks,
+                      const std::vector<int>& streams) {
+  TuneOptions dry;
+  dry.chunk_candidates = chunks;
+  dry.stream_candidates = streams;
+  dry.dry_run = true;
+  dry.kernel_cost = hint;
+
+  const std::uint64_t allocs_before = g.device_mem_stats().total_allocations;
+  const TuneResult predicted =
+      autotune(g, spec, linear_kernel(hint.flops_per_iter, hint.bytes_per_iter), dry);
+  // The whole dry sweep must not have touched device memory at all.
+  EXPECT_EQ(g.device_mem_stats().total_allocations, allocs_before);
+  EXPECT_EQ(predicted.explored.size(), chunks.size() * streams.size());
+
+  TuneOptions measured;
+  measured.chunk_candidates = chunks;
+  measured.stream_candidates = streams;
+  measured.model_prefilter = false;
+  const TuneResult executed =
+      autotune(g, spec, linear_kernel(hint.flops_per_iter, hint.bytes_per_iter), measured);
+
+  EXPECT_EQ(predicted.chunk_size, executed.chunk_size);
+  EXPECT_EQ(predicted.num_streams, executed.num_streams);
+}
+
+TEST(DryRunAutotune, MatchesExecutedPickOnFig4QcdSweep) {
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  g.hazards().set_enabled(false);
+  const std::int64_t n = 36;  // the paper's large lattice
+  const PipelineSpec spec = qcd_spec(g, n);
+  // Wilson dslash, 24 applications per transferred dataset (see apps/qcd).
+  KernelCostHint hint;
+  hint.flops_per_iter = static_cast<double>(n * n * n) * 1320.0 * 24.0;
+  hint.bytes_per_iter = static_cast<double>(n * n * n) * 120.0 * 8.0;
+  expect_same_pick(g, spec, hint, {1, 2, 4, 8}, {1, 2, 3, 4, 5});
+}
+
+TEST(DryRunAutotune, MatchesExecutedPickOnFig7StencilSweep) {
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  g.hazards().set_enabled(false);
+  const std::int64_t nz = 64, plane = 256 * 256;  // Fig. 7's K40m dataset
+  const PipelineSpec spec = stencil_spec(g, nz, plane);
+  KernelCostHint hint;
+  hint.flops_per_iter = static_cast<double>(plane) * 8.0;
+  hint.bytes_per_iter = static_cast<double>(plane) * 24.0;
+  expect_same_pick(g, spec, hint, {2, 4}, {1, 2, 3, 4, 8});
+}
+
+TEST(DryRunAutotune, InfeasibleCandidatesAreMarkedNotDropped) {
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  g.hazards().set_enabled(false);
+  const std::int64_t n = 1024, m = 65536;  // 512 KiB rows
+  std::byte* in = g.host_alloc(static_cast<Bytes>(n * m) * 8);
+  std::byte* out = g.host_alloc(static_cast<Bytes>(n * m) * 8);
+  PipelineSpec spec;
+  spec.loop_begin = 0;
+  spec.loop_end = n;
+  spec.arrays = {
+      ArraySpec{"in", MapType::To, in, 8, {n, m}, SplitSpec{0, Affine{1, 0}, 1}},
+      ArraySpec{"out", MapType::From, out, 8, {n, m}, SplitSpec{0, Affine{1, 0}, 1}},
+  };
+  spec.mem_limit = 32 * MiB;  // chunk 64 with 2 streams would need > 128 MiB
+
+  TuneOptions dry;
+  dry.chunk_candidates = {1, 4, 64};
+  dry.stream_candidates = {2};
+  dry.dry_run = true;
+  dry.kernel_cost = KernelCostHint{static_cast<double>(m), static_cast<double>(m) * 16.0};
+  const TuneResult r = autotune(g, spec, linear_kernel(0, 0), dry);
+  EXPECT_LE(r.chunk_size, 4);
+  EXPECT_EQ(r.explored.size(), 3u);
+  bool infeasible_seen = false;
+  for (const auto& c : r.explored) infeasible_seen = infeasible_seen || !c.feasible;
+  EXPECT_TRUE(infeasible_seen);
+}
+
+}  // namespace
+}  // namespace gpupipe::core

@@ -1,0 +1,267 @@
+// gpupipe-plan — plan inspection for pipelined regions.
+//
+// Reads a region-description file (format: tools/region_file.hpp), binds
+// the symbolic extents with -D defines, compiles the directive into a
+// PipelineSpec, builds its ExecutionPlan, and dumps it:
+//
+//   --summary   node/byte counts and the dry-run predicted makespan (default)
+//   --dot       the op graph in Graphviz DOT form
+//   --trace     the dry-run timeline as Chrome-trace JSON (chrome://tracing)
+//
+// Nothing executes and nothing is allocated on the (simulated) device: the
+// plan is pure arithmetic and the timeline comes from a cost-model dry run.
+//
+// Usage: gpupipe_plan region.pipe -D nz=64 -D ny=32 -D nx=32
+//            [--dot | --trace | --summary] [--profile k40m|hd7970|xeonphi]
+//            [--flops-per-iter F] [--bytes-per-iter B] [-o out]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "dsl/bind.hpp"
+#include "gpu/device_profile.hpp"
+#include "region_file.hpp"
+
+namespace {
+
+using gpupipe::Error;
+
+// Minimal integer-expression evaluator for loop bounds and array extents
+// ("nz-1", "2*n+1"): + - * / with the usual precedence, parentheses, unary
+// minus, and identifiers resolved through the -D environment.
+class ExprEval {
+ public:
+  ExprEval(const std::string& text, const gpupipe::dsl::Env& env)
+      : text_(text), env_(env) {}
+
+  std::int64_t eval() {
+    const std::int64_t v = sum();
+    skip_ws();
+    if (pos_ != text_.size())
+      throw Error("cannot parse expression '" + text_ + "'");
+    return v;
+  }
+
+ private:
+  std::int64_t sum() {
+    std::int64_t v = product();
+    for (;;) {
+      skip_ws();
+      if (accept('+')) v += product();
+      else if (accept('-')) v -= product();
+      else return v;
+    }
+  }
+  std::int64_t product() {
+    std::int64_t v = factor();
+    for (;;) {
+      skip_ws();
+      if (accept('*')) v *= factor();
+      else if (accept('/')) {
+        const std::int64_t d = factor();
+        if (d == 0) throw Error("division by zero in '" + text_ + "'");
+        v /= d;
+      } else return v;
+    }
+  }
+  std::int64_t factor() {
+    skip_ws();
+    if (accept('-')) return -factor();
+    if (accept('(')) {
+      const std::int64_t v = sum();
+      skip_ws();
+      if (!accept(')')) throw Error("missing ')' in '" + text_ + "'");
+      return v;
+    }
+    if (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      std::int64_t v = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        v = v * 10 + (text_[pos_++] - '0');
+      return v;
+    }
+    if (pos_ < text_.size() && (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+                                text_[pos_] == '_')) {
+      std::string name;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_'))
+        name += text_[pos_++];
+      const auto it = env_.find(name);
+      if (it == env_.end())
+        throw Error("undefined symbol '" + name + "' (pass -D " + name + "=<value>)");
+      return it->second;
+    }
+    throw Error("cannot parse expression '" + text_ + "'");
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  bool accept(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  const gpupipe::dsl::Env& env_;
+  std::size_t pos_ = 0;
+};
+
+std::int64_t eval_expr(const std::string& text, const gpupipe::dsl::Env& env) {
+  return ExprEval(text, env).eval();
+}
+
+gpupipe::Bytes elem_size_of(const std::string& type) {
+  if (type == "double") return 8;
+  if (type == "float") return 4;
+  throw Error("unsupported element type '" + type + "' (use double or float)");
+}
+
+void print_summary(std::ostream& os, const gpupipe::core::ExecutionPlan& plan,
+                   const gpupipe::core::DryRunResult& dry) {
+  using gpupipe::core::PlanOp;
+  std::map<PlanOp, std::int64_t> counts;
+  gpupipe::Bytes h2d = 0, d2h = 0;
+  std::size_t edges = 0;
+  for (const auto& n : plan.nodes) {
+    ++counts[n.op];
+    edges += n.deps.size();
+    if (n.op == PlanOp::H2D) h2d += n.bytes;
+    if (n.op == PlanOp::D2H) d2h += n.bytes;
+  }
+  os << "plan: " << plan.origin << " (chunk_size " << plan.chunk_size << ", "
+     << plan.num_streams << " streams)\n";
+  os << "nodes: " << plan.nodes.size() << " (";
+  bool first = true;
+  for (const auto& [op, count] : counts) {
+    if (!first) os << ", ";
+    first = false;
+    os << count << " " << gpupipe::core::to_string(op);
+  }
+  os << "), " << edges << " dependency edges\n";
+  os << "h2d bytes: " << h2d << "\n";
+  os << "d2h bytes: " << d2h << "\n";
+  os << "predicted makespan: " << dry.makespan << " s\n";
+}
+
+int usage(int code) {
+  std::fprintf(stderr,
+               "usage: gpupipe_plan <region-file> [-D name=value ...]\n"
+               "           [--dot | --trace | --summary]\n"
+               "           [--profile k40m|hd7970|xeonphi]\n"
+               "           [--flops-per-iter F] [--bytes-per-iter B] [-o out]\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path, output_path, mode = "--summary";
+  gpupipe::dsl::Env env;
+  gpupipe::gpu::DeviceProfile profile = gpupipe::gpu::nvidia_k40m();
+  gpupipe::core::DryRunCost cost;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "-D" && i + 1 < argc) {
+        const std::string def = argv[++i];
+        const auto eq = def.find('=');
+        if (eq == std::string::npos) throw Error("-D expects name=value, got: " + def);
+        try {
+          std::size_t used = 0;
+          const std::string value = def.substr(eq + 1);
+          env[def.substr(0, eq)] = std::stoll(value, &used);
+          if (used != value.size()) throw std::invalid_argument(value);
+        } catch (const std::logic_error&) {
+          throw Error("-D value must be an integer, got: " + def);
+        }
+      } else if (arg == "--dot" || arg == "--trace" || arg == "--summary") {
+        mode = arg;
+      } else if (arg == "--profile" && i + 1 < argc) {
+        const std::string name = argv[++i];
+        if (name == "k40m") profile = gpupipe::gpu::nvidia_k40m();
+        else if (name == "hd7970") profile = gpupipe::gpu::amd_hd7970();
+        else if (name == "xeonphi") profile = gpupipe::gpu::intel_xeonphi();
+        else throw Error("unknown profile '" + name + "'");
+      } else if (arg == "--flops-per-iter" && i + 1 < argc) {
+        cost.flops_per_iter = std::stod(argv[++i]);
+      } else if (arg == "--bytes-per-iter" && i + 1 < argc) {
+        cost.bytes_per_iter = std::stod(argv[++i]);
+      } else if (arg == "-o" && i + 1 < argc) {
+        output_path = argv[++i];
+      } else if (arg == "-h" || arg == "--help") {
+        return usage(0);
+      } else if (input_path.empty()) {
+        input_path = arg;
+      } else {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        return 2;
+      }
+    }
+    if (input_path.empty()) return usage(2);
+
+    std::ifstream file(input_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
+      return 2;
+    }
+    const gpupipe::dsl::CodegenInput in = gpupipe::tools::parse_region_file(file);
+
+    // Bind the arrays to freshly reserved host storage. Nothing is ever
+    // copied or executed, but real extents keep the plan byte-exact.
+    gpupipe::dsl::Bindings arrays;
+    std::vector<std::unique_ptr<std::byte[]>> storage;
+    for (const auto& decl : in.arrays) {
+      gpupipe::dsl::HostArray a;
+      a.elem_size = elem_size_of(decl.elem_type);
+      std::int64_t elems = 1;
+      for (const auto& dim : decl.dims) {
+        a.dims.push_back(eval_expr(dim, env));
+        elems *= a.dims.back();
+      }
+      storage.push_back(std::make_unique_for_overwrite<std::byte[]>(
+          static_cast<std::size_t>(elems) * a.elem_size));
+      a.ptr = storage.back().get();
+      arrays.emplace(decl.name, std::move(a));
+    }
+
+    const std::int64_t begin = eval_expr(in.loop_begin, env);
+    const std::int64_t end = eval_expr(in.loop_end, env);
+    const gpupipe::core::PipelineSpec spec =
+        gpupipe::dsl::compile(in.directive, in.loop_var, begin, end, arrays, env);
+    const gpupipe::core::ExecutionPlan plan = gpupipe::core::PlanBuilder::pipeline(spec);
+
+    std::ofstream out_file;
+    if (!output_path.empty()) {
+      out_file.open(output_path);
+      if (!out_file) throw Error("cannot write " + output_path);
+    }
+    std::ostream& os = output_path.empty() ? std::cout : out_file;
+
+    if (mode == "--dot") {
+      plan.to_dot(os);
+    } else {
+      cost.live_streams = spec.num_streams;
+      const gpupipe::core::DryRunResult dry = gpupipe::core::dry_run(plan, profile, cost);
+      if (mode == "--trace")
+        dry.trace.dump_chrome_json(os);
+      else
+        print_summary(os, plan, dry);
+    }
+    if (!output_path.empty())
+      std::fprintf(stderr, "wrote %s\n", output_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gpupipe-plan: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,112 +1,16 @@
 // gpupipe-translate — command-line source-to-source translator.
 //
-// Reads a small region-description file and prints the generated C++ on
-// stdout (or writes it with -o). Description format, one item per line
-// ('#' starts a comment):
-//
-//   directive: pipeline(static[1,3]) pipeline_map(to: A0[k-1:3][0:ny][0:nx]) <backslash>
-//              pipeline_map(from: Anext[k:1][0:ny][0:nx])
-//   loop: k = 1 .. nz-1
-//   array: A0 double [nz][ny][nx]
-//   array: Anext double [nz][ny][nx]
-//   function: stencil_region          # optional
-//   kernel: <loop body statements>    # optional; TODO slot when omitted
+// Reads a small region-description file (format: tools/region_file.hpp)
+// and prints the generated C++ on stdout (or writes it with -o).
 //
 // Usage: gpupipe_translate region.pipe [-o generated.cpp]
-#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 
 #include "dsl/codegen.hpp"
-
-namespace {
-
-using gpupipe::dsl::CodegenInput;
-
-std::string trim(const std::string& s) {
-  std::size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
-}
-
-// Parses "k = 1 .. nz-1" into (var, begin, end).
-void parse_loop(const std::string& text, CodegenInput& in) {
-  const auto eq = text.find('=');
-  const auto dots = text.find("..");
-  if (eq == std::string::npos || dots == std::string::npos || dots < eq)
-    throw gpupipe::Error("loop line must look like: loop: k = 1 .. nz-1");
-  in.loop_var = trim(text.substr(0, eq));
-  in.loop_begin = trim(text.substr(eq + 1, dots - eq - 1));
-  in.loop_end = trim(text.substr(dots + 2));
-}
-
-// Parses "A0 double [nz][ny][nx]".
-void parse_array(const std::string& text, CodegenInput& in) {
-  std::istringstream is(text);
-  CodegenInput::ArrayDecl decl;
-  is >> decl.name >> decl.elem_type;
-  std::string rest;
-  std::getline(is, rest);
-  rest = trim(rest);
-  while (!rest.empty()) {
-    if (rest.front() != '[')
-      throw gpupipe::Error("array dims must look like [nz][ny][nx], got: " + rest);
-    const auto close = rest.find(']');
-    if (close == std::string::npos) throw gpupipe::Error("unbalanced '[' in array dims");
-    decl.dims.push_back(trim(rest.substr(1, close - 1)));
-    rest = trim(rest.substr(close + 1));
-  }
-  if (decl.name.empty() || decl.elem_type.empty() || decl.dims.empty())
-    throw gpupipe::Error("array line must look like: array: A0 double [nz][ny][nx]");
-  in.arrays.push_back(std::move(decl));
-}
-
-CodegenInput parse_region_file(std::istream& is) {
-  CodegenInput in;
-  std::string line;
-  std::string pending;  // supports trailing-backslash continuations
-  auto handle = [&](const std::string& full) {
-    const std::string t = trim(full);
-    if (t.empty() || t.front() == '#') return;
-    const auto colon = t.find(':');
-    if (colon == std::string::npos)
-      throw gpupipe::Error("expected 'key: value', got: " + t);
-    const std::string key = trim(t.substr(0, colon));
-    const std::string value = trim(t.substr(colon + 1));
-    if (key == "directive") {
-      in.directive = value;
-    } else if (key == "loop") {
-      parse_loop(value, in);
-    } else if (key == "array") {
-      parse_array(value, in);
-    } else if (key == "function") {
-      in.function_name = value;
-    } else if (key == "kernel") {
-      in.kernel_body = value;
-    } else {
-      throw gpupipe::Error("unknown key '" + key + "'");
-    }
-  };
-  while (std::getline(is, line)) {
-    std::string t = trim(line);
-    if (!t.empty() && t.back() == '\\') {
-      pending += t.substr(0, t.size() - 1) + " ";
-      continue;
-    }
-    handle(pending + line);
-    pending.clear();
-  }
-  if (!trim(pending).empty()) handle(pending);
-  if (in.directive.empty()) throw gpupipe::Error("region file needs a directive: line");
-  if (in.loop_end.empty()) throw gpupipe::Error("region file needs a loop: line");
-  return in;
-}
-
-}  // namespace
+#include "region_file.hpp"
 
 int main(int argc, char** argv) {
   std::string input_path, output_path;
@@ -135,7 +39,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
       return 2;
     }
-    const std::string code = gpupipe::dsl::generate_cpp(parse_region_file(file));
+    const std::string code =
+        gpupipe::dsl::generate_cpp(gpupipe::tools::parse_region_file(file));
     if (output_path.empty()) {
       std::cout << code;
     } else {

@@ -1,0 +1,106 @@
+// Region-description file parsing, shared by the command-line tools.
+//
+// A region file describes one pipelined loop, one item per line ('#'
+// starts a comment, a trailing backslash continues the line):
+//
+//   directive: pipeline(static[1,3]) pipeline_map(to: A0[k-1:3][0:ny][0:nx]) <backslash>
+//              pipeline_map(from: Anext[k:1][0:ny][0:nx])
+//   loop: k = 1 .. nz-1
+//   array: A0 double [nz][ny][nx]
+//   array: Anext double [nz][ny][nx]
+//   function: stencil_region          # optional
+//   kernel: <loop body statements>    # optional
+//
+// gpupipe_translate turns the result into C++ source; gpupipe_plan binds
+// it to concrete extents and dumps the compiled ExecutionPlan.
+#pragma once
+
+#include <cctype>
+#include <istream>
+#include <sstream>
+#include <string>
+
+#include "dsl/codegen.hpp"
+
+namespace gpupipe::tools {
+
+inline std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Parses "k = 1 .. nz-1" into (var, begin, end).
+inline void parse_loop(const std::string& text, dsl::CodegenInput& in) {
+  const auto eq = text.find('=');
+  const auto dots = text.find("..");
+  if (eq == std::string::npos || dots == std::string::npos || dots < eq)
+    throw Error("loop line must look like: loop: k = 1 .. nz-1");
+  in.loop_var = trim(text.substr(0, eq));
+  in.loop_begin = trim(text.substr(eq + 1, dots - eq - 1));
+  in.loop_end = trim(text.substr(dots + 2));
+}
+
+// Parses "A0 double [nz][ny][nx]".
+inline void parse_array(const std::string& text, dsl::CodegenInput& in) {
+  std::istringstream is(text);
+  dsl::CodegenInput::ArrayDecl decl;
+  is >> decl.name >> decl.elem_type;
+  std::string rest;
+  std::getline(is, rest);
+  rest = trim(rest);
+  while (!rest.empty()) {
+    if (rest.front() != '[')
+      throw Error("array dims must look like [nz][ny][nx], got: " + rest);
+    const auto close = rest.find(']');
+    if (close == std::string::npos) throw Error("unbalanced '[' in array dims");
+    decl.dims.push_back(trim(rest.substr(1, close - 1)));
+    rest = trim(rest.substr(close + 1));
+  }
+  if (decl.name.empty() || decl.elem_type.empty() || decl.dims.empty())
+    throw Error("array line must look like: array: A0 double [nz][ny][nx]");
+  in.arrays.push_back(std::move(decl));
+}
+
+inline dsl::CodegenInput parse_region_file(std::istream& is) {
+  dsl::CodegenInput in;
+  std::string line;
+  std::string pending;  // supports trailing-backslash continuations
+  auto handle = [&](const std::string& full) {
+    const std::string t = trim(full);
+    if (t.empty() || t.front() == '#') return;
+    const auto colon = t.find(':');
+    if (colon == std::string::npos) throw Error("expected 'key: value', got: " + t);
+    const std::string key = trim(t.substr(0, colon));
+    const std::string value = trim(t.substr(colon + 1));
+    if (key == "directive") {
+      in.directive = value;
+    } else if (key == "loop") {
+      parse_loop(value, in);
+    } else if (key == "array") {
+      parse_array(value, in);
+    } else if (key == "function") {
+      in.function_name = value;
+    } else if (key == "kernel") {
+      in.kernel_body = value;
+    } else {
+      throw Error("unknown key '" + key + "'");
+    }
+  };
+  while (std::getline(is, line)) {
+    std::string t = trim(line);
+    if (!t.empty() && t.back() == '\\') {
+      pending += t.substr(0, t.size() - 1) + " ";
+      continue;
+    }
+    handle(pending + line);
+    pending.clear();
+  }
+  if (!trim(pending).empty()) handle(pending);
+  if (in.directive.empty()) throw Error("region file needs a directive: line");
+  if (in.loop_end.empty()) throw Error("region file needs a loop: line");
+  return in;
+}
+
+}  // namespace gpupipe::tools
