@@ -183,12 +183,14 @@ Measurement conv3d_pipelined_buffer(gpu::Gpu& g, const Conv3dConfig& cfg,
   core::PipelineSpec spec = dsl::compile(
       "pipeline(static[C, S]) "
       "pipeline_map(to:   A[i-1:3][0:nj][0:nk]) "
-      "pipeline_map(from: B[i:1][0:nj][0:nk])",
+      "pipeline_map(from: B[i:1][0:nj][0:nk]) "
+      "pipeline_opt(O)",
       "i", 1, cfg.ni - 1,
       {{"A", dsl::HostArray::of(ha.data(), {cfg.ni, cfg.nj, cfg.nk})},
        {"B", dsl::HostArray::of(hb.data(), {cfg.ni, cfg.nj, cfg.nk})}},
       {{"C", cfg.chunk_size},
        {"S", cfg.num_streams},
+       {"O", cfg.opt_level},
        {"nj", cfg.nj},
        {"nk", cfg.nk}});
   core::Pipeline pipe(g, spec);

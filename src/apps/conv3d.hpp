@@ -34,6 +34,8 @@ struct Conv3dConfig {
   int passes = 1;
   std::int64_t chunk_size = 1;
   int num_streams = 2;
+  /// Plan optimization level (pipeline_opt of the directive).
+  int opt_level = 1;
   Conv3dModel model;
 
   std::int64_t elems() const { return ni * nj * nk; }

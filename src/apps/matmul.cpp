@@ -134,11 +134,15 @@ Measurement matmul_pipeline_buffer(gpu::Gpu& g, const MatmulConfig& cfg,
   core::PipelineSpec spec = dsl::compile(
       "pipeline(static[C, S]) "
       "pipeline_map(to: A[0:n][k:1]) "
-      "pipeline_map(to: B[k:1][0:n])",
+      "pipeline_map(to: B[k:1][0:n]) "
+      "pipeline_opt(O)",
       "k", 0, cfg.n,
       {{"A", dsl::HostArray::of(ha.data(), {cfg.n, cfg.n})},
        {"B", dsl::HostArray::of(hb.data(), {cfg.n, cfg.n})}},
-      {{"C", cfg.chunk_cols}, {"S", cfg.num_streams}, {"n", cfg.n}});
+      {{"C", cfg.chunk_cols},
+       {"S", cfg.num_streams},
+       {"O", cfg.opt_level},
+       {"n", cfg.n}});
   core::Pipeline pipe(g, spec);
 
   Measurement m = measure(g, [&] {

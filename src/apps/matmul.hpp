@@ -39,6 +39,8 @@ struct MatmulConfig {
   /// K-dimension columns of A (= rows of B) per pipeline chunk.
   std::int64_t chunk_cols = 16;
   int num_streams = 2;
+  /// Plan optimization level (pipeline_opt of the directive).
+  int opt_level = 1;
   MatmulModel model;
 
   Bytes matrix_bytes() const { return static_cast<Bytes>(n) * n * sizeof(double); }

@@ -237,13 +237,15 @@ Measurement qcd_pipelined_buffer(gpu::Gpu& g, const QcdConfig& cfg,
       "pipeline(static[C, S]) "
       "pipeline_map(to:   psi[t-1:3][0:v]) "
       "pipeline_map(to:   U[t-1:2][0:g]) "
-      "pipeline_map(from: out[t:1][0:v])",
+      "pipeline_map(from: out[t:1][0:v]) "
+      "pipeline_opt(O)",
       "t", 1, cfg.n - 1,
       {{"psi", dsl::HostArray::of(hpsi.data(), {cfg.n, cfg.spinor_plane()})},
        {"U", dsl::HostArray::of(hu.data(), {cfg.n, cfg.gauge_plane()})},
        {"out", dsl::HostArray::of(hout.data(), {cfg.n, cfg.spinor_plane()})}},
       {{"C", cfg.chunk_size},
        {"S", cfg.num_streams},
+       {"O", cfg.opt_level},
        {"v", cfg.spinor_plane()},
        {"g", cfg.gauge_plane()}});
   core::Pipeline pipe(g, spec);

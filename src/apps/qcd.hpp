@@ -50,6 +50,8 @@ struct QcdConfig {
   int passes = 1;
   std::int64_t chunk_size = 1;
   int num_streams = 2;
+  /// Plan optimization level (pipeline_opt of the directive).
+  int opt_level = 1;
   QcdModel model;
 
   std::int64_t sites_per_t() const { return n * n * n; }

@@ -206,12 +206,14 @@ Measurement stencil_pipelined_buffer(gpu::Gpu& g, const StencilConfig& cfg,
   core::PipelineSpec spec = dsl::compile(
       "pipeline(static[C, S]) "
       "pipeline_map(to:   A0[k-1:3][0:ny][0:nx]) "
-      "pipeline_map(from: Anext[k:1][0:ny][0:nx])",
+      "pipeline_map(from: Anext[k:1][0:ny][0:nx]) "
+      "pipeline_opt(O)",
       "k", 1, cfg.nz - 1,
       {{"A0", dsl::HostArray::of(ha, {cfg.nz, cfg.ny, cfg.nx})},
        {"Anext", dsl::HostArray::of(hb, {cfg.nz, cfg.ny, cfg.nx})}},
       {{"C", cfg.chunk_size},
        {"S", cfg.num_streams},
+       {"O", cfg.opt_level},
        {"ny", cfg.ny},
        {"nx", cfg.nx}});
   core::Pipeline pipe(g, spec);

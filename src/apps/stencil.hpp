@@ -45,6 +45,8 @@ struct StencilConfig {
   std::int64_t chunk_size = 1;
   /// GPU streams (num_stream of the directive).
   int num_streams = 2;
+  /// Plan optimization level (pipeline_opt of the directive).
+  int opt_level = 1;
   double c0 = 1.0 / 6.0;
   double c1 = 1.0 / 6.0 / 6.0;
   StencilModel model;

@@ -104,6 +104,42 @@ int RingBuffer::copy_out(gpu::Stream& s, std::int64_t a, std::int64_t b) {
   return transfers;
 }
 
+void RingBuffer::copy_in_run(gpu::Stream& s, std::int64_t slot, std::int64_t index,
+                             std::int64_t count) {
+  require(0 <= slot && count >= 1 && slot + count <= ring_len_,
+          "transfer run does not fit the ring");
+  require(0 <= index && index + count <= spec_.dims[spec_.split.dim],
+          "transfer run exceeds array extent");
+  if (spec_.split.dim == 0) {
+    gpu_.memcpy_h2d_async(view_.base + slot * view_.slab, spec_.host + index * view_.slab,
+                          static_cast<Bytes>(count) * view_.slab, s);
+  } else {
+    const Bytes spitch = static_cast<Bytes>(spec_.dims[1]) * spec_.elem_size;
+    gpu_.memcpy2d_h2d_async(view_.base + slot * spec_.elem_size, view_.pitch,
+                            spec_.host + index * spec_.elem_size, spitch,
+                            static_cast<Bytes>(count) * spec_.elem_size,
+                            static_cast<Bytes>(view_.height), s);
+  }
+}
+
+void RingBuffer::copy_out_run(gpu::Stream& s, std::int64_t slot, std::int64_t index,
+                              std::int64_t count) {
+  require(0 <= slot && count >= 1 && slot + count <= ring_len_,
+          "transfer run does not fit the ring");
+  require(0 <= index && index + count <= spec_.dims[spec_.split.dim],
+          "transfer run exceeds array extent");
+  if (spec_.split.dim == 0) {
+    gpu_.memcpy_d2h_async(spec_.host + index * view_.slab, view_.base + slot * view_.slab,
+                          static_cast<Bytes>(count) * view_.slab, s);
+  } else {
+    const Bytes dpitch = static_cast<Bytes>(spec_.dims[1]) * spec_.elem_size;
+    gpu_.memcpy2d_d2h_async(spec_.host + index * spec_.elem_size, dpitch,
+                            view_.base + slot * spec_.elem_size, view_.pitch,
+                            static_cast<Bytes>(count) * spec_.elem_size,
+                            static_cast<Bytes>(view_.height), s);
+  }
+}
+
 void RingBuffer::append_ranges(std::vector<gpu::MemRange>& out, std::int64_t a,
                                std::int64_t b) const {
   for_segments(a, b, [&](std::int64_t slot, std::int64_t /*idx*/, std::int64_t count) {

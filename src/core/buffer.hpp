@@ -86,6 +86,14 @@ class RingBuffer {
   /// Returns the number of transfers issued.
   int copy_out(gpu::Stream& s, std::int64_t a, std::int64_t b);
 
+  /// Enqueues one host->device copy for the non-wrapping run of `count`
+  /// split indices starting at host index `index` / ring slot `slot` (a
+  /// plan segment after optimization may cover less than a node's full
+  /// [begin, end) range, so the executor transfers segment by segment).
+  void copy_in_run(gpu::Stream& s, std::int64_t slot, std::int64_t index, std::int64_t count);
+  /// Enqueues one device->host copy for a non-wrapping run.
+  void copy_out_run(gpu::Stream& s, std::int64_t slot, std::int64_t index, std::int64_t count);
+
   /// Appends the device memory ranges covering split indices [a, b) to
   /// `out` (up to two ranges when wrapping) — used to declare kernel memory
   /// effects for hazard validation.

@@ -12,7 +12,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <numeric>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -20,10 +22,18 @@
 
 namespace gpupipe::core::layout {
 
-/// Rounds `v` up to the next multiple of `align` (align >= 1).
+/// Rounds `v` up to the next multiple of `align` (align >= 1). Throws
+/// instead of wrapping when the rounded value does not fit in T (byte
+/// counts near the top of the type's range).
 template <typename T>
-constexpr T round_up(T v, T align) {
-  return (v + align - 1) / align * align;
+inline T round_up(T v, T align) {
+  require(align >= 1, "round_up alignment must be >= 1");
+  if constexpr (std::is_signed_v<T>) require(v >= 0, "round_up value must be non-negative");
+  const T rem = v % align;
+  if (rem == 0) return v;
+  const T pad = align - rem;
+  require(v <= std::numeric_limits<T>::max() - pad, "round_up overflows the value type");
+  return v + pad;
 }
 
 /// Bytes of one split-dim index of `a` (a slab, or one column for block2d).
@@ -50,9 +60,12 @@ constexpr std::int64_t ring_len_affine(std::int64_t scale, std::int64_t window,
 }
 
 /// Split-index window a chunk over iterations [lo, hi) touches (handles
-/// both affine splits and window functions).
+/// both affine splits and window functions). The range must be non-empty:
+/// range_of(hi - 1) is meaningless for lo == hi (a zero-iteration chunk,
+/// e.g. after mem-limit shrinking or an empty partition_weighted slice).
 inline std::pair<std::int64_t, std::int64_t> window_of(const ArraySpec& a, std::int64_t lo,
                                                        std::int64_t hi) {
+  require(lo < hi, "array '" + a.name + "': chunk iteration range is empty");
   return {a.split.range_of(lo).first, a.split.range_of(hi - 1).second};
 }
 
@@ -61,7 +74,17 @@ inline std::pair<std::int64_t, std::int64_t> window_of(const ArraySpec& a, std::
 /// validates monotonicity and output disjointness).
 inline std::int64_t ring_len_for_spec(const ArraySpec& a, std::int64_t loop_begin,
                                       std::int64_t loop_end, std::int64_t c, int s) {
-  if (!a.split.window_fn) return ring_len_affine(a.split.start.scale, a.split.window, c, s);
+  require(loop_begin < loop_end, "array '" + a.name + "': pipeline loop range is empty");
+  if (!a.split.window_fn) {
+    // Callers clamp the returned length to the array extent; a window that
+    // steps outside the array would then wrap a chunk onto itself (the
+    // for_ring_segments overlap this guard exists to prevent).
+    const auto first = a.split.range_of(loop_begin);
+    const auto last = a.split.range_of(loop_end - 1);
+    require(0 <= first.first && last.second <= a.dims[static_cast<std::size_t>(a.split.dim)],
+            "array '" + a.name + "': split window touches indices outside the array");
+    return ring_len_affine(a.split.start.scale, a.split.window, c, s);
+  }
   // Scan the loop once per configuration: every group of `s` consecutive
   // chunks must fit in the ring simultaneously.
   std::vector<std::pair<std::int64_t, std::int64_t>> wins;
@@ -96,10 +119,13 @@ struct RingSegment {
 };
 
 /// Invokes `fn(slot, index, count)` for each non-wrapping segment of host
-/// index range [a, b) in a ring of `ring_len` slots (at most two segments
-/// when b - a <= ring_len).
+/// index range [a, b) in a ring of `ring_len` slots (at most two segments).
+/// The range must fit in the ring: a wider range would revisit slots and
+/// silently emit overlapping runs, corrupting resident data.
 template <typename Fn>
 void for_ring_segments(std::int64_t a, std::int64_t b, std::int64_t ring_len, Fn&& fn) {
+  require(ring_len >= 1 && 0 <= a && a <= b, "ring segment range must be non-negative");
+  require(b - a <= ring_len, "ring segment range is larger than the ring");
   std::int64_t idx = a;
   while (idx < b) {
     const std::int64_t slot = idx % ring_len;
@@ -121,27 +147,48 @@ inline std::vector<RingSegment> ring_segments(std::int64_t a, std::int64_t b,
 }
 
 /// Proportional integer partition of `total` items by `weights`, each part
-/// rounded to a multiple of `granule` (except the last, which absorbs the
-/// remainder). Used to slice the split loop across devices.
+/// rounded down to a multiple of `granule`; the remainder is granted
+/// granule-at-a-time to the parts with the largest fractional share (later
+/// parts win ties). Zero-weight parts always receive zero — a disabled
+/// device must never be handed iterations just because it is listed last.
+/// Used to slice the split loop across devices.
 inline std::vector<std::int64_t> partition_weighted(std::int64_t total,
                                                     const std::vector<double>& weights,
                                                     std::int64_t granule) {
   require(!weights.empty(), "partition needs at least one weight");
   require(granule >= 1, "partition granule must be >= 1");
-  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  require(total >= 0, "partition total must be non-negative");
+  double sum = 0.0;
+  for (const double w : weights) {
+    require(w >= 0.0, "partition weights must be non-negative");
+    sum += w;
+  }
   require(sum > 0.0, "partition weights must sum to a positive value");
 
   std::vector<std::int64_t> parts(weights.size(), 0);
+  std::vector<double> frac(weights.size(), -std::numeric_limits<double>::infinity());
   std::int64_t assigned = 0;
-  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
-    std::int64_t want =
-        static_cast<std::int64_t>(static_cast<double>(total) * weights[i] / sum + 0.5);
-    want = want / granule * granule;  // keep chunks whole
-    want = std::clamp<std::int64_t>(want, 0, total - assigned);
-    parts[i] = want;
-    assigned += want;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    const double exact = static_cast<double>(total) * weights[i] / sum;
+    const std::int64_t floored =
+        static_cast<std::int64_t>(exact) / granule * granule;
+    parts[i] = floored;
+    frac[i] = exact - static_cast<double>(floored);
+    assigned += floored;
   }
-  parts.back() = total - assigned;
+  // Grant the leftover in granule steps to the hungriest positive-weight
+  // part; the final grant may be sub-granule so the parts always sum to
+  // `total` exactly.
+  while (assigned < total) {
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i)
+      if (frac[i] >= frac[best]) best = i;
+    const std::int64_t grant = std::min<std::int64_t>(granule, total - assigned);
+    parts[best] += grant;
+    frac[best] -= static_cast<double>(granule);
+    assigned += grant;
+  }
   return parts;
 }
 

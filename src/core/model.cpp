@@ -17,9 +17,11 @@ ChunkCost CostModel::chunk_cost(std::int64_t c) const {
   for (const auto& a : spec_.arrays) {
     const bool in = a.map == MapType::To || a.map == MapType::ToFrom;
     const bool out = a.map == MapType::From || a.map == MapType::ToFrom;
-    // Steady state: each chunk brings scale*c new split indices (the halo
-    // was brought by earlier chunks).
-    const std::int64_t steady = a.split.start.scale * c;
+    // Steady state with the halo-reuse pass on: each chunk brings scale*c
+    // new split indices (the halo stays resident from earlier chunks).
+    // Unoptimized plans re-upload the halo with every chunk.
+    std::int64_t steady = a.split.start.scale * c;
+    if (spec_.opt_level < 1) steady += layout::halo(a.split.window, a.split.start.scale);
     const Bytes bytes = static_cast<Bytes>(steady) * layout::unit_bytes(a);
     Bytes row_width = bytes;  // contiguous slab transfers
     if (a.split.dim != 0) row_width = static_cast<Bytes>(steady) * a.elem_size;

@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "core/layout.hpp"
 #include "core/model.hpp"
+#include "core/plan_opt.hpp"
 
 namespace gpupipe::core {
 
@@ -110,7 +111,10 @@ ExecutionPlan Pipeline::build_plan(std::int64_t from, std::int64_t to,
     state.ring_lens.push_back(a.ring->ring_len());
     state.pinned.push_back(gpu_.is_pinned(a.spec.host));
   }
-  return PlanBuilder::pipeline(spec_, chunk_size_, effective_streams(), from, to, state);
+  ExecutionPlan plan =
+      PlanBuilder::pipeline(spec_, chunk_size_, effective_streams(), from, to, state);
+  optimize_plan(plan, spec_.opt_level);
+  return plan;
 }
 
 void Pipeline::maybe_validate(const ExecutionPlan& p) const {
@@ -187,7 +191,10 @@ std::vector<ChunkPlan> Pipeline::plan() const {
       const auto& a = arrays_[ai];
       const auto [w_lo, w_hi] = layout::window_of(a.spec, lo, hi);
       if (is_input(a.spec)) {
-        const std::int64_t n_lo = copied_any[ai] ? std::max(copied_hi[ai], w_lo) : w_lo;
+        // Mirror the executed plan: with the halo-reuse pass enabled, only
+        // the non-resident suffix of the window is uploaded.
+        const bool elide = spec_.opt_level >= 1 && copied_any[ai];
+        const std::int64_t n_lo = elide ? std::max(copied_hi[ai], w_lo) : w_lo;
         if (n_lo < w_hi) cp.copies_in.push_back({a.spec.name, n_lo, w_hi});
         copied_hi[ai] = std::max(copied_hi[ai], w_hi);
         copied_any[ai] = true;

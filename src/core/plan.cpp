@@ -9,6 +9,7 @@
 
 #include "common/log.hpp"
 #include "core/layout.hpp"
+#include "core/plan_opt.hpp"
 #include "core/tile_pipeline.hpp"
 
 namespace gpupipe::core {
@@ -89,8 +90,10 @@ ExecutionPlan predicted_pipeline(const PipelineSpec& spec, const gpu::Gpu* g) {
                  a.dims[static_cast<std::size_t>(a.split.dim)]));
     state.pinned.push_back(g ? g->is_pinned(a.host) : true);
   }
-  return PlanBuilder::pipeline(spec, spec.chunk_size, spec.num_streams, spec.loop_begin,
-                               spec.loop_end, state);
+  ExecutionPlan plan = PlanBuilder::pipeline(spec, spec.chunk_size, spec.num_streams,
+                                             spec.loop_begin, spec.loop_end, state);
+  optimize_plan(plan, spec.opt_level);
+  return plan;
 }
 
 }  // namespace
@@ -101,6 +104,7 @@ ExecutionPlan PlanBuilder::pipeline(const PipelineSpec& spec, std::int64_t chunk
                                     int num_streams, std::int64_t from, std::int64_t to,
                                     const PipelineBuildState& state) {
   require(chunk_size >= 1 && num_streams >= 1, "plan needs chunk_size and num_streams >= 1");
+  require(from <= to, "plan iteration range is reversed");
   require(state.ring_lens.size() == spec.arrays.size(),
           "plan build state must describe every mapped array");
 
@@ -126,8 +130,6 @@ ExecutionPlan PlanBuilder::pipeline(const PipelineSpec& spec, std::int64_t chunk
   // a reuse edge orders the overwrite after *every* in-flight reader), and
   // which drain group last emptied each slot.
   struct AState {
-    std::int64_t copied_hi = 0;
-    bool copied_any = false;
     std::unordered_map<std::int64_t, int> copy_writer;
     std::vector<std::vector<int>> slot_readers;
     std::vector<int> slot_drained;
@@ -157,7 +159,10 @@ ExecutionPlan PlanBuilder::pipeline(const PipelineSpec& spec, std::int64_t chunk
       AState& as = st[ai];
       const std::int64_t ring = plan.arrays[ai].ring_len;
       const auto [w_lo, w_hi] = layout::window_of(a, lo, hi);
-      const std::int64_t n_lo = as.copied_any ? std::max(as.copied_hi, w_lo) : w_lo;
+      // Naive schedule: every chunk uploads its full window. The halo-reuse
+      // pass (core/plan_opt.hpp) elides the bytes still resident in the ring
+      // from earlier chunks.
+      const std::int64_t n_lo = w_lo;
       if (n_lo < w_hi) {
         // Slot-reuse guard: the incoming data overwrites ring slots whose
         // previous occupants may still be read by in-flight kernels or
@@ -196,8 +201,6 @@ ExecutionPlan PlanBuilder::pipeline(const PipelineSpec& spec, std::int64_t chunk
         for (std::int64_t idx = n_lo; idx < w_hi; ++idx) as.copy_writer[idx] = hid;
         chunk_h2d.push_back(hid);
       }
-      as.copied_hi = std::max(as.copied_hi, w_hi);
-      as.copied_any = true;
     }
     if (!chunk_h2d.empty()) {
       plan.nodes[static_cast<std::size_t>(chunk_h2d.back())].records_event = true;
@@ -343,8 +346,6 @@ ExecutionPlan PlanBuilder::tiles(const TileSpec& spec, const TileBuildState& sta
   }
 
   struct AState {
-    std::int64_t copied_hi = 0;
-    bool copied_any = false;
     std::unordered_map<std::int64_t, int> col_writer;
     std::vector<std::vector<int>> col_readers;
     std::vector<int> col_drained;
@@ -399,7 +400,9 @@ ExecutionPlan PlanBuilder::tiles(const TileSpec& spec, const TileBuildState& sta
         const std::int64_t rh = rs + a.row_split.window;
         const std::int64_t cs = a.col_split.start(j);
         const std::int64_t ch = cs + a.col_split.window;
-        const std::int64_t n_lo = as.copied_any ? std::max(as.copied_hi, cs) : cs;
+        // Naive schedule: every tile uploads its full column window; the
+        // halo-reuse pass elides columns still resident within the band.
+        const std::int64_t n_lo = cs;
         if (n_lo < ch) {
           std::vector<int> reuse;
           for (std::int64_t c = n_lo; c < ch; ++c) {
@@ -441,8 +444,6 @@ ExecutionPlan PlanBuilder::tiles(const TileSpec& spec, const TileBuildState& sta
           for (std::int64_t c = n_lo; c < ch; ++c) as.col_writer[c] = hid;
           tile_h2d.push_back(hid);
         }
-        as.copied_hi = std::max(as.copied_hi, ch);
-        as.copied_any = true;
       }
       if (!tile_h2d.empty()) {
         plan.nodes[static_cast<std::size_t>(tile_h2d.back())].records_event = true;

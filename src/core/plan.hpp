@@ -15,11 +15,14 @@
 //   * tools can dump the graph as DOT or a planned timeline as Chrome-trace
 //     JSON (to_dot / dry_run's trace) for inspection.
 //
-// Node/event parity with the legacy hand-issued schedule is exact: node
-// order is host-enqueue order, every chunk's copies share one recorded
+// Node order is host-enqueue order, every chunk's copies share one recorded
 // event (the node with records_event=true; the others point at it through
 // event_node), and the executor reproduces the original wait deduplication
-// rules, so stats and virtual-clock timings are unchanged.
+// rules. Builders emit the naive schedule (every chunk uploads its full
+// window); the pass pipeline in core/plan_opt.hpp then elides resident halo
+// bytes, coalesces segments, and optionally rebalances streams — at the
+// default opt level the optimized plan matches the legacy hand-issued
+// schedule node for node, so stats and virtual-clock timings are unchanged.
 #pragma once
 
 #include <cstdint>
@@ -233,7 +236,16 @@ class RingBufferBinding final : public PlanArrayBinding {
  public:
   explicit RingBufferBinding(RingBuffer& ring) : ring_(&ring) {}
   int transfer(gpu::Stream& s, const PlanNode& n, bool to_device) override {
-    return to_device ? ring_->copy_in(s, n.begin, n.end) : ring_->copy_out(s, n.begin, n.end);
+    // Segment-driven: optimized nodes may cover less than [begin, end) (the
+    // resident halo was elided) or fuse wrap pieces differently, so the
+    // segments are the authoritative description of what moves.
+    for (const auto& seg : n.segments) {
+      if (to_device)
+        ring_->copy_in_run(s, seg.slot, seg.index, seg.count);
+      else
+        ring_->copy_out_run(s, seg.slot, seg.index, seg.count);
+    }
+    return static_cast<int>(n.segments.size());
   }
   void append_ranges(std::vector<gpu::MemRange>& out, const PlanAccess& a) const override {
     ring_->append_ranges(out, a.lo, a.hi);

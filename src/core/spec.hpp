@@ -151,6 +151,10 @@ struct PipelineSpec {
   /// Optional device-memory cap; the runtime shrinks chunk_size (and, as a
   /// last resort, num_streams) until the pre-allocated buffers fit.
   std::optional<Bytes> mem_limit;
+  /// Plan optimization level (core/plan_opt.hpp): 0 executes plans exactly
+  /// as built, 1 (default) adds halo-reuse H2D elimination and segment
+  /// coalescing, 2 adds stream rebalancing of transfer nodes.
+  int opt_level = 1;
   /// The split loop's iteration range [loop_begin, loop_end).
   std::int64_t loop_begin = 0;
   std::int64_t loop_end = 0;
@@ -159,6 +163,7 @@ struct PipelineSpec {
   void validate() const {
     require(chunk_size >= 1, "chunk_size must be >= 1");
     require(num_streams >= 1, "num_streams must be >= 1");
+    require(opt_level >= 0 && opt_level <= 2, "opt_level must be 0, 1, or 2");
     require(loop_end > loop_begin, "pipeline loop range is empty");
     require(!arrays.empty(), "pipeline needs at least one pipeline_map clause");
     for (const auto& a : arrays) a.validate();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/layout.hpp"
+#include "core/plan_opt.hpp"
 
 namespace gpupipe::core {
 
@@ -79,6 +80,7 @@ void TileArraySpec::validate() const {
 
 void TileSpec::validate() const {
   require(num_streams >= 1, "num_streams must be >= 1");
+  require(opt_level >= 0 && opt_level <= 2, "opt_level must be 0, 1, or 2");
   require(ni >= 1 && nj >= 1, "tile loop extents must be >= 1");
   require(!arrays.empty(), "tile pipeline needs at least one mapped array");
   for (const auto& a : arrays) a.validate();
@@ -153,7 +155,8 @@ void TilePipeline::run(const TileKernelFactory& make_kernel) {
     state.ring_cols.push_back(a.view.ring_cols);
     state.pinned.push_back(gpu_.is_pinned(a.spec.host));
   }
-  const ExecutionPlan plan = PlanBuilder::tiles(spec_, state);
+  ExecutionPlan plan = PlanBuilder::tiles(spec_, state);
+  optimize_plan(plan, spec_.opt_level);
   if (gpu_.hazards().enabled()) plan.validate();
   executor_.run(plan, [this, &make_kernel](const PlanNode& n) {
     const TileContext ctx(*this, n.tile_i, n.tile_j);

@@ -80,6 +80,8 @@ struct TileSpec {
   int num_streams = 2;
   std::int64_t ni = 0;
   std::int64_t nj = 0;
+  /// Plan optimization level (core/plan_opt.hpp), as in PipelineSpec.
+  int opt_level = 1;
   std::vector<TileArraySpec> arrays;
 
   void validate() const;

@@ -31,6 +31,7 @@ core::PipelineSpec bind(const Directive& d, const std::string& loop_var,
   spec.mem_limit = d.mem_limit;
   if (d.chunk_size) spec.chunk_size = d.chunk_size->eval(env);
   if (d.num_streams) spec.num_streams = static_cast<int>(d.num_streams->eval(env));
+  if (d.opt_level) spec.opt_level = static_cast<int>(d.opt_level->eval(env));
 
   for (const auto& m : d.maps) {
     const std::string where = "pipeline_map(" + std::string(core::to_string(m.type)) + ": " +

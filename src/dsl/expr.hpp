@@ -89,10 +89,15 @@ class Expr {
     switch (kind_) {
       case Kind::Num: return std::to_string(value_);
       case Kind::Var: return name_;
-      case Kind::Add: return "(" + lhs_->str() + "+" + rhs_->str() + ")";
-      case Kind::Sub: return "(" + lhs_->str() + "-" + rhs_->str() + ")";
-      case Kind::Mul: return "(" + lhs_->str() + "*" + rhs_->str() + ")";
-      case Kind::Neg: return "(-" + lhs_->str() + ")";
+      case Kind::Add: return binary_str('+');
+      case Kind::Sub: return binary_str('-');
+      case Kind::Mul: return binary_str('*');
+      case Kind::Neg: {
+        std::string s = "(-";
+        s += lhs_->str();
+        s += ')';
+        return s;
+      }
     }
     return "?";
   }
@@ -100,6 +105,15 @@ class Expr {
  private:
   Expr(Kind k, std::int64_t v, std::string n, ExprPtr l, ExprPtr r)
       : kind_(k), value_(v), name_(std::move(n)), lhs_(std::move(l)), rhs_(std::move(r)) {}
+
+  std::string binary_str(char op) const {
+    std::string s = "(";
+    s += lhs_->str();
+    s += op;
+    s += rhs_->str();
+    s += ')';
+    return s;
+  }
 
   Kind kind_;
   std::int64_t value_;

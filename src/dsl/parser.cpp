@@ -125,9 +125,14 @@ class Parser {
       } else if (t.text == "pipeline_mem_limit") {
         if (d.mem_limit) lex_.fail("duplicate pipeline_mem_limit() clause", t.pos);
         parse_mem_limit(d);
+      } else if (t.text == "pipeline_opt") {
+        if (d.opt_level) lex_.fail("duplicate pipeline_opt() clause", t.pos);
+        expect(Tok::LParen, "'('");
+        d.opt_level = parse_expr();
+        expect(Tok::RParen, "')'");
       } else {
-        lex_.fail("unknown clause '" + t.text + "' (expected pipeline, pipeline_map, or "
-                  "pipeline_mem_limit)", t.pos);
+        lex_.fail("unknown clause '" + t.text + "' (expected pipeline, pipeline_map, "
+                  "pipeline_mem_limit, or pipeline_opt)", t.pos);
       }
     }
     if (d.maps.empty())

@@ -3,6 +3,7 @@
 //   pipeline(schedule_kind[chunk_size, num_stream])
 //   pipeline_map(map_type : var[split_iter:size][0:m]...)
 //   pipeline_mem_limit(mem_size)
+//   pipeline_opt(level)              — extension; plan optimization level
 //
 // The text may be the clause list alone or a full pragma line; a leading
 // `#pragma omp target` prefix and line-continuation backslashes are
@@ -53,6 +54,7 @@ struct Directive {
   core::ScheduleKind schedule = core::ScheduleKind::Static;
   ExprPtr chunk_size;   // null => default 1
   ExprPtr num_streams;  // null => default 2
+  ExprPtr opt_level;    // null => default 1 (core/plan_opt.hpp)
   std::optional<Bytes> mem_limit;
   std::vector<ParsedMap> maps;
 };

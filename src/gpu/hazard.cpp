@@ -1,7 +1,9 @@
 #include "gpu/hazard.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 namespace gpupipe::gpu {
 
@@ -130,6 +132,14 @@ void validate_static_schedule(const std::vector<StaticOp>& ops, int num_queues) 
       }
     }
   }
+}
+
+bool HazardTracker::force_enabled() {
+  static const bool forced = [] {
+    const char* v = std::getenv("GPUPIPE_FORCE_HAZARDS");
+    return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+  }();
+  return forced;
 }
 
 void HazardTracker::begin_op(const MemEffects& effects, SimTime start, SimTime end,

@@ -93,8 +93,15 @@ void validate_static_schedule(const std::vector<StaticOp>& ops, int num_queues);
 /// Tracks in-flight accesses and validates new ones against them.
 class HazardTracker {
  public:
-  void set_enabled(bool on) { enabled_ = on; }
+  /// Disabling is ignored while GPUPIPE_FORCE_HAZARDS is set in the
+  /// environment (CI runs the suite with tracking forced on so code paths
+  /// that suspend the tracker still get checked).
+  void set_enabled(bool on) { enabled_ = on || force_enabled(); }
   bool enabled() const { return enabled_; }
+
+  /// True when the GPUPIPE_FORCE_HAZARDS environment variable is set to a
+  /// non-empty value other than "0" (read once per process).
+  static bool force_enabled();
 
   /// Validates `effects` for an operation starting at `start` and finishing
   /// at `end`, then records its accesses. Throws HazardError on conflict.

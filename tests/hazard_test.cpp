@@ -110,6 +110,8 @@ TEST(HazardTracker, PruneDropsCompletedRecords) {
 }
 
 TEST(HazardTracker, DisabledTrackerIgnoresEverything) {
+  if (HazardTracker::force_enabled())
+    GTEST_SKIP() << "GPUPIPE_FORCE_HAZARDS overrides set_enabled(false)";
   HazardTracker t;
   t.set_enabled(false);
   MemEffects w1, w2;

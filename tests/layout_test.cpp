@@ -1,6 +1,7 @@
 // Unit tests for the shared chunk/ring layout arithmetic.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "core/layout.hpp"
@@ -118,6 +119,72 @@ TEST(Layout, PartitionWeightedRejectsBadInputs) {
   EXPECT_THROW(partition_weighted(10, {}, 1), Error);
   EXPECT_THROW(partition_weighted(10, {1.0}, 0), Error);
   EXPECT_THROW(partition_weighted(10, {0.0, 0.0}, 1), Error);
+  EXPECT_THROW(partition_weighted(-1, {1.0}, 1), Error);
+  EXPECT_THROW(partition_weighted(10, {1.0, -0.5}, 1), Error);
+}
+
+TEST(Layout, PartitionWeightedNeverAssignsToZeroWeightParts) {
+  // A disabled (weight 0) device gets nothing even when it is listed last
+  // and a remainder is left over.
+  EXPECT_EQ(partition_weighted(100, {1.0, 1.0, 0.0}, 4),
+            (std::vector<std::int64_t>{48, 52, 0}));
+  EXPECT_EQ(partition_weighted(10, {0.0, 1.0}, 4), (std::vector<std::int64_t>{0, 10}));
+  // Many zero-weight parts, remainder larger than one granule.
+  const auto parts = partition_weighted(103, {0.0, 3.0, 0.0, 1.0}, 8);
+  EXPECT_EQ(parts[0], 0);
+  EXPECT_EQ(parts[2], 0);
+  EXPECT_EQ(parts[1] + parts[3], 103);
+}
+
+TEST(Layout, PartitionWeightedDoesNotStarveEarlyParts) {
+  // Floor-rounding leaves every part short; the remainder is spread by
+  // fractional share instead of dumped on the last part.
+  EXPECT_EQ(partition_weighted(10, {1.0, 1.0, 1.0}, 1),
+            (std::vector<std::int64_t>{3, 3, 4}));
+  // Remainder worth several granules spreads across parts.
+  const auto parts = partition_weighted(30, {1.0, 1.0, 1.0, 1.0}, 4);
+  std::int64_t sum = 0;
+  for (auto p : parts) {
+    EXPECT_GE(p, 4);  // no part starves to zero
+    sum += p;
+  }
+  EXPECT_EQ(sum, 30);
+}
+
+TEST(Layout, RingSegmentsRejectOversizedOrNegativeRanges) {
+  // A range wider than the ring would revisit slots and emit overlapping
+  // runs; the helper refuses instead.
+  EXPECT_THROW(ring_segments(0, 9, 8), Error);
+  EXPECT_THROW(ring_segments(4, 16, 8), Error);
+  EXPECT_THROW(ring_segments(-1, 2, 8), Error);
+  EXPECT_THROW(ring_segments(3, 2, 8), Error);
+  // Exactly ring-sized ranges are fine.
+  const auto segs = ring_segments(2, 10, 8);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].count + segs[1].count, 8);
+}
+
+TEST(Layout, WindowOfRejectsEmptyChunkRange) {
+  ArraySpec a{"a", MapType::To, nullptr, 8, {32, 4}, SplitSpec{0, Affine{1, 0}, 1}};
+  EXPECT_THROW(window_of(a, 3, 3), Error);
+  EXPECT_THROW(window_of(a, 5, 3), Error);
+}
+
+TEST(Layout, RoundUpGuardsOverflowAndNegatives) {
+  const std::int64_t top = std::numeric_limits<std::int64_t>::max();
+  EXPECT_THROW(round_up<std::int64_t>(top - 2, 8), Error);
+  EXPECT_THROW(round_up<std::int64_t>(-1, 8), Error);
+  EXPECT_THROW(round_up<std::int64_t>(5, 0), Error);
+  // The largest representable multiple passes through unchanged.
+  EXPECT_EQ(round_up<std::int64_t>(top - 7, 8), top - 7);
+}
+
+TEST(Layout, RingLenForSpecRejectsDegenerateInputs) {
+  ArraySpec a{"a", MapType::To, nullptr, 8, {64, 4}, SplitSpec{0, Affine{1, -1}, 3}};
+  // Empty loop range.
+  EXPECT_THROW(ring_len_for_spec(a, 5, 5, 1, 1), Error);
+  // Affine window stepping outside the array (range_of(0) starts at -1).
+  EXPECT_THROW(ring_len_for_spec(a, 0, 8, 1, 1), Error);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/plan.hpp"
+#include "core/plan_opt.hpp"
 #include "dsl/bind.hpp"
 #include "gpu/device_profile.hpp"
 #include "region_file.hpp"
@@ -126,6 +127,23 @@ gpupipe::Bytes elem_size_of(const std::string& type) {
   throw Error("unsupported element type '" + type + "' (use double or float)");
 }
 
+void print_opt_report(std::ostream& os, const gpupipe::core::OptReport& report,
+                      int opt_level) {
+  os << "optimization: level " << opt_level << "\n";
+  if (opt_level == 0) return;
+  for (const auto& p : report.passes) {
+    os << "  pass " << p.pass << ": removed " << p.nodes_removed << " nodes, changed "
+       << p.nodes_changed << ", saved " << p.bytes_saved << " bytes\n";
+    for (const auto& [name, bytes] : p.bytes_saved_by_array)
+      if (bytes > 0) os << "    " << name << ": " << bytes << " bytes\n";
+  }
+  os << "  nodes: " << report.nodes_before << " -> " << report.nodes_after << "\n";
+  os << "  h2d bytes: " << report.h2d_bytes_before << " -> " << report.h2d_bytes_after
+     << "\n";
+  os << "  d2h bytes: " << report.d2h_bytes_before << " -> " << report.d2h_bytes_after
+     << "\n";
+}
+
 void print_summary(std::ostream& os, const gpupipe::core::ExecutionPlan& plan,
                    const gpupipe::core::DryRunResult& dry) {
   using gpupipe::core::PlanOp;
@@ -157,6 +175,7 @@ int usage(int code) {
   std::fprintf(stderr,
                "usage: gpupipe_plan <region-file> [-D name=value ...]\n"
                "           [--dot | --trace | --summary]\n"
+               "           [--opt | --opt=N | --no-opt]\n"
                "           [--profile k40m|hd7970|xeonphi]\n"
                "           [--flops-per-iter F] [--bytes-per-iter B] [-o out]\n");
   return code;
@@ -166,6 +185,7 @@ int usage(int code) {
 
 int main(int argc, char** argv) {
   std::string input_path, output_path, mode = "--summary";
+  int opt_override = -1;  // -1 = use the directive's pipeline_opt level
   gpupipe::dsl::Env env;
   gpupipe::gpu::DeviceProfile profile = gpupipe::gpu::nvidia_k40m();
   gpupipe::core::DryRunCost cost;
@@ -186,6 +206,16 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--dot" || arg == "--trace" || arg == "--summary") {
         mode = arg;
+      } else if (arg == "--opt") {
+        opt_override = 1;
+      } else if (arg.rfind("--opt=", 0) == 0) {
+        try {
+          opt_override = std::stoi(arg.substr(6));
+        } catch (const std::logic_error&) {
+          throw Error("--opt= expects an integer level, got: " + arg);
+        }
+      } else if (arg == "--no-opt") {
+        opt_override = 0;
       } else if (arg == "--profile" && i + 1 < argc) {
         const std::string name = argv[++i];
         if (name == "k40m") profile = gpupipe::gpu::nvidia_k40m();
@@ -236,9 +266,17 @@ int main(int argc, char** argv) {
 
     const std::int64_t begin = eval_expr(in.loop_begin, env);
     const std::int64_t end = eval_expr(in.loop_end, env);
-    const gpupipe::core::PipelineSpec spec =
+    gpupipe::core::PipelineSpec spec =
         gpupipe::dsl::compile(in.directive, in.loop_var, begin, end, arrays, env);
-    const gpupipe::core::ExecutionPlan plan = gpupipe::core::PlanBuilder::pipeline(spec);
+    if (opt_override >= 0) spec.opt_level = opt_override;
+
+    // Build naive, then optimize explicitly so the pass statistics are
+    // available for the summary.
+    gpupipe::core::PipelineSpec naive = spec;
+    naive.opt_level = 0;
+    gpupipe::core::ExecutionPlan plan = gpupipe::core::PlanBuilder::pipeline(naive);
+    const gpupipe::core::OptReport report =
+        gpupipe::core::optimize_plan(plan, spec.opt_level);
 
     std::ofstream out_file;
     if (!output_path.empty()) {
@@ -252,10 +290,12 @@ int main(int argc, char** argv) {
     } else {
       cost.live_streams = spec.num_streams;
       const gpupipe::core::DryRunResult dry = gpupipe::core::dry_run(plan, profile, cost);
-      if (mode == "--trace")
+      if (mode == "--trace") {
         dry.trace.dump_chrome_json(os);
-      else
+      } else {
         print_summary(os, plan, dry);
+        print_opt_report(os, report, spec.opt_level);
+      }
     }
     if (!output_path.empty())
       std::fprintf(stderr, "wrote %s\n", output_path.c_str());
