@@ -11,16 +11,116 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/common.hpp"
 #include "common/table.hpp"
 #include "gpu/device_profile.hpp"
 
 namespace gpupipe::bench {
+
+/// True when GPUPIPE_BENCH_QUICK is set (CI smoke runs): benches shrink
+/// their sweeps/datasets so one pass completes in seconds.
+inline bool quick_mode() {
+  const char* e = std::getenv("GPUPIPE_BENCH_QUICK");
+  return e != nullptr && std::string(e) != "0";
+}
+
+/// Machine-readable benchmark artifact. Collects three flat JSON objects —
+/// "config" (the workload/tuning knobs), "metrics" (raw measurements), and
+/// "derived" (figures computed from them: speedups, savings, efficiencies)
+/// — and writes them as BENCH_<name>.json into $GPUPIPE_BENCH_JSON_DIR (or
+/// the working directory), so CI can archive and gate on the numbers the
+/// human-readable tables print.
+class Artifact {
+ public:
+  explicit Artifact(std::string name) : name_(std::move(name)) {}
+
+  void config(const std::string& key, const std::string& v) {
+    config_.emplace_back(key, quote(v));
+  }
+  // String literals would otherwise convert to bool, not std::string.
+  void config(const std::string& key, const char* v) { config(key, std::string(v)); }
+  void config(const std::string& key, double v) { config_.emplace_back(key, num(v)); }
+  void config(const std::string& key, bool v) {
+    config_.emplace_back(key, v ? "true" : "false");
+  }
+  void metric(const std::string& key, double v) { metrics_.emplace_back(key, num(v)); }
+  void derived(const std::string& key, double v) { derived_.emplace_back(key, num(v)); }
+
+  /// Records a Measurement's fields under <prefix>.<field>.
+  void measurement(const std::string& prefix, const apps::Measurement& m) {
+    metric(prefix + ".seconds", m.seconds);
+    metric(prefix + ".h2d_s", m.h2d_time);
+    metric(prefix + ".d2h_s", m.d2h_time);
+    metric(prefix + ".kernel_s", m.kernel_time);
+    metric(prefix + ".h2d_bytes", static_cast<double>(m.h2d_bytes));
+    metric(prefix + ".d2h_bytes", static_cast<double>(m.d2h_bytes));
+    metric(prefix + ".overlap_efficiency", m.overlap_efficiency);
+    metric(prefix + ".reported_device_mem_bytes",
+           static_cast<double>(m.reported_device_mem));
+  }
+
+  /// Writes BENCH_<name>.json and reports the path on stderr.
+  void write() const {
+    const char* dir = std::getenv("GPUPIPE_BENCH_JSON_DIR");
+    std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
+    path += "BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    os << "{\n  \"name\": " << quote(name_) << ",\n";
+    section(os, "config", config_);
+    os << ",\n";
+    section(os, "metrics", metrics_);
+    os << ",\n";
+    section(os, "derived", derived_);
+    os << "\n}\n";
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+  static std::string num(double v) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+  }
+  static void section(std::ostream& os, const char* title, const Fields& fields) {
+    os << "  " << quote(title) << ": {";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      os << (i == 0 ? "\n" : ",\n") << "    " << quote(fields[i].first) << ": "
+         << fields[i].second;
+    }
+    os << "\n  }";
+  }
+
+  std::string name_;
+  Fields config_;
+  Fields metrics_;
+  Fields derived_;
+};
 
 /// Runs `fn` once per unique `key` and caches its Measurement.
 inline const apps::Measurement& cached(const std::string& key,

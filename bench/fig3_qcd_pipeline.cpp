@@ -56,6 +56,21 @@ void print_figure() {
                 Table::num(n.seconds / p.seconds), paper[i++]});
   }
   sp.print(std::cout);
+
+  Artifact a("fig3_qcd_pipeline");
+  a.config("profile", kProfile.name);
+  for (char sz : {'s', 'm', 'l'}) {
+    const std::string name = qcd_name(sz);
+    a.measurement(name + ".naive", qcd_m(sz, "naive"));
+    a.measurement(name + ".pipelined", qcd_m(sz, "pipelined"));
+    a.derived(name + ".speedup",
+              qcd_m(sz, "naive").seconds / qcd_m(sz, "pipelined").seconds);
+    const auto& n = qcd_m(sz, "naive");
+    a.derived(name + ".transfer_share",
+              (n.h2d_time + n.d2h_time) / (n.h2d_time + n.d2h_time + n.kernel_time));
+  }
+  a.derived("overlap_efficiency", qcd_m('l', "pipelined").overlap_efficiency);
+  a.write();
 }
 
 }  // namespace

@@ -98,6 +98,22 @@ void print_figure() {
       "~1.65", "1.54");
   std::printf("\nFig. 5 — Performance evaluation on %s\n", kProfile.name.c_str());
   t.print(std::cout);
+
+  Artifact a("fig5_performance");
+  a.config("profile", kProfile.name);
+  auto emit = [&](const std::string& name, const apps::Measurement& n,
+                  const apps::Measurement& p, const apps::Measurement& b) {
+    a.measurement(name + ".naive", n);
+    a.measurement(name + ".pipelined", p);
+    a.measurement(name + ".buffer", b);
+    a.derived(name + ".speedup_pipelined", n.seconds / p.seconds);
+    a.derived(name + ".speedup_buffer", n.seconds / b.seconds);
+  };
+  emit("3dconv", conv_m("naive"), conv_m("pipelined"), conv_m("buffer"));
+  emit("stencil", stencil_m("naive"), stencil_m("pipelined"), stencil_m("buffer"));
+  for (char sz : {'s', 'm', 'l'})
+    emit(qcd_name(sz), qcd_m(sz, "naive"), qcd_m(sz, "pipelined"), qcd_m(sz, "buffer"));
+  a.write();
 }
 
 }  // namespace

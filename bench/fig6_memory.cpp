@@ -72,6 +72,21 @@ void print_figure() {
                paper[i++]});
   }
   t.print(std::cout);
+
+  Artifact a("fig6_memory");
+  a.config("profile", kProfile.name);
+  for (const char* app : kApps) {
+    const std::string name = app;
+    for (const char* v : {"naive", "pipelined", "buffer"})
+      a.metric(name + "." + v + ".reported_device_mem_bytes",
+               static_cast<double>(workload_m(app, v).reported_device_mem));
+    a.derived(name + ".mem_saving_pct",
+              100.0 * (1.0 - static_cast<double>(
+                                 workload_m(app, "buffer").reported_device_mem) /
+                                 static_cast<double>(
+                                     workload_m(app, "pipelined").reported_device_mem)));
+  }
+  a.write();
 }
 
 }  // namespace

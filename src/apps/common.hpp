@@ -38,6 +38,11 @@ struct Measurement {
   SimTime h2d_time = 0.0;
   SimTime d2h_time = 0.0;
   SimTime kernel_time = 0.0;
+  /// Bytes moved per direction during the region (from the trace).
+  Bytes h2d_bytes = 0;
+  Bytes d2h_bytes = 0;
+  /// Copy/compute overlap achieved vs. achievable (sim::overlap_efficiency).
+  double overlap_efficiency = 0.0;
   /// FNV-1a checksum of the output (0 in Modeled mode).
   std::uint64_t checksum = 0;
 };
@@ -63,6 +68,11 @@ Measurement measure(gpu::Gpu& g, Fn&& fn) {
   m.h2d_time = get(sim::SpanKind::H2D);
   m.d2h_time = get(sim::SpanKind::D2H);
   m.kernel_time = get(sim::SpanKind::Kernel);
+  for (const sim::Span& s : g.trace().spans()) {
+    if (s.kind == sim::SpanKind::H2D) m.h2d_bytes += s.bytes;
+    if (s.kind == sim::SpanKind::D2H) m.d2h_bytes += s.bytes;
+  }
+  m.overlap_efficiency = sim::overlap_efficiency(g.trace());
   return m;
 }
 

@@ -8,19 +8,41 @@
 // single-threaded.
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace gpupipe {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Off = 3 };
 
+/// Parses a GPUPIPE_LOG-style level name ("debug"/"info"/"warn"/"off");
+/// nullopt for anything else.
+inline std::optional<LogLevel> parse_log_level(std::string_view s) {
+  if (s == "debug") return LogLevel::Debug;
+  if (s == "info") return LogLevel::Info;
+  if (s == "warn") return LogLevel::Warn;
+  if (s == "off") return LogLevel::Off;
+  return std::nullopt;
+}
+
 namespace detail {
 struct LogState {
   LogLevel level = LogLevel::Warn;
   std::function<void(LogLevel, const std::string&)> sink;
+
+  // GPUPIPE_LOG overrides the default threshold at startup, mirroring
+  // GPUPIPE_FORCE_HAZARDS; unknown values are ignored (the first log_warn
+  // would be too early to see anyway).
+  LogState() {
+    if (const char* env = std::getenv("GPUPIPE_LOG")) {
+      if (auto parsed = parse_log_level(env)) level = *parsed;
+    }
+  }
 };
 inline LogState& log_state() {
   static LogState state;

@@ -46,6 +46,11 @@ Bytes RingBuffer::predict_footprint(const gpu::Gpu& gpu, const ArraySpec& spec,
          static_cast<Bytes>(spec.dims[0]);
 }
 
+Bytes RingBuffer::run_bytes(std::int64_t count) const {
+  if (spec_.split.dim == 0) return static_cast<Bytes>(count) * view_.slab;
+  return static_cast<Bytes>(count) * spec_.elem_size * static_cast<Bytes>(view_.height);
+}
+
 template <typename Fn>
 void RingBuffer::for_segments(std::int64_t a, std::int64_t b, Fn&& fn) const {
   require(0 <= a && a < b, "split index range must be non-empty and non-negative");
@@ -79,6 +84,8 @@ int RingBuffer::copy_in(gpu::Stream& s, std::int64_t a, std::int64_t b) {
                               static_cast<Bytes>(view_.height), s);
     });
   }
+  h2d_copies_ += transfers;
+  h2d_bytes_ += run_bytes(b - a);
   return transfers;
 }
 
@@ -101,6 +108,8 @@ int RingBuffer::copy_out(gpu::Stream& s, std::int64_t a, std::int64_t b) {
                               static_cast<Bytes>(view_.height), s);
     });
   }
+  d2h_copies_ += transfers;
+  d2h_bytes_ += run_bytes(b - a);
   return transfers;
 }
 
@@ -120,6 +129,8 @@ void RingBuffer::copy_in_run(gpu::Stream& s, std::int64_t slot, std::int64_t ind
                             static_cast<Bytes>(count) * spec_.elem_size,
                             static_cast<Bytes>(view_.height), s);
   }
+  ++h2d_copies_;
+  h2d_bytes_ += run_bytes(count);
 }
 
 void RingBuffer::copy_out_run(gpu::Stream& s, std::int64_t slot, std::int64_t index,
@@ -138,6 +149,8 @@ void RingBuffer::copy_out_run(gpu::Stream& s, std::int64_t slot, std::int64_t in
                             static_cast<Bytes>(count) * spec_.elem_size,
                             static_cast<Bytes>(view_.height), s);
   }
+  ++d2h_copies_;
+  d2h_bytes_ += run_bytes(count);
 }
 
 void RingBuffer::append_ranges(std::vector<gpu::MemRange>& out, std::int64_t a,

@@ -99,7 +99,16 @@ class RingBuffer {
   /// effects for hazard validation.
   void append_ranges(std::vector<gpu::MemRange>& out, std::int64_t a, std::int64_t b) const;
 
+  /// Lifetime transfer counters of this ring (telemetry; plain integer
+  /// accumulation, no allocation).
+  std::int64_t h2d_copies() const { return h2d_copies_; }
+  std::int64_t d2h_copies() const { return d2h_copies_; }
+  Bytes h2d_bytes() const { return h2d_bytes_; }
+  Bytes d2h_bytes() const { return d2h_bytes_; }
+
  private:
+  /// Bytes one non-wrapping run of `count` split indices moves.
+  Bytes run_bytes(std::int64_t count) const;
   /// Invokes `fn(slot_start, idx_start, count)` for each non-wrapping
   /// segment of [a, b).
   template <typename Fn>
@@ -110,6 +119,10 @@ class RingBuffer {
   std::int64_t ring_len_;
   Bytes footprint_ = 0;
   BufferView view_;
+  std::int64_t h2d_copies_ = 0;
+  std::int64_t d2h_copies_ = 0;
+  Bytes h2d_bytes_ = 0;
+  Bytes d2h_bytes_ = 0;
 };
 
 }  // namespace gpupipe::core

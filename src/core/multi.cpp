@@ -61,4 +61,12 @@ Bytes MultiPipeline::buffer_footprint() const {
   return total;
 }
 
+void MultiPipeline::collect_metrics(telemetry::Registry& reg,
+                                    const std::string& prefix) const {
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (!parts_[i].pipeline) continue;
+    parts_[i].pipeline->collect_metrics(reg, prefix + "dev" + std::to_string(i) + ".");
+  }
+}
+
 }  // namespace gpupipe::core

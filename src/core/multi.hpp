@@ -49,6 +49,10 @@ class MultiPipeline {
   /// Sum of ring-buffer footprints across devices.
   Bytes buffer_footprint() const;
 
+  /// Collects every per-device pipeline's metrics into `reg` under
+  /// `prefix` + "dev<i>." namespaces (empty slices are skipped).
+  void collect_metrics(telemetry::Registry& reg, const std::string& prefix = {}) const;
+
   /// Static helper (exposed for tests): proportional integer partition of
   /// `total` items by `weights`, each part rounded to a multiple of
   /// `granule` (except the last, which absorbs the remainder).

@@ -8,6 +8,7 @@
 #include "core/layout.hpp"
 #include "core/model.hpp"
 #include "core/plan_opt.hpp"
+#include "core/telemetry.hpp"
 
 namespace gpupipe::core {
 
@@ -113,7 +114,7 @@ ExecutionPlan Pipeline::build_plan(std::int64_t from, std::int64_t to,
   }
   ExecutionPlan plan =
       PlanBuilder::pipeline(spec_, chunk_size_, effective_streams(), from, to, state);
-  optimize_plan(plan, spec_.opt_level);
+  opt_report_ = optimize_plan(plan, spec_.opt_level);
   return plan;
 }
 
@@ -125,6 +126,26 @@ Bytes Pipeline::buffer_footprint() const {
   Bytes total = 0;
   for (const auto& a : arrays_) total += a.ring->footprint();
   return total;
+}
+
+void Pipeline::collect_metrics(telemetry::Registry& reg, const std::string& prefix) const {
+  collect_plan_metrics(reg, plan_, prefix);
+  collect_stats_metrics(reg, stats_, prefix);
+  collect_opt_metrics(reg, opt_report_, prefix);
+  const std::string p = prefix + "pipeline.";
+  reg.gauge(p + "chunk_size").set(static_cast<double>(chunk_size_));
+  reg.gauge(p + "num_streams").set(static_cast<double>(effective_streams()));
+  reg.gauge(p + "mem_limit_bytes").set(static_cast<double>(mem_limit_));
+  reg.gauge(p + "buffer_footprint_bytes").set(static_cast<double>(buffer_footprint()));
+  for (const auto& a : arrays_) {
+    const std::string rp = prefix + "ring." + a.spec.name + ".";
+    reg.gauge(rp + "len").set(static_cast<double>(a.ring->ring_len()));
+    reg.gauge(rp + "footprint_bytes").set(static_cast<double>(a.ring->footprint()));
+    reg.counter(rp + "h2d_copies").add(a.ring->h2d_copies());
+    reg.counter(rp + "d2h_copies").add(a.ring->d2h_copies());
+    reg.counter(rp + "h2d_bytes").add(static_cast<std::int64_t>(a.ring->h2d_bytes()));
+    reg.counter(rp + "d2h_bytes").add(static_cast<std::int64_t>(a.ring->d2h_bytes()));
+  }
 }
 
 // --- Execution ---
@@ -157,6 +178,8 @@ void Pipeline::run(const KernelFactory& make_kernel) {
   if (c_star != chunk_size_) {
     log_debug("pipeline: adaptive schedule re-chunks ", chunk_size_, " -> ", c_star,
               " after a ", probe_kernel, "s probe kernel");
+    if (telemetry::metrics_enabled())
+      telemetry::global_metrics().counter("pipeline.adaptive_rechunk_events").add(1);
     chunk_size_ = c_star;
     configure_buffers();
   }

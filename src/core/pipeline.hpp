@@ -25,12 +25,15 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/name_index.hpp"
 #include "core/buffer.hpp"
 #include "core/plan.hpp"
+#include "core/plan_opt.hpp"
 #include "core/spec.hpp"
 #include "gpu/gpu.hpp"
 
@@ -119,6 +122,15 @@ class Pipeline {
   /// reconfigured.
   const ExecutionPlan& execution_plan() const { return plan_; }
 
+  /// Pass statistics of the most recent plan compilation.
+  const OptReport& opt_report() const { return opt_report_; }
+
+  /// Derives a telemetry snapshot from this pipeline's plan, stats,
+  /// optimization report, and ring buffers into `reg` (metric names get
+  /// `prefix` prepended — used by MultiPipeline for per-device namespaces).
+  /// Pull-based: nothing is recorded during execution.
+  void collect_metrics(telemetry::Registry& reg, const std::string& prefix = {}) const;
+
   /// Re-points a mapped array at a different host allocation of identical
   /// shape (e.g. ping-pong buffers between Jacobi sweeps). Takes effect for
   /// subsequent run() calls; device buffers are reused.
@@ -177,6 +189,9 @@ class Pipeline {
   NameIndex index_;  ///< array name -> arrays_ position (view_of/rebind_host)
   PipelineStats stats_;
   ExecutionPlan plan_;      ///< compiled full-loop plan for the current shape
+  /// Report of the latest optimize_plan call (build_plan is const but
+  /// compilation is observable state, hence mutable).
+  mutable OptReport opt_report_;
   PlanExecutor executor_;
 };
 

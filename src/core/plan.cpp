@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "core/layout.hpp"
 #include "core/plan_opt.hpp"
 #include "core/tile_pipeline.hpp"
@@ -569,9 +570,13 @@ std::pair<std::int64_t, int> solve_pipeline_memory(const gpu::Gpu& g, const Pipe
     if (c > 1) {
       log_debug("pipeline: shrinking chunk_size ", c, " -> ", (c + 1) / 2,
                 " to meet the memory limit (need ", footprint(c, s), " of ", limit, " bytes)");
+      if (telemetry::metrics_enabled())
+        telemetry::global_metrics().counter("pipeline.chunk_shrink_events").add(1);
       c = (c + 1) / 2;
     } else if (s > 1) {
       log_debug("pipeline: dropping to ", s - 1, " stream(s) to meet the memory limit");
+      if (telemetry::metrics_enabled())
+        telemetry::global_metrics().counter("pipeline.stream_drop_events").add(1);
       --s;
     } else {
       throw gpu::OomError(
@@ -714,8 +719,10 @@ void PlanExecutor::enqueue(const ExecutionPlan& plan, const PlanKernelMaker& mak
   require(arrays_.size() >= plan.arrays.size(),
           "executor is bound to fewer arrays than the plan maps");
   events_.assign(plan.nodes.size(), nullptr);
+  sim::Trace& trace = gpu_.trace();
   for (const PlanNode& n : plan.nodes) {
     gpu::Stream& s = *streams_[static_cast<std::size_t>(n.stream)];
+    trace.set_plan_node(n.id);
     issue_waits(plan, n, s);
     switch (n.op) {
       case PlanOp::H2D: {
@@ -756,6 +763,7 @@ void PlanExecutor::enqueue(const ExecutionPlan& plan, const PlanKernelMaker& mak
       if (stats_) ++stats_->events;
     }
   }
+  trace.set_plan_node(-1);
 }
 
 void PlanExecutor::wait() {
@@ -789,7 +797,7 @@ DryRunResult dry_run(const ExecutionPlan& plan, const gpu::DeviceProfile& profil
   auto lane = [](int s) { return "s" + std::to_string(s); };
 
   auto submit = [&](int stream, sim::Engine& engine, SimTime dur, sim::SpanKind kind,
-                    std::string label, Bytes bytes) {
+                    std::string label, Bytes bytes, std::int64_t node) {
     host += profile.api_call_host_overhead;
     if (&engine != &command) dur += sched;
     auto t = sim::Task::create(engine, dur, std::move(label));
@@ -797,8 +805,9 @@ DryRunResult dry_run(const ExecutionPlan& plan, const gpu::DeviceProfile& profil
     if (tl) t->depends_on(tl);
     sim::Task* raw = t.get();
     sim::Trace* tr = &out.trace;
-    t->on_complete([raw, kind, ln = lane(stream), bytes, tr] {
-      tr->record(sim::Span{kind, ln, raw->label(), raw->start_time(), raw->end_time(), bytes});
+    t->on_complete([raw, kind, ln = lane(stream), bytes, node, tr] {
+      tr->record(sim::Span{kind, ln, raw->label(), raw->start_time(), raw->end_time(), bytes,
+                           node});
     });
     t->submit(host);
     tl = t;
@@ -851,7 +860,7 @@ DryRunResult dry_run(const ExecutionPlan& plan, const gpu::DeviceProfile& profil
               in ? (seg.height > 1 ? "h2d2D" : "h2d") : (seg.height > 1 ? "d2h2D" : "d2h");
           submit(n.stream, in ? h2d : d2h, dur,
                  in ? sim::SpanKind::H2D : sim::SpanKind::D2H,
-                 std::string(what) + "[" + std::to_string(total) + "B]", total);
+                 std::string(what) + "[" + std::to_string(total) + "B]", total, n.id);
         }
         break;
       }
@@ -867,7 +876,7 @@ DryRunResult dry_run(const ExecutionPlan& plan, const gpu::DeviceProfile& profil
         } else {
           dur += cost.seconds_per_iter * iters;
         }
-        submit(n.stream, compute, dur, sim::SpanKind::Kernel, n.label, kernel_bytes);
+        submit(n.stream, compute, dur, sim::SpanKind::Kernel, n.label, kernel_bytes, n.id);
         break;
       }
       case PlanOp::SlotReuse:
@@ -877,7 +886,7 @@ DryRunResult dry_run(const ExecutionPlan& plan, const gpu::DeviceProfile& profil
     if (n.records_event)
       event_task[static_cast<std::size_t>(n.id)] =
           submit(n.stream, command, 0.0, sim::SpanKind::Sync, "event(" + lane(n.stream) + ")",
-                 0);
+                 0, n.id);
   }
 
   // Drain stream by stream exactly like PlanExecutor::wait: one API charge

@@ -152,6 +152,17 @@ struct ExecutionPlan {
   std::int64_t chunk_size = 1;
   std::string origin = "pipeline";  ///< builder tag (DOT title)
 
+  /// Total payload bytes of the nodes with the given op (e.g. the plan's
+  /// post-optimization H2D volume). After optimization node bytes equal the
+  /// sum of their segment bytes, so this matches what executing the plan
+  /// actually transfers.
+  Bytes transfer_bytes(PlanOp op) const {
+    Bytes total = 0;
+    for (const PlanNode& n : nodes)
+      if (n.op == op) total += n.bytes;
+    return total;
+  }
+
   /// Static hazard validation: proves every pair of conflicting ring-slot
   /// accesses is ordered by stream order + dependency edges. Throws
   /// gpu::HazardError on a missing edge (e.g. a deleted slot-reuse

@@ -1,0 +1,171 @@
+#include "core/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace gpupipe::core {
+
+void collect_trace_metrics(telemetry::Registry& reg, const sim::Trace& t,
+                           const std::string& prefix) {
+  const std::string p = prefix + "trace.";
+  Bytes h2d = 0, d2h = 0, d2d = 0;
+  for (const sim::Span& s : t.spans()) {
+    if (s.kind == sim::SpanKind::H2D) h2d += s.bytes;
+    if (s.kind == sim::SpanKind::D2H) d2h += s.bytes;
+    if (s.kind == sim::SpanKind::D2D) d2d += s.bytes;
+  }
+  reg.counter(p + "h2d_bytes").add(static_cast<std::int64_t>(h2d));
+  reg.counter(p + "d2h_bytes").add(static_cast<std::int64_t>(d2h));
+  reg.counter(p + "d2d_bytes").add(static_cast<std::int64_t>(d2d));
+  reg.counter(p + "spans").add(static_cast<std::int64_t>(t.spans().size()));
+  reg.counter(p + "dropped_spans").add(static_cast<std::int64_t>(t.dropped_spans()));
+  reg.gauge(p + "h2d_busy_s").set(t.occupancy(sim::SpanKind::H2D));
+  reg.gauge(p + "d2h_busy_s").set(t.occupancy(sim::SpanKind::D2H));
+  reg.gauge(p + "kernel_busy_s").set(t.occupancy(sim::SpanKind::Kernel));
+  reg.gauge(p + "overlap_efficiency").set(sim::overlap_efficiency(t));
+  for (const auto& [lane, busy] : t.time_by_lane())
+    reg.gauge(p + "lane." + lane + ".busy_s").set(busy);
+}
+
+void collect_plan_metrics(telemetry::Registry& reg, const ExecutionPlan& plan,
+                          const std::string& prefix) {
+  const std::string p = prefix + "plan.";
+  std::int64_t h2d_nodes = 0, d2h_nodes = 0, kernel_nodes = 0, edges = 0;
+  for (const PlanNode& n : plan.nodes) {
+    edges += static_cast<std::int64_t>(n.deps.size());
+    if (n.op == PlanOp::H2D) ++h2d_nodes;
+    if (n.op == PlanOp::D2H) ++d2h_nodes;
+    if (n.op == PlanOp::Kernel) ++kernel_nodes;
+  }
+  reg.counter(p + "nodes").add(static_cast<std::int64_t>(plan.nodes.size()));
+  reg.counter(p + "dep_edges").add(edges);
+  reg.counter(p + "h2d_nodes").add(h2d_nodes);
+  reg.counter(p + "d2h_nodes").add(d2h_nodes);
+  reg.counter(p + "kernel_nodes").add(kernel_nodes);
+  reg.counter(p + "h2d_bytes").add(static_cast<std::int64_t>(plan.transfer_bytes(PlanOp::H2D)));
+  reg.counter(p + "d2h_bytes").add(static_cast<std::int64_t>(plan.transfer_bytes(PlanOp::D2H)));
+  reg.gauge(p + "num_streams").set(static_cast<double>(plan.num_streams));
+  reg.gauge(p + "chunk_size").set(static_cast<double>(plan.chunk_size));
+
+  // Ring-slot occupancy: per kernel access, the fraction of the array's
+  // ring the access covers. A distribution near 1.0 means the ring is as
+  // tight as the dependency window allows.
+  telemetry::Histogram& occ =
+      reg.histogram(p + "ring_occupancy", {0.25, 0.5, 0.75, 1.0});
+  for (const PlanNode& n : plan.nodes) {
+    if (n.op != PlanOp::Kernel) continue;
+    for (const PlanAccess& a : n.accesses) {
+      if (a.array < 0 || a.array >= static_cast<int>(plan.arrays.size())) continue;
+      const std::int64_t ring = plan.arrays[static_cast<std::size_t>(a.array)].ring_len;
+      if (ring <= 0) continue;
+      const std::int64_t covered = std::min(a.hi - a.lo, ring);
+      occ.observe(static_cast<double>(covered) / static_cast<double>(ring));
+    }
+  }
+}
+
+void collect_stats_metrics(telemetry::Registry& reg, const PipelineStats& stats,
+                           const std::string& prefix) {
+  const std::string p = prefix + "stats.";
+  reg.counter(p + "chunks").add(stats.chunks);
+  reg.counter(p + "h2d_copies").add(stats.h2d_copies);
+  reg.counter(p + "d2h_copies").add(stats.d2h_copies);
+  reg.counter(p + "h2d_bytes").add(static_cast<std::int64_t>(stats.h2d_bytes));
+  reg.counter(p + "d2h_bytes").add(static_cast<std::int64_t>(stats.d2h_bytes));
+  reg.counter(p + "kernels").add(stats.kernels);
+  reg.counter(p + "events").add(stats.events);
+  reg.counter(p + "stream_waits").add(stats.stream_waits);
+}
+
+void collect_opt_metrics(telemetry::Registry& reg, const OptReport& report,
+                         const std::string& prefix) {
+  const std::string p = prefix + "opt.";
+  reg.counter(p + "h2d_bytes_saved")
+      .add(static_cast<std::int64_t>(report.h2d_bytes_before - report.h2d_bytes_after));
+  reg.counter(p + "d2h_bytes_saved")
+      .add(static_cast<std::int64_t>(report.d2h_bytes_before - report.d2h_bytes_after));
+  reg.counter(p + "nodes_removed").add(report.nodes_before - report.nodes_after);
+  for (const PassStats& pass : report.passes) {
+    reg.counter(p + pass.pass + ".bytes_saved")
+        .add(static_cast<std::int64_t>(pass.bytes_saved));
+    reg.counter(p + pass.pass + ".nodes_removed").add(pass.nodes_removed);
+    reg.counter(p + pass.pass + ".nodes_changed").add(pass.nodes_changed);
+  }
+}
+
+void collect_device_metrics(telemetry::Registry& reg, const gpu::Gpu& g,
+                            const std::string& prefix) {
+  const std::string p = prefix + "gpu.";
+  reg.gauge(p + "h2d_busy_s").set(g.h2d_busy_time());
+  reg.gauge(p + "d2h_busy_s").set(g.d2h_busy_time());
+  reg.gauge(p + "compute_busy_s").set(g.compute_busy_time());
+  const gpu::MemStats& mem = g.device_mem_stats();
+  reg.gauge(p + "device_mem_peak_bytes").set(static_cast<double>(mem.peak));
+  reg.gauge(p + "device_mem_current_bytes").set(static_cast<double>(mem.current));
+  reg.gauge(p + "device_mem_reported_peak_bytes")
+      .set(static_cast<double>(g.reported_peak_memory()));
+  reg.gauge(p + "device_mem_capacity_bytes")
+      .set(static_cast<double>(g.device_mem_free() + mem.current));
+  reg.counter(p + "device_allocations").add(static_cast<std::int64_t>(mem.total_allocations));
+}
+
+std::vector<NodeCost> attribute_spans(const ExecutionPlan& plan, const sim::Trace& t) {
+  std::vector<NodeCost> out(plan.nodes.size());
+  for (const sim::Span& s : t.spans()) {
+    if (s.node < 0 || s.node >= static_cast<std::int64_t>(out.size())) continue;
+    NodeCost& c = out[static_cast<std::size_t>(s.node)];
+    c.seconds += s.duration();
+    c.bytes += s.bytes;
+    ++c.spans;
+  }
+  return out;
+}
+
+PlanAnnotation annotate_plan(const ExecutionPlan& plan, const sim::Trace& measured,
+                             const sim::Trace& modelled) {
+  const std::vector<NodeCost> m = attribute_spans(plan, measured);
+  const std::vector<NodeCost> p = attribute_spans(plan, modelled);
+  PlanAnnotation out;
+  double err_sum = 0.0;
+  for (const PlanNode& n : plan.nodes) {
+    if (n.op != PlanOp::H2D && n.op != PlanOp::D2H && n.op != PlanOp::Kernel) continue;
+    PlanAnnotation::Row row;
+    row.node = n.id;
+    row.op = n.op;
+    row.stream = n.stream;
+    row.label = n.label.empty() ? std::string(to_string(n.op)) : n.label;
+    const NodeCost& mc = m[static_cast<std::size_t>(n.id)];
+    const NodeCost& pc = p[static_cast<std::size_t>(n.id)];
+    row.measured = mc.seconds;
+    row.modelled = pc.seconds;
+    row.bytes = mc.bytes > 0 ? mc.bytes : n.bytes;
+    if (mc.seconds > 0.0) {
+      row.rel_error = std::abs(mc.seconds - pc.seconds) / mc.seconds;
+      err_sum += row.rel_error;
+      ++out.compared;
+    }
+    out.rows.push_back(std::move(row));
+  }
+  out.mean_rel_error = out.compared > 0 ? err_sum / out.compared : 0.0;
+  return out;
+}
+
+void print_annotation(std::ostream& os, const PlanAnnotation& a) {
+  Table t({"node", "op", "stream", "label", "measured (ms)", "modelled (ms)", "bytes",
+           "rel err"});
+  for (const PlanAnnotation::Row& r : a.rows) {
+    t.add_row({std::to_string(r.node), to_string(r.op), std::to_string(r.stream), r.label,
+               Table::num(r.measured * 1e3, 4), Table::num(r.modelled * 1e3, 4),
+               std::to_string(r.bytes),
+               r.rel_error < 0.0 ? std::string("n/a")
+                                 : Table::num(r.rel_error * 100.0, 2) + "%"});
+  }
+  t.print(os);
+  os << "mean relative model error: " << Table::num(a.mean_rel_error * 100.0, 2) << "% over "
+     << a.compared << " nodes\n";
+}
+
+}  // namespace gpupipe::core

@@ -1,0 +1,97 @@
+// Plan-correlated telemetry: domain collectors over the runtime's existing
+// state, and the trace <-> plan join.
+//
+// Collection is pull-based: every collect_*() derives its counters, gauges,
+// and histograms from state the runtime keeps anyway (trace spans,
+// PipelineStats, engine busy times, allocator peaks, the plan itself), so
+// executors pay nothing per chunk — telemetry cost is incurred only when a
+// snapshot is requested.
+//
+// The join side uses the plan node id every sim::Span carries (stamped at
+// submission by Gpu::submit / dry_run while PlanExecutor publishes the
+// node being issued): attribute_spans() folds measured spans back onto
+// nodes, and annotate_plan() lines a measured timeline up against a
+// cost-model dry run of the same plan, reporting per-node measured vs
+// modelled time and the mean relative model error — the number that tells
+// you whether the autotuner's cost model can be trusted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "core/plan.hpp"
+#include "core/plan_opt.hpp"
+#include "gpu/gpu.hpp"
+#include "sim/trace.hpp"
+
+namespace gpupipe::core {
+
+/// Trace-derived metrics under <prefix>trace.*: bytes and busy time per
+/// kind, per-lane busy time, overlap efficiency, dropped spans.
+void collect_trace_metrics(telemetry::Registry& reg, const sim::Trace& t,
+                           const std::string& prefix = "");
+
+/// Plan-shape metrics under <prefix>plan.*: node/edge counts, transfer
+/// bytes per op, and the ring-slot occupancy distribution (fraction of each
+/// array's ring a kernel's accesses cover).
+void collect_plan_metrics(telemetry::Registry& reg, const ExecutionPlan& plan,
+                          const std::string& prefix = "");
+
+/// Execution counters under <prefix>stats.*; stream_waits is the hazard
+/// stall count (cross-stream waits the executor issued).
+void collect_stats_metrics(telemetry::Registry& reg, const PipelineStats& stats,
+                           const std::string& prefix = "");
+
+/// Optimization-pass savings under <prefix>opt.*.
+void collect_opt_metrics(telemetry::Registry& reg, const OptReport& report,
+                         const std::string& prefix = "");
+
+/// Device-level metrics under <prefix>gpu.*: engine busy times and the
+/// device-memory high-water marks (client peak and observed peak).
+void collect_device_metrics(telemetry::Registry& reg, const gpu::Gpu& g,
+                            const std::string& prefix = "");
+
+/// Measured cost attributed to one plan node through the span join.
+struct NodeCost {
+  SimTime seconds = 0.0;  ///< summed durations of the node's spans
+  Bytes bytes = 0;        ///< summed payload bytes
+  int spans = 0;          ///< spans attributed (0 = node produced no work)
+};
+
+/// Folds `t`'s spans onto `plan`'s nodes by span node id. Returns one entry
+/// per node (indexed by node id); spans without a valid node id (host API,
+/// operations from outside this plan) are ignored. Zero-duration sync spans
+/// still count toward `spans` so event-only nodes are visibly attributed.
+std::vector<NodeCost> attribute_spans(const ExecutionPlan& plan, const sim::Trace& t);
+
+/// One plan annotated with measured and modelled per-node costs.
+struct PlanAnnotation {
+  struct Row {
+    int node = 0;
+    PlanOp op = PlanOp::Kernel;
+    int stream = 0;
+    std::string label;
+    SimTime measured = 0.0;
+    SimTime modelled = 0.0;
+    Bytes bytes = 0;
+    /// |measured - modelled| / measured; negative when not comparable
+    /// (no measured time).
+    double rel_error = -1.0;
+  };
+  std::vector<Row> rows;          ///< device-work nodes, plan order
+  double mean_rel_error = 0.0;    ///< mean of the comparable rows
+  int compared = 0;               ///< rows with a valid rel_error
+};
+
+/// Joins a measured timeline and a modelled timeline (dry_run of the same
+/// plan) node by node. Only device-work nodes (H2D, D2H, Kernel) are
+/// compared — sync markers have zero duration by construction.
+PlanAnnotation annotate_plan(const ExecutionPlan& plan, const sim::Trace& measured,
+                             const sim::Trace& modelled);
+
+/// Prints the annotation as an aligned table plus the mean model error.
+void print_annotation(std::ostream& os, const PlanAnnotation& a);
+
+}  // namespace gpupipe::core

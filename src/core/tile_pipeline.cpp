@@ -4,6 +4,7 @@
 
 #include "core/layout.hpp"
 #include "core/plan_opt.hpp"
+#include "core/telemetry.hpp"
 
 namespace gpupipe::core {
 
@@ -155,13 +156,23 @@ void TilePipeline::run(const TileKernelFactory& make_kernel) {
     state.ring_cols.push_back(a.view.ring_cols);
     state.pinned.push_back(gpu_.is_pinned(a.spec.host));
   }
-  ExecutionPlan plan = PlanBuilder::tiles(spec_, state);
-  optimize_plan(plan, spec_.opt_level);
-  if (gpu_.hazards().enabled()) plan.validate();
-  executor_.run(plan, [this, &make_kernel](const PlanNode& n) {
+  plan_ = PlanBuilder::tiles(spec_, state);
+  opt_report_ = optimize_plan(plan_, spec_.opt_level);
+  if (gpu_.hazards().enabled()) plan_.validate();
+  executor_.run(plan_, [this, &make_kernel](const PlanNode& n) {
     const TileContext ctx(*this, n.tile_i, n.tile_j);
     return make_kernel(ctx);
   });
+}
+
+void TilePipeline::collect_metrics(telemetry::Registry& reg,
+                                   const std::string& prefix) const {
+  collect_plan_metrics(reg, plan_, prefix);
+  collect_stats_metrics(reg, stats_, prefix);
+  collect_opt_metrics(reg, opt_report_, prefix);
+  const std::string p = prefix + "pipeline.";
+  reg.gauge(p + "num_streams").set(static_cast<double>(effective_streams()));
+  reg.gauge(p + "buffer_footprint_bytes").set(static_cast<double>(buffer_footprint()));
 }
 
 }  // namespace gpupipe::core

@@ -25,11 +25,14 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/name_index.hpp"
 #include "core/plan.hpp"
+#include "core/plan_opt.hpp"
 #include "core/spec.hpp"
 #include "gpu/gpu.hpp"
 
@@ -122,6 +125,15 @@ class TilePipeline {
   Bytes h2d_bytes() const { return stats_.h2d_bytes; }
   const PipelineStats& stats() const { return stats_; }
 
+  /// The op graph the most recent run() executed (empty before any run).
+  const ExecutionPlan& execution_plan() const { return plan_; }
+  /// Pass statistics of the most recent run()'s plan compilation.
+  const OptReport& opt_report() const { return opt_report_; }
+
+  /// Derives a telemetry snapshot from the last run's plan, the stats, and
+  /// the optimization report (see Pipeline::collect_metrics).
+  void collect_metrics(telemetry::Registry& reg, const std::string& prefix = {}) const;
+
  private:
   struct ArrayState {
     TileArraySpec spec;
@@ -139,6 +151,8 @@ class TilePipeline {
   std::vector<ArrayState> arrays_;
   NameIndex index_;  ///< array name -> arrays_ position
   PipelineStats stats_;
+  ExecutionPlan plan_;     ///< plan of the most recent run()
+  OptReport opt_report_;   ///< its optimization report
   PlanExecutor executor_;
 };
 

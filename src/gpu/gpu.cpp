@@ -199,9 +199,12 @@ sim::TaskPtr Gpu::submit(Stream& s, sim::Engine& engine, SimTime duration, sim::
   if (trace_.enabled()) {
     sim::Task* raw = task.get();
     std::string lane = s.name();
-    task->on_complete([this, raw, kind, lane = std::move(lane), bytes] {
+    // The plan node is captured now, at submission: by the time the span is
+    // recorded (completion) the executor has moved on to other nodes.
+    const std::int64_t node = trace_.plan_node();
+    task->on_complete([this, raw, kind, lane = std::move(lane), bytes, node] {
       trace_.record(sim::Span{kind, lane, raw->label(), raw->start_time(), raw->end_time(),
-                              bytes});
+                              bytes, node});
     });
   }
 

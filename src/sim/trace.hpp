@@ -3,9 +3,17 @@
 // The GPU runtime records one span per completed operation; the profiler and
 // the Fig. 3 time-distribution bench aggregate these by category. Traces can
 // also be dumped as a human-readable timeline for debugging pipelines.
+//
+// Spans optionally carry the id of the core::ExecutionPlan node whose
+// replay produced them (-1 when the operation came from outside a plan):
+// the executor publishes the node it is issuing via set_plan_node() and the
+// runtime captures plan_node() at submission time, so per-node measured
+// costs can be joined back onto the plan (core/telemetry.hpp).
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <ostream>
 #include <string>
@@ -38,7 +46,8 @@ struct Span {
   std::string label;  // operation description
   SimTime start = 0.0;
   SimTime end = 0.0;
-  Bytes bytes = 0;  // payload size for transfers, 0 otherwise
+  Bytes bytes = 0;        // payload size for transfers, 0 otherwise
+  std::int64_t node = -1; // originating ExecutionPlan node id, -1 if none
 
   SimTime duration() const { return end - start; }
 };
@@ -49,12 +58,48 @@ class Trace {
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Bounds the number of retained spans (0 = unbounded, the default).
+  /// Once full the trace behaves as a ring keeping the newest spans; each
+  /// overwritten span increments dropped_spans(). Long autotune sweeps can
+  /// thus keep tracing on without growing memory without bound.
+  void set_span_capacity(std::size_t cap) {
+    cap_ = cap;
+    if (cap_ > 0 && spans_.size() > cap_) {
+      normalize();
+      dropped_ += spans_.size() - cap_;
+      spans_.erase(spans_.begin(), spans_.end() - static_cast<std::ptrdiff_t>(cap_));
+    }
+  }
+  std::size_t span_capacity() const { return cap_; }
+  /// Spans evicted by the capacity ring since the last clear().
+  std::uint64_t dropped_spans() const { return dropped_; }
+
   void record(Span s) {
-    if (enabled_) spans_.push_back(std::move(s));
+    if (!enabled_) return;
+    if (cap_ == 0 || spans_.size() < cap_) {
+      spans_.push_back(std::move(s));
+      return;
+    }
+    spans_[oldest_] = std::move(s);
+    oldest_ = (oldest_ + 1) % cap_;
+    ++dropped_;
   }
 
-  const std::vector<Span>& spans() const { return spans_; }
-  void clear() { spans_.clear(); }
+  /// The plan node currently being issued (stamped into spans the runtime
+  /// records); -1 outside plan execution.
+  void set_plan_node(std::int64_t id) { plan_node_ = id; }
+  std::int64_t plan_node() const { return plan_node_; }
+
+  /// Retained spans in recording order (oldest first).
+  const std::vector<Span>& spans() const {
+    normalize();
+    return spans_;
+  }
+  void clear() {
+    spans_.clear();
+    oldest_ = 0;
+    dropped_ = 0;
+  }
 
   /// Total span time per kind (sum of durations, ignoring overlap).
   std::map<SpanKind, SimTime> time_by_kind() const {
@@ -63,12 +108,29 @@ class Trace {
     return out;
   }
 
+  /// Total span time per lane (per-stream / per-engine busy time).
+  std::map<std::string, SimTime> time_by_lane() const {
+    std::map<std::string, SimTime> out;
+    for (const auto& s : spans_) out[s.lane] += s.duration();
+    return out;
+  }
+
   /// Union length of [start,end) intervals of the given kind — the wall time
   /// during which at least one such operation was in flight.
-  SimTime occupancy(SpanKind kind) const {
+  SimTime occupancy(SpanKind kind) const { return occupancy_union({kind}); }
+
+  /// Union length over several kinds at once (e.g. "any device engine
+  /// active" = occupancy_union({H2D, D2H, Kernel})).
+  SimTime occupancy_union(std::initializer_list<SpanKind> kinds) const {
     std::vector<std::pair<SimTime, SimTime>> iv;
-    for (const auto& s : spans_)
-      if (s.kind == kind && s.end > s.start) iv.emplace_back(s.start, s.end);
+    for (const auto& s : spans_) {
+      if (s.end <= s.start) continue;  // zero-length spans occupy nothing
+      for (SpanKind k : kinds)
+        if (s.kind == k) {
+          iv.emplace_back(s.start, s.end);
+          break;
+        }
+    }
     std::sort(iv.begin(), iv.end());
     SimTime total = 0.0, cur_lo = 0.0, cur_hi = -1.0;
     for (auto [lo, hi] : iv) {
@@ -86,16 +148,29 @@ class Trace {
 
   /// Dumps the timeline in Chrome trace-event JSON ("catapult") format —
   /// loadable in chrome://tracing or https://ui.perfetto.dev. Each lane
-  /// (stream/engine) becomes a thread row; span kinds become categories.
+  /// (stream/engine) becomes a thread row; span kinds become categories;
+  /// plan-correlated spans carry their node id in args.
   void dump_chrome_json(std::ostream& os) const {
     auto escape = [](const std::string& s) {
+      static const char* hex = "0123456789abcdef";
       std::string out;
       for (char c : s) {
-        if (c == '"' || c == '\\') out += '\\';
-        out += c;
+        const auto u = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+          out += '\\';
+          out += c;
+        } else if (u < 0x20) {
+          // Control characters are invalid raw inside JSON strings.
+          out += "\\u00";
+          out += hex[u >> 4];
+          out += hex[u & 0xf];
+        } else {
+          out += c;
+        }
       }
       return out;
     };
+    normalize();
     // Stable lane -> tid mapping in order of first appearance.
     std::map<std::string, int> tids;
     for (const auto& s : spans_)
@@ -113,8 +188,18 @@ class Trace {
       os << ",{\"name\":\"" << escape(s.label) << "\",\"cat\":\"" << to_string(s.kind)
          << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tids[s.lane]
          << ",\"ts\":" << s.start * 1e6 << ",\"dur\":" << s.duration() * 1e6;
-      if (s.bytes > 0) {
-        os << ",\"args\":{\"bytes\":" << s.bytes << "}";
+      if (s.bytes > 0 || s.node >= 0) {
+        os << ",\"args\":{";
+        bool first_arg = true;
+        if (s.bytes > 0) {
+          os << "\"bytes\":" << s.bytes;
+          first_arg = false;
+        }
+        if (s.node >= 0) {
+          if (!first_arg) os << ",";
+          os << "\"plan_node\":" << s.node;
+        }
+        os << "}";
       }
       os << "}";
     }
@@ -133,8 +218,39 @@ class Trace {
   }
 
  private:
+  /// Rotates the ring so spans_ is oldest-first (lazy; only after wrap).
+  void normalize() const {
+    if (oldest_ == 0) return;
+    std::rotate(spans_.begin(), spans_.begin() + static_cast<std::ptrdiff_t>(oldest_),
+                spans_.end());
+    oldest_ = 0;
+  }
+
   bool enabled_ = true;
-  std::vector<Span> spans_;
+  std::size_t cap_ = 0;  // 0 = unbounded
+  mutable std::size_t oldest_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::int64_t plan_node_ = -1;
+  mutable std::vector<Span> spans_;
 };
+
+/// Stream-overlap efficiency of a device timeline: the fraction of
+/// *achievable* overlap that was realised. With busy = sum of per-kind
+/// occupancies (H2D, D2H, Kernel), span = their union, and dominant = the
+/// largest single-kind occupancy, the achievable saving is busy - dominant
+/// (perfect overlap hides everything behind the longest kind) and the
+/// realised saving is busy - span. Returns 0 for a fully serial timeline
+/// (or when only one kind ran), 1 for perfect overlap.
+inline double overlap_efficiency(const Trace& t) {
+  const SimTime h2d = t.occupancy(SpanKind::H2D);
+  const SimTime d2h = t.occupancy(SpanKind::D2H);
+  const SimTime kernel = t.occupancy(SpanKind::Kernel);
+  const SimTime busy = h2d + d2h + kernel;
+  const SimTime span = t.occupancy_union({SpanKind::H2D, SpanKind::D2H, SpanKind::Kernel});
+  const SimTime dominant = std::max({h2d, d2h, kernel});
+  const SimTime achievable = busy - dominant;
+  if (achievable <= 0.0) return 0.0;
+  return std::max(0.0, busy - span) / achievable;
+}
 
 }  // namespace gpupipe::sim

@@ -33,6 +33,22 @@ class LogCapture {
   std::vector<std::pair<LogLevel, std::string>> lines_;
 };
 
+TEST(Log, ParseLogLevelAcceptsTheFourNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  // GPUPIPE_LOG values outside the set are ignored, not errors.
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("DEBUG"), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+}
+
+TEST(Log, ParsedNamesRoundTripThroughToString) {
+  for (LogLevel l : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn, LogLevel::Off})
+    EXPECT_EQ(parse_log_level(to_string(l)), l);
+}
+
 TEST(Log, LevelsFilterMessages) {
   LogCapture cap(LogLevel::Info);
   log_debug("dropped");

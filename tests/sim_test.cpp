@@ -264,6 +264,116 @@ TEST(Trace, ChromeJsonExportIsWellFormed) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+TEST(Trace, ChromeJsonGoldenOutput) {
+  // Byte-exact golden check: control characters escape as \u00XX, bytes and
+  // plan-node ids land in args, metadata precedes spans. Times are chosen so
+  // microsecond values print as small integers.
+  Trace trace;
+  trace.record({SpanKind::H2D, "s0", "up", 0.0, 1e-6, 10, 3});
+  trace.record({SpanKind::Kernel, "s0", "k\x01", 1e-6, 3e-6, 0, -1});
+  std::ostringstream os;
+  trace.dump_chrome_json(os);
+  const std::string expected =
+      "{\"traceEvents\":["
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"s0\"}}"
+      ",{\"name\":\"up\",\"cat\":\"HtoD\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+      "\"ts\":0,\"dur\":1,\"args\":{\"bytes\":10,\"plan_node\":3}}"
+      ",{\"name\":\"k\\u0001\",\"cat\":\"kernel\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+      "\"ts\":1,\"dur\":2}"
+      "]}";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(Trace, SpanCapacityKeepsNewestAndCountsDrops) {
+  Trace trace;
+  trace.set_span_capacity(3);
+  for (int i = 0; i < 5; ++i)
+    trace.record({SpanKind::Kernel, "s0", "k" + std::to_string(i),
+                  static_cast<SimTime>(i), static_cast<SimTime>(i) + 1.0, 0});
+  EXPECT_EQ(trace.dropped_spans(), 2u);
+  ASSERT_EQ(trace.spans().size(), 3u);
+  // Newest three survive, oldest first.
+  EXPECT_EQ(trace.spans()[0].label, "k2");
+  EXPECT_EQ(trace.spans()[1].label, "k3");
+  EXPECT_EQ(trace.spans()[2].label, "k4");
+  trace.clear();
+  EXPECT_EQ(trace.dropped_spans(), 0u);
+  EXPECT_TRUE(trace.spans().empty());
+}
+
+TEST(Trace, ShrinkingCapacityEvictsOldest) {
+  Trace trace;
+  for (int i = 0; i < 5; ++i)
+    trace.record({SpanKind::Kernel, "s0", "k" + std::to_string(i),
+                  static_cast<SimTime>(i), static_cast<SimTime>(i) + 1.0, 0});
+  trace.set_span_capacity(2);
+  EXPECT_EQ(trace.dropped_spans(), 3u);
+  ASSERT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.spans()[0].label, "k3");
+  EXPECT_EQ(trace.spans()[1].label, "k4");
+  // Default capacity is unbounded.
+  EXPECT_EQ(Trace{}.span_capacity(), 0u);
+}
+
+TEST(Trace, OccupancyIgnoresZeroLengthSpans) {
+  Trace trace;
+  trace.record({SpanKind::Kernel, "s0", "marker", 1.0, 1.0, 0});
+  EXPECT_DOUBLE_EQ(trace.occupancy(SpanKind::Kernel), 0.0);
+}
+
+TEST(Trace, OccupancyMergesFullyNestedIntervals) {
+  Trace trace;
+  trace.record({SpanKind::Kernel, "s0", "outer", 0.0, 10.0, 0});
+  trace.record({SpanKind::Kernel, "s1", "inner", 2.0, 3.0, 0});
+  EXPECT_DOUBLE_EQ(trace.occupancy(SpanKind::Kernel), 10.0);
+}
+
+TEST(Trace, OccupancyHandlesIdenticalStarts) {
+  Trace trace;
+  trace.record({SpanKind::H2D, "s0", "a", 0.0, 2.0, 1});
+  trace.record({SpanKind::H2D, "s1", "b", 0.0, 5.0, 1});
+  EXPECT_DOUBLE_EQ(trace.occupancy(SpanKind::H2D), 5.0);
+}
+
+TEST(Trace, OccupancyUnionSpansMultipleKinds) {
+  Trace trace;
+  trace.record({SpanKind::H2D, "s0", "up", 0.0, 2.0, 1});
+  trace.record({SpanKind::Kernel, "s0", "k", 1.0, 3.0, 0});
+  trace.record({SpanKind::D2H, "s0", "down", 5.0, 6.0, 1});
+  EXPECT_DOUBLE_EQ(trace.occupancy_union({SpanKind::H2D, SpanKind::Kernel}), 3.0);
+  EXPECT_DOUBLE_EQ(
+      trace.occupancy_union({SpanKind::H2D, SpanKind::D2H, SpanKind::Kernel}), 4.0);
+}
+
+TEST(Trace, OverlapEfficiencyBounds) {
+  // Fully serial timeline: no realised overlap.
+  Trace serial;
+  serial.record({SpanKind::H2D, "s0", "up", 0.0, 1.0, 1});
+  serial.record({SpanKind::Kernel, "s0", "k", 1.0, 3.0, 0});
+  EXPECT_DOUBLE_EQ(overlap_efficiency(serial), 0.0);
+
+  // Transfer fully hidden behind the kernel: perfect overlap.
+  Trace perfect;
+  perfect.record({SpanKind::H2D, "s0", "up", 0.0, 1.0, 1});
+  perfect.record({SpanKind::Kernel, "s1", "k", 0.0, 2.0, 0});
+  EXPECT_DOUBLE_EQ(overlap_efficiency(perfect), 1.0);
+
+  // Only one kind ran: nothing to overlap, defined as 0.
+  Trace lone;
+  lone.record({SpanKind::Kernel, "s0", "k", 0.0, 2.0, 0});
+  EXPECT_DOUBLE_EQ(overlap_efficiency(lone), 0.0);
+}
+
+TEST(Trace, PlanNodeStampsDefaultToMinusOne) {
+  Trace trace;
+  EXPECT_EQ(trace.plan_node(), -1);
+  trace.set_plan_node(7);
+  EXPECT_EQ(trace.plan_node(), 7);
+  trace.record({SpanKind::Kernel, "s0", "k", 0.0, 1.0, 0, trace.plan_node()});
+  EXPECT_EQ(trace.spans().back().node, 7);
+}
+
 }  // namespace
 }  // namespace gpupipe::sim
 

@@ -1,0 +1,315 @@
+// Tests for the telemetry layer: the metrics registry primitives
+// (common/metrics.hpp), the pull-based collectors and the trace<->plan join
+// (core/telemetry.hpp), snapshot determinism across plan-optimization
+// levels, and the near-zero disabled path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "core/pipeline.hpp"
+#include "core/telemetry.hpp"
+#include "gpu/device_profile.hpp"
+
+namespace gpupipe::core {
+namespace {
+
+using telemetry::Registry;
+
+// --- Registry primitives ---
+
+TEST(Registry, CountersGaugesHistograms) {
+  Registry reg;
+  reg.counter("a").add();
+  reg.counter("a").add(4);
+  reg.gauge("g").set(2.5);
+  reg.gauge("g").set_max(1.0);  // no-op: smaller
+  reg.gauge("g").set_max(7.0);
+  auto& h = reg.histogram("h", {0.25, 0.5, 0.75, 1.0});
+  h.observe(0.1);
+  h.observe(0.5);   // lands in the (0.25, 0.5] bucket
+  h.observe(0.51);  // lands in the (0.5, 0.75] bucket
+  h.observe(2.0);   // +inf tail
+
+  EXPECT_EQ(reg.counter_value("a"), 5);
+  EXPECT_EQ(reg.counter_value("missing"), 0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("g"), 7.0);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.1 + 0.5 + 0.51 + 2.0);
+  ASSERT_EQ(h.buckets().size(), 5u);
+  EXPECT_EQ(h.buckets()[0], 1);
+  EXPECT_EQ(h.buckets()[1], 1);
+  EXPECT_EQ(h.buckets()[2], 1);
+  EXPECT_EQ(h.buckets()[3], 0);
+  EXPECT_EQ(h.buckets()[4], 1);
+  EXPECT_FALSE(reg.empty());
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+}
+
+TEST(Registry, JsonSnapshotIsWellFormedAndDeterministic) {
+  Registry reg;
+  reg.counter("z.count").add(3);
+  reg.counter("a.count").add(1);
+  reg.gauge("m.ratio").set(0.5);
+  reg.histogram("occ", {0.5, 1.0}).observe(0.7);
+
+  std::ostringstream os1, os2;
+  reg.to_json(os1);
+  reg.to_json(os2);
+  const std::string json = os1.str();
+  EXPECT_EQ(json, os2.str());  // snapshotting is repeatable
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  // Counters iterate in sorted name order.
+  EXPECT_LT(json.find("\"a.count\":1"), json.find("\"z.count\":3"));
+  EXPECT_NE(json.find("\"m.ratio\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"inf\""), std::string::npos);
+}
+
+// --- Pipeline fixtures ---
+
+/// Three-point stencil over the split dimension (window 3): overlapping
+/// chunk windows give the halo-reuse pass real bytes to elide.
+PipelineSpec stencil_spec(std::vector<double>& in, std::vector<double>& out,
+                          std::int64_t n, std::int64_t m, int opt_level) {
+  PipelineSpec spec;
+  spec.chunk_size = 2;
+  spec.num_streams = 2;
+  spec.loop_begin = 1;
+  spec.loop_end = n - 1;
+  spec.opt_level = opt_level;
+  spec.arrays = {
+      ArraySpec{"in", MapType::To, reinterpret_cast<std::byte*>(in.data()), sizeof(double),
+                {n, m}, SplitSpec{0, Affine{1, -1}, 3}},
+      ArraySpec{"out", MapType::From, reinterpret_cast<std::byte*>(out.data()),
+                sizeof(double), {n, m}, SplitSpec{0, Affine{1, 0}, 1}},
+  };
+  return spec;
+}
+
+KernelFactory stencil_kernel(std::int64_t m) {
+  return [m](const ChunkContext& ctx) {
+    gpu::KernelDesc k;
+    k.name = "stencil";
+    k.flops = static_cast<double>(ctx.iterations() * m * 2);
+    k.bytes = static_cast<Bytes>(ctx.iterations() * m) * 4 * sizeof(double);
+    const BufferView in_v = ctx.view("in");
+    const BufferView out_v = ctx.view("out");
+    const std::int64_t lo = ctx.begin(), hi = ctx.end();
+    k.body = [in_v, out_v, lo, hi, m] {
+      for (std::int64_t r = lo; r < hi; ++r) {
+        double* dst = out_v.slab_ptr(r);
+        for (std::int64_t j = 0; j < m; ++j)
+          dst[j] = in_v.slab_ptr(r - 1)[j] + in_v.slab_ptr(r)[j] + in_v.slab_ptr(r + 1)[j];
+      }
+    };
+    return k;
+  };
+}
+
+struct RunResult {
+  Registry reg;
+  std::vector<double> out;
+};
+
+RunResult run_stencil(int opt_level) {
+  gpu::Gpu g(gpu::nvidia_k40m());
+  const std::int64_t n = 24, m = 8;
+  std::vector<double> in(n * m), out(n * m, 0.0);
+  std::iota(in.begin(), in.end(), 1.0);
+  Pipeline p(g, stencil_spec(in, out, n, m, opt_level));
+  p.run(stencil_kernel(m));
+  RunResult r;
+  p.collect_metrics(r.reg);
+  collect_trace_metrics(r.reg, g.trace());
+  collect_device_metrics(r.reg, g);
+  r.out = out;
+  return r;
+}
+
+// --- Trace <-> plan join ---
+
+TEST(Telemetry, EveryDeviceSpanCarriesItsPlanNode) {
+  gpu::Gpu g(gpu::nvidia_k40m());
+  const std::int64_t n = 24, m = 8;
+  std::vector<double> in(n * m), out(n * m, 0.0);
+  std::iota(in.begin(), in.end(), 1.0);
+  Pipeline p(g, stencil_spec(in, out, n, m, 1));
+  p.run(stencil_kernel(m));
+
+  const ExecutionPlan& plan = p.execution_plan();
+  Bytes trace_h2d = 0;
+  for (const sim::Span& s : g.trace().spans()) {
+    if (s.kind != sim::SpanKind::H2D && s.kind != sim::SpanKind::D2H &&
+        s.kind != sim::SpanKind::Kernel)
+      continue;
+    EXPECT_GE(s.node, 0) << s.label;
+    EXPECT_LT(s.node, static_cast<std::int64_t>(plan.nodes.size()));
+    if (s.kind == sim::SpanKind::H2D) trace_h2d += s.bytes;
+  }
+
+  // Folding the spans back onto nodes recovers the plan's transfer volume
+  // and attributes at least one span to every kernel node.
+  const std::vector<NodeCost> costs = attribute_spans(plan, g.trace());
+  Bytes attributed_h2d = 0;
+  for (const PlanNode& node : plan.nodes) {
+    const NodeCost& c = costs[static_cast<std::size_t>(node.id)];
+    if (node.op == PlanOp::Kernel) {
+      EXPECT_GE(c.spans, 1) << node.id;
+    }
+    if (node.op == PlanOp::H2D) attributed_h2d += c.bytes;
+  }
+  EXPECT_EQ(attributed_h2d, trace_h2d);
+  EXPECT_EQ(attributed_h2d, plan.transfer_bytes(PlanOp::H2D));
+}
+
+TEST(Telemetry, TraceH2dBytesMatchPlanPostOptBytesExactly) {
+  for (int opt : {0, 1, 2}) {
+    const RunResult r = run_stencil(opt);
+    EXPECT_EQ(r.reg.counter_value("trace.h2d_bytes"), r.reg.counter_value("plan.h2d_bytes"))
+        << "opt level " << opt;
+    EXPECT_EQ(r.reg.counter_value("trace.h2d_bytes"),
+              r.reg.counter_value("stats.h2d_bytes"))
+        << "opt level " << opt;
+    EXPECT_EQ(r.reg.counter_value("trace.d2h_bytes"), r.reg.counter_value("plan.d2h_bytes"))
+        << "opt level " << opt;
+  }
+}
+
+TEST(Telemetry, SnapshotDeterministicAcrossOptLevels) {
+  const RunResult r0 = run_stencil(0);
+  const RunResult r1 = run_stencil(1);
+  const RunResult r2 = run_stencil(2);
+
+  // Optimization never changes semantics: identical results...
+  EXPECT_EQ(r0.out, r1.out);
+  EXPECT_EQ(r1.out, r2.out);
+  // ...and identical logical work counters.
+  for (const char* name : {"stats.chunks", "stats.kernels", "stats.d2h_bytes",
+                           "plan.kernel_nodes", "plan.d2h_bytes"}) {
+    EXPECT_EQ(r0.reg.counter_value(name), r1.reg.counter_value(name)) << name;
+    EXPECT_EQ(r1.reg.counter_value(name), r2.reg.counter_value(name)) << name;
+  }
+  // H2D volume differs exactly by what the passes report as elided.
+  const std::int64_t h2d0 = r0.reg.counter_value("trace.h2d_bytes");
+  const std::int64_t h2d1 = r1.reg.counter_value("trace.h2d_bytes");
+  const std::int64_t h2d2 = r2.reg.counter_value("trace.h2d_bytes");
+  EXPECT_EQ(r0.reg.counter_value("opt.h2d_bytes_saved"), 0);
+  EXPECT_GT(r1.reg.counter_value("opt.h2d_bytes_saved"), 0);
+  EXPECT_EQ(h2d0 - h2d1, r1.reg.counter_value("opt.h2d_bytes_saved"));
+  EXPECT_EQ(h2d0 - h2d2, r2.reg.counter_value("opt.h2d_bytes_saved"));
+  // Same collection twice is byte-identical (snapshot determinism).
+  std::ostringstream a, b;
+  run_stencil(1).reg.to_json(a);
+  r1.reg.to_json(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Telemetry, CollectMetricsHonoursPrefixAndEmitsGauges) {
+  gpu::Gpu g(gpu::nvidia_k40m());
+  const std::int64_t n = 24, m = 8;
+  std::vector<double> in(n * m), out(n * m, 0.0);
+  std::iota(in.begin(), in.end(), 1.0);
+  Pipeline p(g, stencil_spec(in, out, n, m, 1));
+  p.run(stencil_kernel(m));
+
+  Registry reg;
+  p.collect_metrics(reg, "dev0.");
+  EXPECT_GT(reg.counter_value("dev0.plan.nodes"), 0);
+  EXPECT_GT(reg.counter_value("dev0.ring.in.h2d_bytes"), 0);
+  EXPECT_GT(reg.gauge_value("dev0.pipeline.chunk_size"), 0.0);
+  EXPECT_GT(reg.gauge_value("dev0.pipeline.buffer_footprint_bytes"), 0.0);
+  EXPECT_EQ(reg.histograms().count("dev0.plan.ring_occupancy"), 1u);
+  EXPECT_GT(reg.histograms().at("dev0.plan.ring_occupancy").count(), 0);
+  // Unprefixed names were not created.
+  EXPECT_EQ(reg.counter_value("plan.nodes"), 0);
+}
+
+// --- Annotation (measured vs modelled) ---
+
+TEST(Telemetry, AnnotateJoinsMeasuredAndModelledTimelines) {
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  g.hazards().set_enabled(false);
+  const std::int64_t n = 24, m = 8;
+  std::vector<double> in(n * m), out(n * m);
+  Pipeline p(g, stencil_spec(in, out, n, m, 1));
+  const double fpi = static_cast<double>(m) * 2.0;
+  const double bpi = static_cast<double>(m) * 4.0 * sizeof(double);
+  p.run([&](const ChunkContext& ctx) {
+    gpu::KernelDesc k;
+    k.name = "stencil";
+    k.flops = fpi * static_cast<double>(ctx.iterations());
+    k.bytes = static_cast<Bytes>(bpi * static_cast<double>(ctx.iterations()));
+    return k;
+  });
+
+  DryRunCost cost;
+  cost.flops_per_iter = fpi;
+  cost.bytes_per_iter = bpi;
+  cost.live_streams = p.effective_streams();
+  const DryRunResult dry = dry_run(p.execution_plan(), g.profile(), cost);
+  const PlanAnnotation ann = annotate_plan(p.execution_plan(), g.trace(), dry.trace);
+
+  EXPECT_GT(ann.compared, 0);
+  EXPECT_FALSE(ann.rows.empty());
+  // The dry run reuses the Gpu's engine topology and cost curves, so the
+  // modelled timeline should essentially reproduce the measured one.
+  EXPECT_LT(ann.mean_rel_error, 0.05);
+  for (const PlanAnnotation::Row& row : ann.rows)
+    EXPECT_TRUE(row.op == PlanOp::H2D || row.op == PlanOp::D2H ||
+                row.op == PlanOp::Kernel);
+
+  std::ostringstream os;
+  print_annotation(os, ann);
+  EXPECT_NE(os.str().find("mean relative model error"), std::string::npos);
+  EXPECT_NE(os.str().find("measured (ms)"), std::string::npos);
+}
+
+// --- Disabled path ---
+
+TEST(Telemetry, AmbientCountersAreGatedOnMetricsEnabled) {
+  telemetry::global_metrics().clear();
+  telemetry::set_metrics_enabled(false);
+  {
+    gpu::Gpu g(gpu::nvidia_k40m());
+    const std::int64_t n = 24, m = 8;
+    std::vector<double> in(n * m), out(n * m, 0.0);
+    std::iota(in.begin(), in.end(), 1.0);
+    // A tight memory limit forces the solver to shrink the chunk size —
+    // the rare event the ambient counter records when enabled.
+    PipelineSpec spec = stencil_spec(in, out, n, m, 1);
+    spec.chunk_size = 8;
+    spec.mem_limit = 1024;
+    Pipeline p(g, spec);
+    p.run(stencil_kernel(m));
+    EXPECT_TRUE(telemetry::global_metrics().empty());
+  }
+  telemetry::set_metrics_enabled(true);
+  {
+    gpu::Gpu g(gpu::nvidia_k40m());
+    const std::int64_t n = 24, m = 8;
+    std::vector<double> in(n * m), out(n * m, 0.0);
+    std::iota(in.begin(), in.end(), 1.0);
+    PipelineSpec spec = stencil_spec(in, out, n, m, 1);
+    spec.chunk_size = 8;
+    spec.mem_limit = 1024;
+    Pipeline p(g, spec);
+    p.run(stencil_kernel(m));
+    EXPECT_GT(telemetry::global_metrics().counter_value("pipeline.chunk_shrink_events") +
+                  telemetry::global_metrics().counter_value("pipeline.stream_drop_events"),
+              0);
+  }
+  telemetry::set_metrics_enabled(false);
+  telemetry::global_metrics().clear();
+}
+
+}  // namespace
+}  // namespace gpupipe::core

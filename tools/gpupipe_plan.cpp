@@ -7,12 +7,21 @@
 //   --summary   node/byte counts and the dry-run predicted makespan (default)
 //   --dot       the op graph in Graphviz DOT form
 //   --trace     the dry-run timeline as Chrome-trace JSON (chrome://tracing)
+//   --metrics   execute the region on a Modeled device and print the
+//               telemetry registry snapshot as JSON (plan, stats, trace,
+//               optimization, and device metrics)
+//   --annotate  execute the region, dry-run the same plan, and print
+//               measured vs modelled time per plan node plus the mean
+//               relative model error
 //
-// Nothing executes and nothing is allocated on the (simulated) device: the
-// plan is pure arithmetic and the timeline comes from a cost-model dry run.
+// --summary/--dot/--trace never execute: the plan is pure arithmetic and
+// the timeline comes from a cost-model dry run. --metrics/--annotate run
+// the plan through the real executor on a Modeled-mode device (timing only,
+// no data) so the printed numbers are the executed ones.
 //
 // Usage: gpupipe_plan region.pipe -D nz=64 -D ny=32 -D nx=32
-//            [--dot | --trace | --summary] [--profile k40m|hd7970|xeonphi]
+//            [--dot | --trace | --summary | --metrics | --annotate]
+//            [--profile k40m|hd7970|xeonphi]
 //            [--flops-per-iter F] [--bytes-per-iter B] [-o out]
 #include <cstdio>
 #include <fstream>
@@ -22,8 +31,11 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
+#include "core/pipeline.hpp"
 #include "core/plan.hpp"
 #include "core/plan_opt.hpp"
+#include "core/telemetry.hpp"
 #include "dsl/bind.hpp"
 #include "gpu/device_profile.hpp"
 #include "region_file.hpp"
@@ -174,11 +186,52 @@ void print_summary(std::ostream& os, const gpupipe::core::ExecutionPlan& plan,
 int usage(int code) {
   std::fprintf(stderr,
                "usage: gpupipe_plan <region-file> [-D name=value ...]\n"
-               "           [--dot | --trace | --summary]\n"
+               "           [--dot | --trace | --summary | --metrics | --annotate]\n"
                "           [--opt | --opt=N | --no-opt]\n"
                "           [--profile k40m|hd7970|xeonphi]\n"
                "           [--flops-per-iter F] [--bytes-per-iter B] [-o out]\n");
   return code;
+}
+
+/// Executes the region through the real Pipeline/PlanExecutor stack on a
+/// Modeled-mode device (timing only; the kernel is a roofline stub fed by
+/// the --flops-per-iter/--bytes-per-iter knobs). Hazard validation is off —
+/// this is an inspection tool, not the test suite.
+void run_measured(std::ostream& os, const std::string& mode,
+                  const gpupipe::core::PipelineSpec& spec,
+                  const gpupipe::gpu::DeviceProfile& profile,
+                  gpupipe::core::DryRunCost cost) {
+  gpupipe::gpu::Gpu g(profile, gpupipe::gpu::ExecMode::Modeled);
+  g.hazards().set_enabled(false);
+  gpupipe::core::Pipeline pipe(g, spec);
+  pipe.run([&](const gpupipe::core::ChunkContext& ctx) {
+    gpupipe::gpu::KernelDesc k;
+    k.name = "chunk" + std::to_string(ctx.chunk_index());
+    const double iters = static_cast<double>(ctx.iterations());
+    k.flops = cost.flops_per_iter * iters;
+    k.bytes = static_cast<gpupipe::Bytes>(cost.bytes_per_iter * iters);
+    if (cost.flops_per_iter == 0.0 && cost.bytes_per_iter == 0.0 &&
+        cost.seconds_per_iter > 0.0)
+      k.fixed_duration = cost.seconds_per_iter * iters;
+    return k;
+  });
+
+  if (mode == "--metrics") {
+    gpupipe::telemetry::Registry reg;
+    pipe.collect_metrics(reg);
+    gpupipe::core::collect_trace_metrics(reg, g.trace());
+    gpupipe::core::collect_device_metrics(reg, g);
+    reg.to_json(os);
+    return;
+  }
+  // --annotate: model the very plan that just executed and join the two
+  // timelines node by node.
+  cost.live_streams = pipe.effective_streams();
+  const gpupipe::core::DryRunResult dry =
+      gpupipe::core::dry_run(pipe.execution_plan(), profile, cost);
+  const gpupipe::core::PlanAnnotation ann =
+      gpupipe::core::annotate_plan(pipe.execution_plan(), g.trace(), dry.trace);
+  gpupipe::core::print_annotation(os, ann);
 }
 
 }  // namespace
@@ -204,7 +257,8 @@ int main(int argc, char** argv) {
         } catch (const std::logic_error&) {
           throw Error("-D value must be an integer, got: " + def);
         }
-      } else if (arg == "--dot" || arg == "--trace" || arg == "--summary") {
+      } else if (arg == "--dot" || arg == "--trace" || arg == "--summary" ||
+                 arg == "--metrics" || arg == "--annotate") {
         mode = arg;
       } else if (arg == "--opt") {
         opt_override = 1;
@@ -285,7 +339,9 @@ int main(int argc, char** argv) {
     }
     std::ostream& os = output_path.empty() ? std::cout : out_file;
 
-    if (mode == "--dot") {
+    if (mode == "--metrics" || mode == "--annotate") {
+      run_measured(os, mode, spec, profile, cost);
+    } else if (mode == "--dot") {
       plan.to_dot(os);
     } else {
       cost.live_streams = spec.num_streams;
