@@ -1,0 +1,151 @@
+// Scheduler bench: a mixed serving workload across queue policies.
+//
+// Two scenarios of one built-in job mix on a two-device K40m machine:
+//   * uncapped, staggered arrivals — the consolidation headline: makespan
+//     versus the sum of solo runtimes,
+//   * a tight 6 MiB per-device cap with burst arrivals — admission shrinks
+//     and retries dominate, so the queue is deep and the policies (FIFO /
+//     priority / SJF) actually reorder jobs.
+// The BENCH_sched_jobmix.json artifact carries the per-config numbers for
+// the CI floor checks.
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workloads.hpp"
+
+namespace gpupipe::bench {
+namespace {
+
+int mix_size() { return quick_mode() ? 8 : 12; }
+
+struct Config {
+  const char* name;
+  sched::QueuePolicy policy;
+  Bytes cap;   // 0 = uncapped
+  bool burst;  // all arrivals at t=0
+};
+
+const std::vector<Config>& configs() {
+  static const std::vector<Config> c = {
+      {"fifo uncapped", sched::QueuePolicy::Fifo, 0, false},
+      {"fifo 6MiB burst", sched::QueuePolicy::Fifo, 6 * MiB, true},
+      {"priority 6MiB burst", sched::QueuePolicy::Priority, 6 * MiB, true},
+      {"sjf 6MiB burst", sched::QueuePolicy::Sjf, 6 * MiB, true},
+  };
+  return c;
+}
+
+struct MixResult {
+  sched::ScheduleReport report;
+  SimTime sum_solo = 0.0;
+  SimTime mean_wait = 0.0;
+};
+
+MixResult run_mix(const Config& cfg) {
+  auto mix = sched::default_job_mix(mix_size());
+  if (cfg.burst)
+    for (auto& l : mix) l.arrival = 0.0;
+  auto ctx = gpu::make_shared_context();
+  std::vector<std::unique_ptr<gpu::Gpu>> gpus;
+  std::vector<gpu::Gpu*> devices;
+  for (int i = 0; i < 2; ++i) {
+    gpus.push_back(std::make_unique<gpu::Gpu>(gpu::nvidia_k40m(),
+                                              gpu::ExecMode::Functional, ctx));
+    quiet(*gpus.back());
+    devices.push_back(gpus.back().get());
+  }
+  sched::SchedulerOptions opts;
+  opts.queue_policy = cfg.policy;
+  opts.device_mem_cap = cfg.cap;
+  sched::Scheduler scheduler(devices, opts);
+  std::vector<sched::ServeJob> jobs;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    jobs.push_back(sched::make_serve_job(mix[i], static_cast<int>(i)));
+    scheduler.submit(jobs.back().job);
+  }
+  MixResult r;
+  r.report = scheduler.run();
+  for (const auto& jr : r.report.jobs)
+    if (jr.state == sched::JobState::Completed) r.mean_wait += jr.wait();
+  if (r.report.completed > 0) r.mean_wait /= static_cast<double>(r.report.completed);
+
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    sched::ServeJob solo = sched::make_serve_job(mix[i], static_cast<int>(i));
+    gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Functional);
+    quiet(g);
+    core::Pipeline p(g, solo.job.spec);
+    const SimTime t0 = g.host_now();
+    p.run(solo.job.kernel);
+    r.sum_solo += g.host_now() - t0;
+  }
+  return r;
+}
+
+const MixResult& cached_mix(std::size_t i) {
+  static std::map<std::size_t, MixResult> cache;
+  auto it = cache.find(i);
+  if (it == cache.end()) it = cache.emplace(i, run_mix(configs()[i])).first;
+  return it->second;
+}
+
+std::string slug(const Config& cfg) {
+  std::string s = cfg.name;
+  for (char& c : s)
+    if (c == ' ') c = '_';
+  return s;
+}
+
+void register_all() {
+  for (std::size_t i = 0; i < configs().size(); ++i) {
+    benchmark::RegisterBenchmark(
+        (std::string("sched_jobmix/") + slug(configs()[i])).c_str(),
+        [i](benchmark::State& st) {
+          const MixResult& r = cached_mix(i);
+          for (auto _ : st) st.SetIterationTime(r.report.makespan);
+          st.counters["speedup_vs_solo"] = r.sum_solo / r.report.makespan;
+          st.counters["mean_wait_ms"] = r.mean_wait * 1e3;
+        })
+        ->UseManualTime()->Iterations(1);
+  }
+}
+
+void print_figure() {
+  std::printf("\nScheduler — %d-job mix, 2x K40m\n", mix_size());
+  Table t({"configuration", "makespan (ms)", "sum solo (ms)", "speedup",
+           "mean wait (ms)", "shrinks", "retries", "completed"});
+  Artifact art("sched_jobmix");
+  art.config("jobs", static_cast<double>(mix_size()));
+  art.config("devices", 2.0);
+  art.config("profile", "k40m");
+  for (std::size_t i = 0; i < configs().size(); ++i) {
+    const Config& cfg = configs()[i];
+    const MixResult& r = cached_mix(i);
+    t.add_row({cfg.name, Table::num(r.report.makespan * 1e3, 3),
+               Table::num(r.sum_solo * 1e3, 3),
+               Table::num(r.sum_solo / r.report.makespan) + "x",
+               Table::num(r.mean_wait * 1e3, 3),
+               Table::num(static_cast<double>(r.report.admission_shrinks), 0),
+               Table::num(static_cast<double>(r.report.admission_retries), 0),
+               Table::num(r.report.completed, 0)});
+    const std::string p = slug(cfg) + ".";
+    art.metric(p + "makespan_s", r.report.makespan);
+    art.metric(p + "sum_solo_s", r.sum_solo);
+    art.metric(p + "mean_wait_s", r.mean_wait);
+    art.metric(p + "completed", r.report.completed);
+    art.metric(p + "rejected", r.report.rejected);
+    art.metric(p + "admission_shrinks", static_cast<double>(r.report.admission_shrinks));
+    art.metric(p + "admission_retries", static_cast<double>(r.report.admission_retries));
+    art.derived(p + "speedup_vs_solo", r.sum_solo / r.report.makespan);
+  }
+  t.print(std::cout);
+  art.write();
+}
+
+}  // namespace
+}  // namespace gpupipe::bench
+
+int main(int argc, char** argv) {
+  gpupipe::bench::register_all();
+  return gpupipe::bench::bench_main(argc, argv, gpupipe::bench::print_figure);
+}

@@ -13,8 +13,10 @@
 #include <cstdio>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "core/multi.hpp"
 #include "gpu/device_profile.hpp"
 
@@ -94,6 +96,23 @@ int main() {
       printf(" [%lld,%lld)", static_cast<long long>(lo), static_cast<long long>(hi));
     }
     printf("  %s\n", verify(in, out) ? "verified" : "WRONG RESULT");
+
+    // Per-device telemetry: each sub-pipeline reports under "dev<i>.".
+    telemetry::Registry reg;
+    mp.collect_metrics(reg);
+    for (int i = 0; i < mp.device_count(); ++i) {
+      const std::string p = "dev" + std::to_string(i) + ".";
+      const auto [lo, hi] = mp.slice(i);
+      if (lo == hi) continue;  // empty slice: no pipeline, no metrics
+      printf("    dev%d: chunks %-3lld kernels %-3lld h2d %6.1f MiB  "
+             "d2h %6.1f MiB  ring %5.1f MiB  streams %d\n",
+             i, static_cast<long long>(reg.counter_value(p + "stats.chunks")),
+             static_cast<long long>(reg.counter_value(p + "stats.kernels")),
+             static_cast<double>(reg.counter_value(p + "stats.h2d_bytes")) / MiB,
+             static_cast<double>(reg.counter_value(p + "stats.d2h_bytes")) / MiB,
+             reg.gauge_value(p + "pipeline.buffer_footprint_bytes") / MiB,
+             static_cast<int>(reg.gauge_value(p + "pipeline.num_streams")));
+    }
     return elapsed;
   };
 

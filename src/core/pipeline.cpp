@@ -82,8 +82,11 @@ Pipeline::Pipeline(gpu::Gpu& gpu, PipelineSpec spec)
 
 Pipeline::~Pipeline() {
   // The region is synchronous at exit of run(), so this is normally a no-op;
-  // it guards against destroying buffers under in-flight work.
-  gpu_.synchronize();
+  // it guards against destroying buffers under in-flight work. Only this
+  // pipeline's own streams are drained — every operation touching its
+  // buffers was issued on them — so tearing down one tenant's pipeline
+  // never blocks on other pipelines sharing the device (src/sched).
+  for (auto* s : streams_) gpu_.synchronize(*s);
   arrays_.clear();
   for (auto* s : streams_) gpu_.destroy_stream(*s);
 }

@@ -141,6 +141,9 @@ class Pipeline {
   std::int64_t effective_chunk_size() const { return chunk_size_; }
   /// Stream count actually in use.
   int effective_streams() const { return static_cast<int>(streams_.size()); }
+  /// The GPU streams this pipeline issues on — the scheduler records
+  /// completion events on them to track a job without draining the device.
+  const std::vector<gpu::Stream*>& streams() const { return streams_; }
   /// Total device bytes held by the pre-allocated ring buffers.
   Bytes buffer_footprint() const;
   const PipelineStats& stats() const { return stats_; }

@@ -555,14 +555,20 @@ ExecutionPlan PlanBuilder::tiles(const TileSpec& spec, const TileBuildState& sta
 
 // --- Memory-limit solver ---
 
+Bytes predicted_pipeline_footprint(const gpu::Gpu& g, const PipelineSpec& spec,
+                                   std::int64_t chunk_size, int num_streams) {
+  Bytes total = 0;
+  for (const auto& a : spec.arrays)
+    total += RingBuffer::predict_footprint(
+        g, a,
+        layout::ring_len_for_spec(a, spec.loop_begin, spec.loop_end, chunk_size, num_streams));
+  return total;
+}
+
 std::pair<std::int64_t, int> solve_pipeline_memory(const gpu::Gpu& g, const PipelineSpec& spec,
                                                    Bytes limit) {
   auto footprint = [&](std::int64_t c, int s) {
-    Bytes total = 0;
-    for (const auto& a : spec.arrays)
-      total += RingBuffer::predict_footprint(
-          g, a, layout::ring_len_for_spec(a, spec.loop_begin, spec.loop_end, c, s));
-    return total;
+    return predicted_pipeline_footprint(g, spec, c, s);
   };
   std::int64_t c = spec.chunk_size;
   int s = spec.num_streams;
@@ -902,6 +908,18 @@ DryRunResult dry_run(const ExecutionPlan& plan, const gpu::DeviceProfile& profil
   }
   out.makespan = host;
   return out;
+}
+
+SimTime estimate_pipeline_runtime(const gpu::Gpu& g, PipelineSpec spec,
+                                  const DryRunCost& cost, Bytes limit) {
+  spec.validate();
+  Bytes budget = limit == 0 ? g.device_mem_free() : std::min(limit, g.device_mem_free());
+  const auto [c, s] = solve_pipeline_memory(g, spec, budget);
+  spec.chunk_size = c;
+  spec.num_streams = s;
+  DryRunCost dc = cost;
+  if (dc.live_streams == 0) dc.live_streams = s;
+  return dry_run(PlanBuilder::pipeline(g, spec), g.profile(), dc).makespan;
 }
 
 }  // namespace gpupipe::core

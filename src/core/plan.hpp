@@ -231,6 +231,13 @@ class PlanBuilder {
 std::pair<std::int64_t, int> solve_pipeline_memory(const gpu::Gpu& g,
                                                    const PipelineSpec& spec, Bytes limit);
 
+/// Predicted total device ring-buffer footprint of `spec` at the given
+/// chunk/stream shape — exactly what constructing a Pipeline at that shape
+/// would allocate. Pure arithmetic; the admission controller uses it to
+/// commit memory before any buffer exists.
+Bytes predicted_pipeline_footprint(const gpu::Gpu& g, const PipelineSpec& spec,
+                                   std::int64_t chunk_size, int num_streams);
+
 /// How a PlanExecutor reaches one mapped array's device buffer.
 class PlanArrayBinding {
  public:
@@ -334,5 +341,13 @@ struct DryRunResult {
 /// executing the plan on an idle Gpu with the same profile would measure.
 DryRunResult dry_run(const ExecutionPlan& plan, const gpu::DeviceProfile& profile,
                      const DryRunCost& cost = {});
+
+/// Solo-runtime estimate of `spec` on `g`: solves the memory limit under
+/// `limit` (0 = the device's free memory), plans the region at the solved
+/// shape, and scores it with a cost-model dry run. No allocations, no
+/// kernels. The shortest-job-first queue policy and least-loaded placement
+/// in src/sched rank jobs with this number.
+SimTime estimate_pipeline_runtime(const gpu::Gpu& g, PipelineSpec spec,
+                                  const DryRunCost& cost = {}, Bytes limit = 0);
 
 }  // namespace gpupipe::core

@@ -1,0 +1,66 @@
+#include "sched/admission.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gpupipe::sched {
+
+AdmissionController::AdmissionController(const std::vector<gpu::Gpu*>& devices, Bytes cap) {
+  require(!devices.empty(), "admission controller needs at least one device");
+  devices_.reserve(devices.size());
+  for (gpu::Gpu* g : devices) {
+    State st;
+    st.gpu = g;
+    st.cap = cap != 0 ? std::min(cap, g->device_mem_free()) : g->device_mem_free();
+    devices_.push_back(st);
+  }
+}
+
+AdmissionDecision AdmissionController::solve(const State& st,
+                                             const core::PipelineSpec& spec,
+                                             Bytes budget) const {
+  AdmissionDecision d;
+  if (budget == 0) return d;
+  // Honor the job's own mem_limit if it is tighter than the remaining budget
+  // — the same rule Pipeline's constructor applies against free memory.
+  const Bytes limit = spec.mem_limit ? std::min(*spec.mem_limit, budget) : budget;
+  try {
+    const auto [c, s] = core::solve_pipeline_memory(*st.gpu, spec, limit);
+    d.admitted = true;
+    d.chunk_size = c;
+    d.num_streams = s;
+    d.footprint = core::predicted_pipeline_footprint(*st.gpu, spec, c, s);
+    d.shrunk = c < spec.chunk_size || s < spec.num_streams;
+  } catch (const gpu::OomError&) {
+    // Even (chunk 1, stream 1) exceeds the budget — not admissible now.
+  }
+  return d;
+}
+
+AdmissionDecision AdmissionController::try_admit(int dev,
+                                                 const core::PipelineSpec& spec) const {
+  const State& st = devices_.at(static_cast<std::size_t>(dev));
+  const Bytes budget = st.cap > st.committed ? st.cap - st.committed : 0;
+  return solve(st, spec, budget);
+}
+
+bool AdmissionController::impossible(int dev, const core::PipelineSpec& spec) const {
+  const State& st = devices_.at(static_cast<std::size_t>(dev));
+  return !solve(st, spec, st.cap).admitted;
+}
+
+void AdmissionController::commit(int dev, Bytes footprint) {
+  State& st = devices_.at(static_cast<std::size_t>(dev));
+  ensure(st.committed + footprint <= st.cap, "admission commit exceeds the device cap");
+  st.committed += footprint;
+  st.peak = std::max(st.peak, st.committed);
+}
+
+void AdmissionController::release(int dev, Bytes footprint) {
+  State& st = devices_.at(static_cast<std::size_t>(dev));
+  ensure(footprint <= st.committed, "admission release exceeds committed bytes");
+  st.committed -= footprint;
+}
+
+}  // namespace gpupipe::sched

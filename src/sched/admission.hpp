@@ -1,0 +1,76 @@
+// Admission control: per-device memory commitment for concurrent pipelines.
+//
+// Each device gets a byte cap (configured, or its free memory at
+// construction). Before a job's pipeline is constructed, try_admit() solves
+// the job's spec against the cap minus the bytes already committed to
+// running jobs — reusing the same memory-limit auto-chunking a solo
+// Pipeline applies (solve_pipeline_memory) — so a job that is too large for
+// the *remaining* budget is shrunk to fit rather than rejected. Admission is
+// purely predictive arithmetic: the footprint is committed before any
+// buffer exists, and because predicted_pipeline_footprint computes exactly
+// what Pipeline's constructor allocates, the sum of commitments bounds the
+// device's real peak. A job is only rejected outright when even a whole
+// idle device cannot hold its smallest (chunk 1, stream 1) shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/spec.hpp"
+#include "gpu/gpu.hpp"
+
+namespace gpupipe::sched {
+
+/// Outcome of one admission attempt on one device.
+struct AdmissionDecision {
+  bool admitted = false;
+  std::int64_t chunk_size = 0;  ///< solved shape (valid when admitted)
+  int num_streams = 0;
+  Bytes footprint = 0;  ///< device bytes the job will commit
+  bool shrunk = false;  ///< solved shape is smaller than the spec asked for
+};
+
+/// Tracks committed ring-buffer footprints per device.
+class AdmissionController {
+ public:
+  /// `cap` applies to every device; 0 means each device's current free
+  /// memory.
+  AdmissionController(const std::vector<gpu::Gpu*>& devices, Bytes cap);
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  Bytes cap(int dev) const { return devices_.at(static_cast<std::size_t>(dev)).cap; }
+  Bytes committed(int dev) const {
+    return devices_.at(static_cast<std::size_t>(dev)).committed;
+  }
+  /// High-water mark of committed bytes (telemetry).
+  Bytes committed_peak(int dev) const {
+    return devices_.at(static_cast<std::size_t>(dev)).peak;
+  }
+
+  /// Solves `spec` against device `dev`'s remaining budget. Does NOT commit;
+  /// call commit() with the decision's footprint once the job actually
+  /// starts.
+  AdmissionDecision try_admit(int dev, const core::PipelineSpec& spec) const;
+
+  /// True when `spec` cannot fit device `dev` even with nothing committed —
+  /// retrying admission can never succeed.
+  bool impossible(int dev, const core::PipelineSpec& spec) const;
+
+  void commit(int dev, Bytes footprint);
+  void release(int dev, Bytes footprint);
+
+ private:
+  struct State {
+    gpu::Gpu* gpu = nullptr;
+    Bytes cap = 0;
+    Bytes committed = 0;
+    Bytes peak = 0;
+  };
+  AdmissionDecision solve(const State& st, const core::PipelineSpec& spec,
+                          Bytes budget) const;
+
+  std::vector<State> devices_;
+};
+
+}  // namespace gpupipe::sched

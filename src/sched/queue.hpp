@@ -1,0 +1,117 @@
+// Bounded ready queue with pluggable selection policies.
+//
+// The queue holds jobs that have arrived but are not yet admitted. Its
+// capacity is the scheduler's backpressure threshold: arrivals beyond it
+// stay at the source until a slot frees. Selection is deterministic — every
+// policy breaks ties by submission order, so two runs of the same mix pick
+// the same job at every decision point. Jobs whose admission failed carry a
+// `not_before` retry gate (exponential backoff, set by the scheduler) and
+// are skipped until it passes, which lets smaller jobs overtake a job that
+// is waiting for device memory to free up.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace gpupipe::sched {
+
+/// How the scheduler picks the next job to admit.
+enum class QueuePolicy {
+  Fifo,      ///< submission order
+  Priority,  ///< highest Job::priority first, FIFO within a priority
+  Sjf,       ///< smallest dry-run solo estimate first (shortest job first)
+};
+
+inline const char* to_string(QueuePolicy p) {
+  switch (p) {
+    case QueuePolicy::Fifo: return "fifo";
+    case QueuePolicy::Priority: return "priority";
+    case QueuePolicy::Sjf: return "sjf";
+  }
+  return "?";
+}
+
+/// Bounded, policy-ordered collection of ready jobs.
+class JobQueue {
+ public:
+  struct Item {
+    int job = -1;            ///< scheduler job id
+    std::uint64_t seq = 0;   ///< submission order (FIFO key and tie-break)
+    int priority = 0;        ///< Priority key
+    SimTime estimate = 0.0;  ///< SJF key
+    SimTime not_before = 0.0;  ///< retry gate after a failed admission
+  };
+
+  JobQueue(QueuePolicy policy, std::size_t capacity)
+      : policy_(policy), capacity_(capacity) {
+    require(capacity_ >= 1, "job queue capacity must be >= 1");
+  }
+
+  QueuePolicy policy() const { return policy_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= capacity_; }
+
+  /// Adds an item; false when the queue is full (backpressure).
+  bool push(Item it) {
+    if (full()) return false;
+    items_.push_back(it);
+    return true;
+  }
+
+  /// Best eligible item at virtual time `now` (retry gate passed), or
+  /// nullptr. The pointer is invalidated by push/remove.
+  Item* pick(SimTime now) {
+    Item* best = nullptr;
+    for (Item& it : items_) {
+      if (it.not_before > now) continue;
+      if (best == nullptr || before(it, *best)) best = &it;
+    }
+    return best;
+  }
+
+  /// Removes the item of `job` (must be present).
+  void remove(int job) {
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i].job == job) {
+        items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+    ensure(false, "job queue remove: job not queued");
+  }
+
+  /// Earliest future retry gate (> now); +inf when none is pending.
+  SimTime next_retry(SimTime now) const {
+    SimTime t = std::numeric_limits<SimTime>::infinity();
+    for (const Item& it : items_)
+      if (it.not_before > now && it.not_before < t) t = it.not_before;
+    return t;
+  }
+
+ private:
+  /// Strict policy order; ties fall through to submission order.
+  bool before(const Item& a, const Item& b) const {
+    switch (policy_) {
+      case QueuePolicy::Fifo: break;
+      case QueuePolicy::Priority:
+        if (a.priority != b.priority) return a.priority > b.priority;
+        break;
+      case QueuePolicy::Sjf:
+        if (a.estimate != b.estimate) return a.estimate < b.estimate;
+        break;
+    }
+    return a.seq < b.seq;
+  }
+
+  QueuePolicy policy_;
+  std::size_t capacity_;
+  std::vector<Item> items_;
+};
+
+}  // namespace gpupipe::sched

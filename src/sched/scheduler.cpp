@@ -1,0 +1,390 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace gpupipe::sched {
+
+namespace {
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+
+const std::vector<double>& time_bounds() {
+  static const std::vector<double> b = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+                                        0.1,  0.3,  1.0,  3.0,  10.0};
+  return b;
+}
+}  // namespace
+
+Scheduler::Scheduler(std::vector<gpu::Gpu*> devices, SchedulerOptions opts)
+    : devices_(std::move(devices)),
+      opts_(opts),
+      admission_(devices_, opts.device_mem_cap),
+      queue_(opts.queue_policy, opts.queue_capacity) {
+  require(!devices_.empty(), "scheduler needs at least one device");
+  for (gpu::Gpu* g : devices_) require(g != nullptr, "scheduler device is null");
+  ctx_ = devices_[0]->context();
+  for (gpu::Gpu* g : devices_)
+    require(g->context() == ctx_,
+            "scheduler devices must share one SharedContext (one host thread)");
+  require(opts_.backoff_factor >= 1.0, "backoff factor must be >= 1");
+  require(opts_.max_admission_attempts >= 1, "max admission attempts must be >= 1");
+  outstanding_.assign(devices_.size(), 0.0);
+  dev_completed_.assign(devices_.size(), 0);
+}
+
+int Scheduler::submit(Job job) {
+  require(!ran_, "submit after run() is not supported");
+  job.spec.validate();
+  require(job.spec.schedule == core::ScheduleKind::Static,
+          "scheduler jobs need the static schedule (split-phase execution)");
+  const int id = static_cast<int>(jobs_.size());
+
+  JobRecord r;
+  r.id = id;
+  r.name = job.name;
+  r.priority = job.priority;
+  r.arrival = job.arrival;
+  core::DryRunCost cost;
+  cost.flops_per_iter = job.flops_per_iter;
+  cost.bytes_per_iter = job.bytes_per_iter;
+  try {
+    // Estimated against the first device: placement assumes a homogeneous
+    // machine (the usual serving setup; MultiPipeline handles heterogeneous
+    // splits of a single region).
+    r.estimate = core::estimate_pipeline_runtime(*devices_[0], job.spec, cost,
+                                                 admission_.cap(0));
+  } catch (const gpu::OomError&) {
+    // Cannot fit even an idle device; dispatch rejects it through the
+    // normal impossible() path.
+    r.estimate = kInf;
+  }
+
+  jobs_.push_back(std::move(job));
+  records_.push_back(std::move(r));
+  stalled_.push_back(0);
+  return id;
+}
+
+// --- Control loop ---
+
+ScheduleReport Scheduler::run() {
+  require(!ran_, "Scheduler::run may be called once");
+  ran_ = true;
+  t0_ = host_now();
+  busy0_.clear();
+  for (gpu::Gpu* g : devices_) busy0_.push_back(g->compute_busy_time());
+
+  arrival_order_.resize(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) arrival_order_[i] = static_cast<int>(i);
+  std::sort(arrival_order_.begin(), arrival_order_.end(), [this](int a, int b) {
+    const SimTime ta = jobs_[static_cast<std::size_t>(a)].arrival;
+    const SimTime tb = jobs_[static_cast<std::size_t>(b)].arrival;
+    if (ta != tb) return ta < tb;
+    return a < b;
+  });
+
+  while (!all_terminal()) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      if (poll_completions()) progress = true;
+      if (intake()) progress = true;
+      if (dispatch()) progress = true;
+    }
+    if (all_terminal()) break;
+    advance();
+  }
+
+  ScheduleReport rep;
+  rep.start = t0_;
+  SimTime last = t0_;
+  for (const JobRecord& r : records_)
+    if (r.state == JobState::Completed) last = std::max(last, r.finish);
+  makespan_ = last - t0_;
+  rep.makespan = makespan_;
+  rep.completed = completed_;
+  rep.rejected = rejected_;
+  rep.backpressure_events = backpressure_events_;
+  rep.admission_retries = admission_retries_;
+  rep.admission_shrinks = admission_shrinks_;
+  rep.deadline_misses = deadline_misses_;
+  rep.jobs = records_;
+  return rep;
+}
+
+bool Scheduler::poll_completions() {
+  bool progress = false;
+  for (std::size_t i = 0; i < active_.size();) {
+    if (active_[i].done()) {
+      complete_job(active_[i]);
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+      progress = true;
+    } else {
+      ++i;
+    }
+  }
+  return progress;
+}
+
+bool Scheduler::intake() {
+  bool progress = false;
+  while (next_pending_ < arrival_order_.size()) {
+    const int id = arrival_order_[next_pending_];
+    const std::size_t idx = static_cast<std::size_t>(id);
+    if (jobs_[idx].arrival > host_now()) break;
+    if (queue_.full()) {
+      if (!stalled_[idx]) {
+        stalled_[idx] = 1;
+        ++backpressure_events_;
+        log_debug("sched: backpressure — job ", id, " (", jobs_[idx].name,
+                  ") waits for a queue slot");
+      }
+      break;
+    }
+    JobQueue::Item it;
+    it.job = id;
+    it.seq = static_cast<std::uint64_t>(id);
+    it.priority = jobs_[idx].priority;
+    it.estimate = records_[idx].estimate;
+    ensure(queue_.push(it), "queue push failed after full() check");
+    records_[idx].state = JobState::Queued;
+    records_[idx].enqueue_time = host_now();
+    ++next_pending_;
+    note_queue_depth();
+    progress = true;
+  }
+  return progress;
+}
+
+bool Scheduler::dispatch() {
+  bool progress = false;
+  while (JobQueue::Item* it = queue_.pick(host_now())) {
+    const int id = it->job;
+    const std::size_t idx = static_cast<std::size_t>(id);
+    ++records_[idx].admission_attempts;
+
+    bool started = false;
+    for (int dev : placement_order()) {
+      const AdmissionDecision d = admission_.try_admit(dev, jobs_[idx].spec);
+      if (!d.admitted) continue;
+      start_job(id, dev, d);
+      started = true;
+      break;
+    }
+    if (started) {
+      progress = true;
+      continue;
+    }
+
+    bool fits_somewhere = false;
+    for (int dev = 0; dev < num_devices(); ++dev)
+      if (!admission_.impossible(dev, jobs_[idx].spec)) fits_somewhere = true;
+    if (!fits_somewhere) {
+      reject_job(id, "does not fit an idle device at chunk 1 / stream 1");
+      progress = true;
+    } else if (records_[idx].admission_attempts >= opts_.max_admission_attempts) {
+      reject_job(id, "admission retry budget exhausted");
+      progress = true;
+    } else {
+      // Gate the job behind an exponential backoff; later (smaller) jobs may
+      // overtake it while it waits for committed memory to be released.
+      const double exp = static_cast<double>(records_[idx].admission_attempts - 1);
+      const SimTime delay = std::min(
+          opts_.backoff_max, opts_.backoff_initial * std::pow(opts_.backoff_factor, exp));
+      it->not_before = host_now() + delay;
+      ++admission_retries_;
+    }
+  }
+  return progress;
+}
+
+void Scheduler::start_job(int id, int dev, const AdmissionDecision& d) {
+  const std::size_t idx = static_cast<std::size_t>(id);
+  JobRecord& r = records_[idx];
+  r.state = JobState::Running;
+  r.device = dev;
+  r.start = host_now();
+  r.footprint = d.footprint;
+  r.chunk_size = d.chunk_size;
+  r.num_streams = d.num_streams;
+  r.shrunk = d.shrunk;
+  if (d.shrunk) ++admission_shrinks_;
+
+  // Freeze the admitted shape: the pipeline re-solves its memory limit in
+  // the constructor, and a limit of exactly the committed footprint keeps
+  // the solved shape identical to the admission decision.
+  core::PipelineSpec spec = jobs_[idx].spec;
+  spec.chunk_size = d.chunk_size;
+  spec.num_streams = d.num_streams;
+  spec.mem_limit = d.footprint;
+  admission_.commit(dev, d.footprint);
+
+  Active a;
+  a.id = id;
+  a.device = dev;
+  a.footprint = d.footprint;
+  a.estimate = r.estimate;
+  a.pipeline = std::make_unique<core::Pipeline>(*devices_[static_cast<std::size_t>(dev)],
+                                                std::move(spec));
+  a.pipeline->enqueue(jobs_[idx].kernel);
+  // Completion is observed through events on the job's own streams — a
+  // device-wide synchronize here would stall every co-resident tenant.
+  for (gpu::Stream* s : a.pipeline->streams())
+    a.events.push_back(devices_[static_cast<std::size_t>(dev)]->record_event(*s));
+  if (std::isfinite(a.estimate)) outstanding_[static_cast<std::size_t>(dev)] += a.estimate;
+  active_.push_back(std::move(a));
+
+  if (opts_.placement == PlacementPolicy::RoundRobin)
+    rr_cursor_ = (dev + 1) % num_devices();
+  queue_.remove(id);
+  log_debug("sched: job ", id, " (", jobs_[idx].name, ") -> dev", dev, ", chunk ",
+            d.chunk_size, ", ", d.num_streams, " streams, ", to_mib(d.footprint), " MiB",
+            d.shrunk ? " (shrunk)" : "");
+}
+
+void Scheduler::reject_job(int id, std::string reason) {
+  const std::size_t idx = static_cast<std::size_t>(id);
+  queue_.remove(id);
+  records_[idx].state = JobState::Rejected;
+  records_[idx].reject_reason = std::move(reason);
+  ++rejected_;
+  log_debug("sched: job ", id, " (", jobs_[idx].name, ") rejected: ",
+            records_[idx].reject_reason);
+}
+
+void Scheduler::complete_job(Active& a) {
+  const std::size_t idx = static_cast<std::size_t>(a.id);
+  JobRecord& r = records_[idx];
+  SimTime finish = 0.0;
+  for (const auto& ev : a.events) finish = std::max(finish, ev->timestamp());
+  r.finish = finish;
+  r.state = JobState::Completed;
+  // All events already fired, so the drain is bookkeeping; destroying the
+  // pipeline releases its ring buffers and streams (per-stream sync only).
+  a.pipeline->wait();
+  a.pipeline.reset();
+  admission_.release(a.device, a.footprint);
+  if (std::isfinite(a.estimate))
+    outstanding_[static_cast<std::size_t>(a.device)] -= a.estimate;
+  ++dev_completed_[static_cast<std::size_t>(a.device)];
+  ++completed_;
+  if (jobs_[idx].deadline && finish > *jobs_[idx].deadline) {
+    r.deadline_missed = true;
+    ++deadline_misses_;
+  }
+  log_debug("sched: job ", a.id, " (", jobs_[idx].name, ") completed at ", finish,
+            "s (wait ", r.wait(), "s, service ", r.service(), "s)");
+}
+
+std::vector<int> Scheduler::placement_order() const {
+  std::vector<int> order(devices_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) order[i] = static_cast<int>(i);
+  if (opts_.placement == PlacementPolicy::RoundRobin) {
+    std::rotate(order.begin(), order.begin() + rr_cursor_, order.end());
+  } else {
+    std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+      const std::size_t ia = static_cast<std::size_t>(a);
+      const std::size_t ib = static_cast<std::size_t>(b);
+      if (outstanding_[ia] != outstanding_[ib]) return outstanding_[ia] < outstanding_[ib];
+      if (admission_.committed(a) != admission_.committed(b))
+        return admission_.committed(a) < admission_.committed(b);
+      return a < b;
+    });
+  }
+  return order;
+}
+
+// --- Virtual-time advancement ---
+
+void Scheduler::advance() {
+  SimTime next_arrival = kInf;
+  if (next_pending_ < arrival_order_.size()) {
+    const SimTime t =
+        jobs_[static_cast<std::size_t>(arrival_order_[next_pending_])].arrival;
+    // An arrival in the past means the queue is full; only a completion (or
+    // a rejection, which needs no time) can unblock it.
+    if (t > host_now()) next_arrival = t;
+  }
+  const SimTime bound = std::min(next_arrival, queue_.next_retry(host_now()));
+  if (active_.empty()) {
+    ensure(std::isfinite(bound), "scheduler stalled: nothing running and no wake time");
+    advance_to(bound);
+  } else {
+    advance_until_completion_or(bound);
+  }
+}
+
+void Scheduler::advance_to(SimTime t) {
+  ctx_->sim.run_until_time(t);
+  ctx_->host_time = std::max(ctx_->host_time, t);
+}
+
+void Scheduler::advance_until_completion_or(SimTime bound) {
+  const bool bounded = std::isfinite(bound);
+  SimTime alarm = 0.0;
+  if (bounded) {
+    // A no-op "alarm" event guarantees the queue cannot drain before the
+    // predicate turns true at the wake time.
+    alarm = std::max(bound, ctx_->sim.now());
+    ctx_->sim.schedule(alarm, [] {});
+  }
+  ctx_->sim.run_until([&] {
+    if (bounded && ctx_->sim.now() >= alarm) return true;
+    for (const Active& a : active_)
+      if (a.done()) return true;
+    return false;
+  });
+  ctx_->host_time = std::max(ctx_->host_time, ctx_->sim.now());
+}
+
+void Scheduler::note_queue_depth() {
+  queue_depth_peak_ = std::max(queue_depth_peak_, queue_.size());
+  queue_depth_samples_.push_back(queue_.size());
+}
+
+// --- Telemetry ---
+
+void Scheduler::collect_metrics(telemetry::Registry& reg, const std::string& prefix) const {
+  const std::string p = prefix + "sched.";
+  reg.counter(p + "jobs_submitted").add(static_cast<std::int64_t>(jobs_.size()));
+  reg.counter(p + "jobs_completed").add(completed_);
+  reg.counter(p + "jobs_rejected").add(rejected_);
+  reg.counter(p + "backpressure_events").add(backpressure_events_);
+  reg.counter(p + "admission_retries").add(admission_retries_);
+  reg.counter(p + "admission_shrinks").add(admission_shrinks_);
+  reg.counter(p + "deadline_misses").add(deadline_misses_);
+  reg.gauge(p + "makespan_s").set(makespan_);
+  reg.gauge(p + "queue_depth_peak").set(static_cast<double>(queue_depth_peak_));
+
+  auto& wait = reg.histogram(p + "wait_s", time_bounds());
+  auto& service = reg.histogram(p + "service_s", time_bounds());
+  auto& turnaround = reg.histogram(p + "turnaround_s", time_bounds());
+  for (const JobRecord& r : records_) {
+    if (r.state != JobState::Completed) continue;
+    wait.observe(r.wait());
+    service.observe(r.service());
+    turnaround.observe(r.turnaround());
+  }
+  auto& depth = reg.histogram(p + "queue_depth", {0, 1, 2, 4, 8, 16, 32});
+  for (std::size_t d : queue_depth_samples_) depth.observe(static_cast<double>(d));
+
+  for (int dev = 0; dev < num_devices(); ++dev) {
+    const std::string dp = p + "dev" + std::to_string(dev) + ".";
+    reg.gauge(dp + "mem_cap_bytes").set(static_cast<double>(admission_.cap(dev)));
+    reg.gauge(dp + "committed_peak_bytes")
+        .set(static_cast<double>(admission_.committed_peak(dev)));
+    reg.counter(dp + "jobs_completed").add(dev_completed_[static_cast<std::size_t>(dev)]);
+    const std::size_t di = static_cast<std::size_t>(dev);
+    const SimTime busy = ran_ && di < busy0_.size()
+                             ? devices_[di]->compute_busy_time() - busy0_[di]
+                             : 0.0;
+    reg.gauge(dp + "utilization").set(makespan_ > 0.0 ? busy / makespan_ : 0.0);
+  }
+}
+
+}  // namespace gpupipe::sched

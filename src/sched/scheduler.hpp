@@ -1,0 +1,174 @@
+// Multi-tenant job scheduler over a shared simulated machine.
+//
+// The executors below src/core run one region at a time (or one region
+// mirrored across devices — MultiPipeline). The Scheduler generalizes that
+// to a serving scenario: many independent jobs, arriving over virtual time,
+// share the devices of one gpu::SharedContext. Each admitted job becomes a
+// core::Pipeline driven through the split-phase enqueue()/wait() interface,
+// so chunks of concurrent jobs interleave on a device's copy and compute
+// engines inside the single discrete-event simulation — overlap across
+// tenants falls out of the same event machinery that overlaps stages within
+// one pipeline.
+//
+// Control loop (all in virtual time, fully deterministic):
+//   * arrivals enter a bounded ready queue (JobQueue); a full queue is
+//     backpressure — the job waits at the source,
+//   * a queue policy (FIFO / priority / shortest-job-first on the cost-model
+//     dry-run estimate) picks the next job; a placement policy (least-loaded
+//     by outstanding estimated seconds / round-robin) orders the devices,
+//   * the AdmissionController solves the job against the device's remaining
+//     memory budget, shrinking the chunk/stream shape exactly like a solo
+//     pipeline under pipeline_mem_limit; admission failure retries with
+//     exponential backoff, and a job is rejected only when it cannot fit an
+//     idle device or its retry budget runs out,
+//   * completion is detected by events recorded on the job's own streams —
+//     never by draining the device, which would serialize tenants.
+//
+// The scheduler never preempts and never advances time while any decision
+// is possible; time only moves to the next arrival, retry gate, or job
+// completion. Ties everywhere break by submission order.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "core/pipeline.hpp"
+#include "sched/admission.hpp"
+#include "sched/job.hpp"
+#include "sched/queue.hpp"
+
+namespace gpupipe::sched {
+
+/// How the scheduler orders devices when placing an admitted job.
+enum class PlacementPolicy {
+  LeastLoaded,  ///< fewest outstanding estimated seconds first
+  RoundRobin,   ///< rotate a cursor over the devices
+};
+
+inline const char* to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::LeastLoaded: return "least-loaded";
+    case PlacementPolicy::RoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+struct SchedulerOptions {
+  QueuePolicy queue_policy = QueuePolicy::Fifo;
+  PlacementPolicy placement = PlacementPolicy::LeastLoaded;
+  /// Per-device committed-footprint cap; 0 means each device's free memory
+  /// at scheduler construction.
+  Bytes device_mem_cap = 0;
+  /// Ready-queue capacity; arrivals beyond it are backpressured.
+  std::size_t queue_capacity = 64;
+  /// Exponential backoff between admission attempts of one job.
+  SimTime backoff_initial = msec(1);
+  double backoff_factor = 2.0;
+  SimTime backoff_max = 0.5;
+  /// Rejection threshold: placement rounds before the scheduler gives up.
+  int max_admission_attempts = 12;
+};
+
+/// What one run() produced (virtual times; jobs in submission order).
+struct ScheduleReport {
+  SimTime start = 0.0;     ///< host time when run() began
+  SimTime makespan = 0.0;  ///< last completion minus start
+  int completed = 0;
+  int rejected = 0;
+  std::int64_t backpressure_events = 0;
+  std::int64_t admission_retries = 0;
+  std::int64_t admission_shrinks = 0;
+  std::int64_t deadline_misses = 0;
+  std::vector<JobRecord> jobs;
+};
+
+/// Admits, places, and interleaves jobs across the devices of one shared
+/// context. Submit every job first, then call run() once.
+class Scheduler {
+ public:
+  /// All devices must share one SharedContext (one host thread, one clock).
+  Scheduler(std::vector<gpu::Gpu*> devices, SchedulerOptions opts = {});
+
+  /// Registers a job; returns its id (== submission index). The solo
+  /// runtime estimate (SJF rank, least-loaded weight) is computed here with
+  /// a cost-model dry run against the first device's profile.
+  int submit(Job job);
+
+  /// Executes every submitted job to completion or rejection. Call once.
+  ScheduleReport run();
+
+  /// Derives the `sched.` telemetry namespace from the finished run into
+  /// `reg` (metric names get `prefix` prepended). Pull-based, like
+  /// Pipeline::collect_metrics.
+  void collect_metrics(telemetry::Registry& reg, const std::string& prefix = {}) const;
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  const AdmissionController& admission() const { return admission_; }
+  const SchedulerOptions& options() const { return opts_; }
+  const std::vector<JobRecord>& records() const { return records_; }
+
+ private:
+  struct Active {
+    int id = -1;
+    int device = -1;
+    Bytes footprint = 0;
+    SimTime estimate = 0.0;
+    std::unique_ptr<core::Pipeline> pipeline;
+    std::vector<gpu::EventPtr> events;  ///< one per pipeline stream
+    bool done() const {
+      for (const auto& ev : events)
+        if (!ev->complete()) return false;
+      return true;
+    }
+  };
+
+  SimTime host_now() const { return ctx_->host_time; }
+  bool all_terminal() const {
+    return completed_ + rejected_ == static_cast<int>(jobs_.size());
+  }
+
+  bool poll_completions();
+  bool intake();
+  bool dispatch();
+  void start_job(int id, int dev, const AdmissionDecision& d);
+  void reject_job(int id, std::string reason);
+  void complete_job(Active& a);
+  std::vector<int> placement_order() const;
+  void advance();
+  void advance_to(SimTime t);
+  void advance_until_completion_or(SimTime bound);
+  void note_queue_depth();
+
+  std::vector<gpu::Gpu*> devices_;
+  std::shared_ptr<gpu::SharedContext> ctx_;
+  SchedulerOptions opts_;
+  AdmissionController admission_;
+  JobQueue queue_;
+
+  std::vector<Job> jobs_;
+  std::vector<JobRecord> records_;
+  std::vector<char> stalled_;  ///< backpressure counted once per job
+  std::vector<int> arrival_order_;
+  std::size_t next_pending_ = 0;
+  std::vector<Active> active_;
+  std::vector<SimTime> outstanding_;  ///< estimated seconds running per device
+  std::vector<std::int64_t> dev_completed_;
+  std::vector<SimTime> busy0_;  ///< compute busy time at run() start
+  int rr_cursor_ = 0;
+
+  bool ran_ = false;
+  SimTime t0_ = 0.0;
+  SimTime makespan_ = 0.0;
+  int completed_ = 0;
+  int rejected_ = 0;
+  std::int64_t backpressure_events_ = 0;
+  std::int64_t admission_retries_ = 0;
+  std::int64_t admission_shrinks_ = 0;
+  std::int64_t deadline_misses_ = 0;
+  std::size_t queue_depth_peak_ = 0;
+  std::vector<std::size_t> queue_depth_samples_;
+};
+
+}  // namespace gpupipe::sched

@@ -1,0 +1,229 @@
+#include "sched/workloads.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gpupipe::sched {
+
+namespace {
+
+struct SizeTemplate {
+  std::int64_t rows;
+  std::int64_t row_elems;
+  std::int64_t chunk_size;
+  int num_streams;
+};
+
+SizeTemplate size_template(const std::string& size) {
+  if (size == "small") return {96, 1024, 8, 2};
+  if (size == "medium") return {192, 2048, 16, 3};
+  if (size == "large") return {384, 4096, 32, 4};
+  throw Error("job mix: unknown size '" + size + "' (small|medium|large)");
+}
+
+// Deterministic input data, varied per job so concurrent tenants cannot
+// accidentally validate against each other's results.
+void fill_input(std::vector<double>& v, int index) {
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = 0.25 + static_cast<double>((i + 37 * static_cast<std::size_t>(index)) % 97) / 192.0;
+}
+
+double stream_fn(double x) { return x * 1.5 + 2.0; }
+
+double compute_fn(double x) {
+  double v = x;
+  for (int t = 0; t < 16; ++t) v = v * 0.9995 + 0.0005 * v * v;
+  return v;
+}
+
+core::ArraySpec slab_array(const char* name, core::MapType map, std::vector<double>& host,
+                           std::int64_t rows, std::int64_t row_elems, std::int64_t window) {
+  return core::ArraySpec{name,
+                         map,
+                         reinterpret_cast<std::byte*>(host.data()),
+                         sizeof(double),
+                         {rows, row_elems},
+                         core::SplitSpec{0, core::Affine{1, 0}, window}};
+}
+
+core::KernelFactory pointwise_kernel(const char* name, std::int64_t row_elems,
+                                     double flops_per_elem, double (*fn)(double)) {
+  return [name, row_elems, flops_per_elem, fn](const core::ChunkContext& ctx) {
+    gpu::KernelDesc k;
+    k.name = name;
+    k.flops = static_cast<double>(ctx.iterations() * row_elems) * flops_per_elem;
+    k.bytes = static_cast<Bytes>(ctx.iterations() * row_elems) * 2 * sizeof(double);
+    const core::BufferView in = ctx.view("in");
+    const core::BufferView out = ctx.view("out");
+    const std::int64_t lo = ctx.begin(), hi = ctx.end();
+    k.body = [in, out, lo, hi, row_elems, fn] {
+      for (std::int64_t r = lo; r < hi; ++r) {
+        const double* s = in.slab_ptr(r);
+        double* d = out.slab_ptr(r);
+        for (std::int64_t j = 0; j < row_elems; ++j) d[j] = fn(s[j]);
+      }
+    };
+    return k;
+  };
+}
+
+core::KernelFactory stencil_kernel(std::int64_t row_elems) {
+  return [row_elems](const core::ChunkContext& ctx) {
+    gpu::KernelDesc k;
+    k.name = "serve_stencil";
+    k.flops = static_cast<double>(ctx.iterations() * row_elems) * 3.0;
+    k.bytes = static_cast<Bytes>(ctx.iterations() * row_elems) * 4 * sizeof(double);
+    const core::BufferView in = ctx.view("in");
+    const core::BufferView out = ctx.view("out");
+    const std::int64_t lo = ctx.begin(), hi = ctx.end();
+    k.body = [in, out, lo, hi, row_elems] {
+      for (std::int64_t r = lo; r < hi; ++r) {
+        const double* s0 = in.slab_ptr(r);
+        const double* s1 = in.slab_ptr(r + 1);
+        const double* s2 = in.slab_ptr(r + 2);
+        double* d = out.slab_ptr(r);
+        for (std::int64_t j = 0; j < row_elems; ++j) d[j] = 0.25 * (s0[j] + s1[j] + s2[j]);
+      }
+    };
+    return k;
+  };
+}
+
+}  // namespace
+
+ServeJob make_serve_job(const JobMixLine& line, int index) {
+  const SizeTemplate t = size_template(line.size);
+  const bool stencil = line.app == "stencil";
+  if (!stencil && line.app != "stream" && line.app != "compute")
+    throw Error("job mix: unknown app '" + line.app + "' (stream|stencil|compute)");
+
+  ServeJob sj;
+  sj.app = line.app;
+  sj.rows = t.rows;
+  sj.row_elems = t.row_elems;
+  const std::int64_t out_rows = stencil ? t.rows - 2 : t.rows;
+  sj.in = std::make_shared<std::vector<double>>(
+      static_cast<std::size_t>(t.rows * t.row_elems));
+  sj.out = std::make_shared<std::vector<double>>(
+      static_cast<std::size_t>(out_rows * t.row_elems), 0.0);
+  fill_input(*sj.in, index);
+
+  Job& job = sj.job;
+  job.name = line.app + "-" + line.size + "-" + std::to_string(index);
+  job.priority = line.priority;
+  job.arrival = line.arrival;
+  if (line.deadline) job.deadline = line.arrival + *line.deadline;
+
+  core::PipelineSpec& spec = job.spec;
+  spec.chunk_size = t.chunk_size;
+  spec.num_streams = t.num_streams;
+  spec.loop_begin = 0;
+  spec.loop_end = out_rows;
+  spec.arrays = {
+      slab_array("in", core::MapType::To, *sj.in, t.rows, t.row_elems, stencil ? 3 : 1),
+      slab_array("out", core::MapType::From, *sj.out, out_rows, t.row_elems, 1),
+  };
+
+  if (line.app == "stream") {
+    job.kernel = pointwise_kernel("serve_stream", t.row_elems, 2.0, stream_fn);
+    job.flops_per_iter = static_cast<double>(t.row_elems) * 2.0;
+    job.bytes_per_iter = static_cast<double>(t.row_elems) * 2 * sizeof(double);
+  } else if (line.app == "compute") {
+    // 16 fused-polynomial steps per element: solidly compute-bound on the
+    // roofline, unlike the transfer-bound stream/stencil apps.
+    job.kernel = pointwise_kernel("serve_compute", t.row_elems, 48.0, compute_fn);
+    job.flops_per_iter = static_cast<double>(t.row_elems) * 48.0;
+    job.bytes_per_iter = static_cast<double>(t.row_elems) * 2 * sizeof(double);
+  } else {
+    job.kernel = stencil_kernel(t.row_elems);
+    job.flops_per_iter = static_cast<double>(t.row_elems) * 3.0;
+    job.bytes_per_iter = static_cast<double>(t.row_elems) * 4 * sizeof(double);
+  }
+  return sj;
+}
+
+bool ServeJob::verify() const {
+  const std::vector<double>& i = *in;
+  const std::vector<double>& o = *out;
+  const std::int64_t e = row_elems;
+  if (app == "stencil") {
+    for (std::int64_t r = 0; r < rows - 2; ++r)
+      for (std::int64_t j = 0; j < e; ++j)
+        if (o[static_cast<std::size_t>(r * e + j)] !=
+            0.25 * (i[static_cast<std::size_t>(r * e + j)] +
+                    i[static_cast<std::size_t>((r + 1) * e + j)] +
+                    i[static_cast<std::size_t>((r + 2) * e + j)]))
+          return false;
+    return true;
+  }
+  double (*fn)(double) = app == "compute" ? compute_fn : stream_fn;
+  for (std::size_t k = 0; k < o.size(); ++k)
+    if (o[k] != fn(i[k])) return false;
+  return true;
+}
+
+double ServeJob::output_checksum() const {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < out->size(); ++k)
+    sum += (*out)[k] * static_cast<double>((k % 13) + 1);
+  return sum;
+}
+
+std::vector<JobMixLine> parse_job_mix(std::istream& is) {
+  std::vector<JobMixLine> mix;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    JobMixLine l;
+    if (!(ls >> l.app)) continue;  // blank or comment-only line
+    double deadline = 0.0;
+    if (!(ls >> l.size >> l.priority >> l.arrival))
+      throw Error("job mix line " + std::to_string(lineno) +
+                  ": expected '<app> <size> <priority> <arrival_s> [deadline_s]'");
+    if (ls >> deadline) {
+      require(deadline > 0.0, "job mix line " + std::to_string(lineno) +
+                                  ": deadline must be positive");
+      l.deadline = deadline;
+    }
+    std::string extra;
+    if (ls >> extra)
+      throw Error("job mix line " + std::to_string(lineno) + ": trailing token '" +
+                  extra + "'");
+    require(l.arrival >= 0.0,
+            "job mix line " + std::to_string(lineno) + ": arrival must be >= 0");
+    // Fail early on unknown names so a typo is reported with its line.
+    size_template(l.size);
+    if (l.app != "stream" && l.app != "stencil" && l.app != "compute")
+      throw Error("job mix line " + std::to_string(lineno) + ": unknown app '" + l.app +
+                  "'");
+    mix.push_back(std::move(l));
+  }
+  return mix;
+}
+
+std::vector<JobMixLine> default_job_mix(int n) {
+  require(n >= 1, "default job mix needs at least one job");
+  static const char* apps[] = {"stream", "stencil", "compute"};
+  static const char* sizes[] = {"medium", "small", "large"};
+  std::vector<JobMixLine> mix;
+  mix.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    JobMixLine l;
+    l.app = apps[i % 3];
+    l.size = sizes[(i / 3 + i) % 3];
+    l.priority = i % 3;
+    l.arrival = 0.0008 * static_cast<double>(i);
+    if (i % 5 == 4) l.deadline = 0.25;  // generous; missed only if starved
+    mix.push_back(std::move(l));
+  }
+  return mix;
+}
+
+}  // namespace gpupipe::sched

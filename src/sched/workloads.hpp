@@ -1,0 +1,69 @@
+// Canned serving workloads and the job-mix file format.
+//
+// A job mix is a plain-text description of a serving scenario, one job per
+// line:
+//
+//     # app    size    priority  arrival_s  [deadline_s]
+//     stream   medium  1         0.000
+//     stencil  large   0         0.002      0.050
+//
+// `app` picks the kernel shape (stream: out = a*in + b, window 1;
+// stencil: 3-point row stencil, window 3; compute: flop-heavy polynomial,
+// window 1), `size` the host array extents (small/medium/large), `arrival_s`
+// the virtual arrival time, and the optional `deadline_s` a completion
+// target relative to arrival. make_serve_job() turns a line into a sched::Job
+// with deterministic host data, roofline cost hints matching the kernels it
+// emits, and a verify() closure that recomputes the expected output on the
+// host (Functional mode).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace gpupipe::sched {
+
+/// One parsed line of a job-mix file.
+struct JobMixLine {
+  std::string app;   ///< stream | stencil | compute
+  std::string size;  ///< small | medium | large
+  int priority = 0;
+  SimTime arrival = 0.0;
+  std::optional<SimTime> deadline;  ///< relative to arrival
+};
+
+/// Parses a job-mix stream; throws gpupipe::Error with the offending line
+/// number on malformed input.
+std::vector<JobMixLine> parse_job_mix(std::istream& is);
+
+/// A deterministic built-in mix of `n` jobs cycling through the app and
+/// size templates with staggered arrivals and varied priorities.
+std::vector<JobMixLine> default_job_mix(int n);
+
+/// A runnable job plus the host arrays backing it and a result check.
+struct ServeJob {
+  Job job;
+  std::shared_ptr<std::vector<double>> in;
+  std::shared_ptr<std::vector<double>> out;
+
+  /// Recomputes the expected output on the host; true when the device
+  /// result matches exactly (Functional mode).
+  bool verify() const;
+  /// Order-independent digest of the output array (determinism checks).
+  double output_checksum() const;
+
+  // Expected-value parameters captured at construction (verify()).
+  std::string app;
+  std::int64_t rows = 0;
+  std::int64_t row_elems = 0;
+};
+
+/// Instantiates `line` as job number `index` (names the job and seeds its
+/// deterministic input data). Throws on an unknown app or size.
+ServeJob make_serve_job(const JobMixLine& line, int index);
+
+}  // namespace gpupipe::sched

@@ -42,6 +42,18 @@ TEST(Codegen, EmitsAllThePlumbing) {
   EXPECT_NE(code.find("TODO"), std::string::npos);  // placeholder body
 }
 
+TEST(Codegen, DerivesCostDefaultsFromMapWindows) {
+  const std::string code = generate_cpp(fig2_input());
+  // Per-iteration window products, one per map, from the bracket extents.
+  EXPECT_NE(code.find("A0_window_elems = (3) * (ny) * (nx)"), std::string::npos);
+  EXPECT_NE(code.find("Anext_window_elems = (1) * (ny) * (nx)"), std::string::npos);
+  EXPECT_NE(code.find("sizeof(double)"), std::string::npos);
+  // The defaults are actually assigned — no cost-model TODO remains.
+  EXPECT_NE(code.find("kernel.flops = static_cast<double>(k_iters)"), std::string::npos);
+  EXPECT_NE(code.find("kernel.bytes = static_cast<Bytes>(k_iters)"), std::string::npos);
+  EXPECT_EQ(code.find("TODO: set kernel.flops"), std::string::npos);
+}
+
 TEST(Codegen, InsertsProvidedKernelBody) {
   CodegenInput in = fig2_input();
   in.kernel_body = "do_the_math(A0_view, Anext_view, k_begin, k_end);";

@@ -1,0 +1,455 @@
+// Multi-tenant scheduler tests: queue policies, admission control,
+// backpressure/retry, the 2-device consolidation criterion, determinism,
+// and the sched. telemetry namespace.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "core/plan.hpp"
+#include "gpu/device_profile.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workloads.hpp"
+
+namespace gpupipe {
+namespace {
+
+// --- Fixtures -------------------------------------------------------------
+
+struct Machine {
+  std::shared_ptr<gpu::SharedContext> ctx = gpu::make_shared_context();
+  std::vector<std::unique_ptr<gpu::Gpu>> gpus;
+  std::vector<gpu::Gpu*> devices;
+
+  explicit Machine(int n, const gpu::DeviceProfile& profile = gpu::nvidia_k40m()) {
+    for (int i = 0; i < n; ++i) {
+      gpus.push_back(std::make_unique<gpu::Gpu>(profile, gpu::ExecMode::Functional, ctx));
+      devices.push_back(gpus.back().get());
+    }
+  }
+};
+
+SimTime solo_runtime(const sched::JobMixLine& line, int index) {
+  sched::ServeJob sj = sched::make_serve_job(line, index);
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Functional);
+  core::Pipeline p(g, sj.job.spec);
+  const SimTime t0 = g.host_now();
+  p.run(sj.job.kernel);
+  return g.host_now() - t0;
+}
+
+struct MixRun {
+  sched::ScheduleReport report;
+  std::vector<double> checksums;
+};
+
+MixRun run_mix(const std::vector<sched::JobMixLine>& mix, sched::SchedulerOptions opts,
+               int num_devices = 2) {
+  Machine m(num_devices);
+  sched::Scheduler s(m.devices, opts);
+  std::vector<sched::ServeJob> jobs;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    jobs.push_back(sched::make_serve_job(mix[i], static_cast<int>(i)));
+    s.submit(jobs.back().job);
+  }
+  MixRun r;
+  r.report = s.run();
+  for (const auto& j : jobs) {
+    EXPECT_TRUE(j.verify()) << j.job.name;
+    r.checksums.push_back(j.output_checksum());
+  }
+  return r;
+}
+
+// The predicted footprint of a serve job's spec at a given shape, on a
+// scratch device with the test profile.
+Bytes footprint_at(const core::PipelineSpec& spec, std::int64_t c, int s) {
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  return core::predicted_pipeline_footprint(g, spec, c, s);
+}
+
+// --- JobQueue -------------------------------------------------------------
+
+sched::JobQueue::Item item(int job, int priority, SimTime estimate,
+                           SimTime not_before = 0.0) {
+  sched::JobQueue::Item it;
+  it.job = job;
+  it.seq = static_cast<std::uint64_t>(job);
+  it.priority = priority;
+  it.estimate = estimate;
+  it.not_before = not_before;
+  return it;
+}
+
+TEST(JobQueue, FifoPicksSubmissionOrder) {
+  sched::JobQueue q(sched::QueuePolicy::Fifo, 8);
+  ASSERT_TRUE(q.push(item(2, 5, 0.1)));
+  ASSERT_TRUE(q.push(item(0, 1, 9.0)));
+  ASSERT_TRUE(q.push(item(1, 9, 0.5)));
+  EXPECT_EQ(q.pick(0.0)->job, 0);
+}
+
+TEST(JobQueue, PriorityPicksHighestThenFifo) {
+  sched::JobQueue q(sched::QueuePolicy::Priority, 8);
+  ASSERT_TRUE(q.push(item(0, 1, 1.0)));
+  ASSERT_TRUE(q.push(item(1, 3, 1.0)));
+  ASSERT_TRUE(q.push(item(2, 3, 0.1)));  // ties with job 1; loses on seq
+  EXPECT_EQ(q.pick(0.0)->job, 1);
+  q.remove(1);
+  EXPECT_EQ(q.pick(0.0)->job, 2);
+}
+
+TEST(JobQueue, SjfPicksSmallestEstimate) {
+  sched::JobQueue q(sched::QueuePolicy::Sjf, 8);
+  ASSERT_TRUE(q.push(item(0, 0, 3.0)));
+  ASSERT_TRUE(q.push(item(1, 0, 1.0)));
+  ASSERT_TRUE(q.push(item(2, 0, 1.0)));  // ties with job 1; loses on seq
+  EXPECT_EQ(q.pick(0.0)->job, 1);
+}
+
+TEST(JobQueue, RetryGateSkipsUntilDue) {
+  sched::JobQueue q(sched::QueuePolicy::Fifo, 8);
+  ASSERT_TRUE(q.push(item(0, 0, 1.0, 5.0)));
+  ASSERT_TRUE(q.push(item(1, 0, 1.0)));
+  EXPECT_EQ(q.pick(0.0)->job, 1);  // job 0 gated
+  q.remove(1);
+  EXPECT_EQ(q.pick(0.0), nullptr);
+  EXPECT_EQ(q.next_retry(0.0), 5.0);
+  EXPECT_EQ(q.pick(5.0)->job, 0);
+}
+
+TEST(JobQueue, BoundedCapacity) {
+  sched::JobQueue q(sched::QueuePolicy::Fifo, 1);
+  EXPECT_TRUE(q.push(item(0, 0, 1.0)));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(item(1, 0, 1.0)));
+}
+
+// --- AdmissionController --------------------------------------------------
+
+TEST(Admission, ShrinksOversizedJobToFitCap) {
+  sched::ServeJob sj = sched::make_serve_job({"stream", "large", 0, 0.0, {}}, 0);
+  const Bytes full = footprint_at(sj.job.spec, sj.job.spec.chunk_size,
+                                  sj.job.spec.num_streams);
+  Machine m(1);
+  sched::AdmissionController ac(m.devices, full / 2);
+  const sched::AdmissionDecision d = ac.try_admit(0, sj.job.spec);
+  ASSERT_TRUE(d.admitted);
+  EXPECT_TRUE(d.shrunk);
+  EXPECT_LE(d.footprint, full / 2);
+  EXPECT_LT(d.chunk_size, sj.job.spec.chunk_size);
+}
+
+TEST(Admission, RejectsWhenMinimalShapeExceedsCap) {
+  sched::ServeJob sj = sched::make_serve_job({"stream", "small", 0, 0.0, {}}, 0);
+  const Bytes min_fp = footprint_at(sj.job.spec, 1, 1);
+  Machine m(1);
+  sched::AdmissionController ac(m.devices, min_fp - 1);
+  EXPECT_FALSE(ac.try_admit(0, sj.job.spec).admitted);
+  EXPECT_TRUE(ac.impossible(0, sj.job.spec));
+}
+
+TEST(Admission, CommitReducesBudgetAndReleaseRestoresIt) {
+  sched::ServeJob sj = sched::make_serve_job({"stream", "small", 0, 0.0, {}}, 0);
+  const Bytes full = footprint_at(sj.job.spec, sj.job.spec.chunk_size,
+                                  sj.job.spec.num_streams);
+  const Bytes min_fp = footprint_at(sj.job.spec, 1, 1);
+  Machine m(1);
+  sched::AdmissionController ac(m.devices, full + min_fp / 2);
+  const auto d = ac.try_admit(0, sj.job.spec);
+  ASSERT_TRUE(d.admitted);
+  EXPECT_FALSE(d.shrunk);
+  ac.commit(0, d.footprint);
+  // Remaining budget is below even the minimal shape: not admissible now,
+  // but not impossible — a retry after release must succeed.
+  EXPECT_FALSE(ac.try_admit(0, sj.job.spec).admitted);
+  EXPECT_FALSE(ac.impossible(0, sj.job.spec));
+  ac.release(0, d.footprint);
+  EXPECT_TRUE(ac.try_admit(0, sj.job.spec).admitted);
+  EXPECT_EQ(ac.committed(0), 0u);
+  EXPECT_EQ(ac.committed_peak(0), d.footprint);
+}
+
+// --- Scheduler: consolidation acceptance ----------------------------------
+
+TEST(Scheduler, EightJobMixOnTwoDevicesBeatsSoloRuns) {
+  const auto mix = sched::default_job_mix(8);
+  SimTime sum_solo = 0.0;
+  for (std::size_t i = 0; i < mix.size(); ++i)
+    sum_solo += solo_runtime(mix[i], static_cast<int>(i));
+
+  const Bytes cap = 64 * MiB;
+  Machine m(2);
+  sched::SchedulerOptions opts;
+  opts.device_mem_cap = cap;
+  sched::Scheduler s(m.devices, opts);
+  std::vector<sched::ServeJob> jobs;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    jobs.push_back(sched::make_serve_job(mix[i], static_cast<int>(i)));
+    s.submit(jobs.back().job);
+  }
+  const sched::ScheduleReport rep = s.run();
+
+  EXPECT_EQ(rep.completed, 8);
+  EXPECT_EQ(rep.rejected, 0);
+  // The acceptance criterion: consolidation must beat back-to-back solo
+  // runs by a clear margin.
+  EXPECT_LT(rep.makespan, 0.8 * sum_solo);
+  // Every job ran on some device, results are correct.
+  for (const auto& j : jobs) EXPECT_TRUE(j.verify()) << j.job.name;
+  // Committed footprints bound the real allocations: device peak memory
+  // never exceeds the configured cap.
+  for (const auto& g : m.gpus) EXPECT_LE(g->device_mem_stats().peak, cap);
+  for (int d = 0; d < 2; ++d) EXPECT_LE(s.admission().committed_peak(d), cap);
+  // Both devices actually served jobs.
+  int dev0 = 0, dev1 = 0;
+  for (const auto& r : rep.jobs) (r.device == 0 ? dev0 : dev1)++;
+  EXPECT_GT(dev0, 0);
+  EXPECT_GT(dev1, 0);
+}
+
+// --- Scheduler: admission retry and backpressure --------------------------
+
+// Cap sized so one small job at full shape fits but a second does not even
+// at (chunk 1, stream 1): the second job must retry until the first
+// releases its footprint.
+TEST(Scheduler, AdmissionFailureRetriesWithBackoffUntilMemoryFrees) {
+  const sched::JobMixLine line{"stream", "small", 0, 0.0, {}};
+  sched::ServeJob probe = sched::make_serve_job(line, 0);
+  const Bytes full = footprint_at(probe.job.spec, probe.job.spec.chunk_size,
+                                  probe.job.spec.num_streams);
+  const Bytes min_fp = footprint_at(probe.job.spec, 1, 1);
+
+  Machine m(1);
+  sched::SchedulerOptions opts;
+  opts.device_mem_cap = full + min_fp - 1;
+  opts.max_admission_attempts = 64;  // never reject in this test
+  sched::Scheduler s(m.devices, opts);
+  std::vector<sched::ServeJob> jobs;
+  for (int i = 0; i < 2; ++i) {
+    jobs.push_back(sched::make_serve_job(line, i));
+    s.submit(jobs.back().job);
+  }
+  const sched::ScheduleReport rep = s.run();
+
+  EXPECT_EQ(rep.completed, 2);
+  EXPECT_GT(rep.admission_retries, 0);
+  EXPECT_GT(rep.jobs[1].admission_attempts, 1);
+  // The second job could only start after the first finished.
+  EXPECT_GE(rep.jobs[1].start, rep.jobs[0].finish);
+  for (const auto& j : jobs) EXPECT_TRUE(j.verify());
+}
+
+TEST(Scheduler, FullQueueBackpressuresArrivals) {
+  const sched::JobMixLine line{"stream", "small", 0, 0.0, {}};
+  sched::ServeJob probe = sched::make_serve_job(line, 0);
+  const Bytes full = footprint_at(probe.job.spec, probe.job.spec.chunk_size,
+                                  probe.job.spec.num_streams);
+  const Bytes min_fp = footprint_at(probe.job.spec, 1, 1);
+
+  Machine m(1);
+  sched::SchedulerOptions opts;
+  opts.device_mem_cap = full + min_fp - 1;  // one job at a time
+  opts.queue_capacity = 1;
+  opts.max_admission_attempts = 64;
+  sched::Scheduler s(m.devices, opts);
+  std::vector<sched::ServeJob> jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back(sched::make_serve_job(line, i));
+    s.submit(jobs.back().job);
+  }
+  const sched::ScheduleReport rep = s.run();
+
+  // Job 0 admits instantly; job 1 occupies the single queue slot; job 2's
+  // arrival finds the queue full.
+  EXPECT_EQ(rep.completed, 3);
+  EXPECT_GT(rep.backpressure_events, 0);
+  EXPECT_GT(rep.jobs[2].enqueue_time, rep.jobs[2].arrival);
+}
+
+TEST(Scheduler, RejectsJobThatCannotFitAnIdleDevice) {
+  const sched::JobMixLine line{"stream", "small", 0, 0.0, {}};
+  sched::ServeJob probe = sched::make_serve_job(line, 0);
+  const Bytes min_fp = footprint_at(probe.job.spec, 1, 1);
+
+  Machine m(1);
+  sched::SchedulerOptions opts;
+  opts.device_mem_cap = min_fp - 1;
+  sched::Scheduler s(m.devices, opts);
+  sched::ServeJob sj = sched::make_serve_job(line, 0);
+  s.submit(sj.job);
+  const sched::ScheduleReport rep = s.run();
+  EXPECT_EQ(rep.completed, 0);
+  EXPECT_EQ(rep.rejected, 1);
+  EXPECT_EQ(rep.jobs[0].state, sched::JobState::Rejected);
+  EXPECT_FALSE(rep.jobs[0].reject_reason.empty());
+}
+
+// --- Scheduler: policy behavior under contention --------------------------
+
+// One slot of device memory, a burst of three jobs: the policy decides who
+// gets the slot when it frees.
+TEST(Scheduler, PriorityPolicyOvertakesFifoOrderUnderContention) {
+  const sched::JobMixLine line{"stream", "small", 0, 0.0, {}};
+  sched::ServeJob probe = sched::make_serve_job(line, 0);
+  const Bytes full = footprint_at(probe.job.spec, probe.job.spec.chunk_size,
+                                  probe.job.spec.num_streams);
+  const Bytes min_fp = footprint_at(probe.job.spec, 1, 1);
+
+  auto run_policy = [&](sched::QueuePolicy policy) {
+    Machine m(1);
+    sched::SchedulerOptions opts;
+    opts.queue_policy = policy;
+    opts.device_mem_cap = full + min_fp - 1;
+    opts.max_admission_attempts = 64;
+    sched::Scheduler s(m.devices, opts);
+    std::vector<sched::ServeJob> jobs;
+    for (int i = 0; i < 3; ++i) {
+      jobs.push_back(sched::make_serve_job(line, i));
+      jobs.back().job.priority = i;  // job 2 most urgent, submitted last
+      s.submit(jobs.back().job);
+    }
+    return s.run();
+  };
+
+  const auto fifo = run_policy(sched::QueuePolicy::Fifo);
+  ASSERT_EQ(fifo.completed, 3);
+  EXPECT_LT(fifo.jobs[1].start, fifo.jobs[2].start);
+
+  const auto prio = run_policy(sched::QueuePolicy::Priority);
+  ASSERT_EQ(prio.completed, 3);
+  EXPECT_LT(prio.jobs[2].start, prio.jobs[1].start);
+}
+
+// --- Scheduler: determinism ----------------------------------------------
+
+void expect_identical(const MixRun& a, const MixRun& b) {
+  ASSERT_EQ(a.report.jobs.size(), b.report.jobs.size());
+  EXPECT_EQ(a.report.makespan, b.report.makespan);
+  EXPECT_EQ(a.report.admission_retries, b.report.admission_retries);
+  EXPECT_EQ(a.report.backpressure_events, b.report.backpressure_events);
+  for (std::size_t i = 0; i < a.report.jobs.size(); ++i) {
+    const auto& x = a.report.jobs[i];
+    const auto& y = b.report.jobs[i];
+    EXPECT_EQ(x.state, y.state) << i;
+    EXPECT_EQ(x.device, y.device) << i;
+    EXPECT_EQ(x.start, y.start) << i;
+    EXPECT_EQ(x.finish, y.finish) << i;
+    EXPECT_EQ(x.chunk_size, y.chunk_size) << i;
+    EXPECT_EQ(x.num_streams, y.num_streams) << i;
+    EXPECT_EQ(x.admission_attempts, y.admission_attempts) << i;
+  }
+  EXPECT_EQ(a.checksums, b.checksums);
+}
+
+TEST(Scheduler, SameMixTwiceIsBitIdentical) {
+  const auto mix = sched::default_job_mix(9);
+  sched::SchedulerOptions opts;
+  opts.queue_policy = sched::QueuePolicy::Sjf;
+  expect_identical(run_mix(mix, opts), run_mix(mix, opts));
+}
+
+TEST(Scheduler, MetricsToggleDoesNotChangeTheSchedule) {
+  const auto mix = sched::default_job_mix(8);
+  const bool was = telemetry::metrics_enabled();
+  telemetry::set_metrics_enabled(false);
+  const MixRun off = run_mix(mix, {});
+  telemetry::set_metrics_enabled(true);
+  const MixRun on = run_mix(mix, {});
+  telemetry::set_metrics_enabled(was);
+  expect_identical(off, on);
+}
+
+// --- Scheduler: deadlines and telemetry ----------------------------------
+
+TEST(Scheduler, ImpossibleDeadlineIsRecordedNotEnforced) {
+  Machine m(1);
+  sched::Scheduler s(m.devices, {});
+  sched::ServeJob sj = sched::make_serve_job({"stream", "small", 0, 0.0, {}}, 0);
+  sj.job.deadline = 1e-9;  // before the first transfer can finish
+  s.submit(sj.job);
+  const sched::ScheduleReport rep = s.run();
+  EXPECT_EQ(rep.completed, 1);
+  EXPECT_TRUE(rep.jobs[0].deadline_missed);
+  EXPECT_EQ(rep.deadline_misses, 1);
+  EXPECT_TRUE(sj.verify());
+}
+
+TEST(Scheduler, CollectMetricsPopulatesSchedNamespace) {
+  const auto mix = sched::default_job_mix(8);
+  Machine m(2);
+  sched::Scheduler s(m.devices, {});
+  std::vector<sched::ServeJob> jobs;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    jobs.push_back(sched::make_serve_job(mix[i], static_cast<int>(i)));
+    s.submit(jobs.back().job);
+  }
+  const sched::ScheduleReport rep = s.run();
+
+  telemetry::Registry reg;
+  s.collect_metrics(reg, "serve.");
+  EXPECT_EQ(reg.counter_value("serve.sched.jobs_submitted"), 8);
+  EXPECT_EQ(reg.counter_value("serve.sched.jobs_completed"), 8);
+  EXPECT_EQ(reg.counter_value("serve.sched.jobs_rejected"), 0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("serve.sched.makespan_s"), rep.makespan);
+  EXPECT_GT(reg.gauge_value("serve.sched.dev0.mem_cap_bytes"), 0.0);
+  EXPECT_GT(reg.gauge_value("serve.sched.dev0.utilization"), 0.0);
+  EXPECT_GT(reg.gauge_value("serve.sched.dev0.committed_peak_bytes"), 0.0);
+  const auto& hist = reg.histograms();
+  ASSERT_TRUE(hist.count("serve.sched.wait_s"));
+  ASSERT_TRUE(hist.count("serve.sched.turnaround_s"));
+  EXPECT_EQ(hist.at("serve.sched.wait_s").count(), 8);
+  EXPECT_EQ(hist.at("serve.sched.turnaround_s").count(), 8);
+  // The snapshot is reproducible: two collections print identically.
+  telemetry::Registry reg2;
+  s.collect_metrics(reg2, "serve.");
+  std::ostringstream a, b;
+  reg.to_json(a);
+  reg2.to_json(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+// --- Workloads ------------------------------------------------------------
+
+TEST(Workloads, ParsesJobMixWithCommentsAndDeadlines) {
+  std::istringstream is(
+      "# a comment line\n"
+      "stream medium 1 0.000\n"
+      "\n"
+      "stencil large 0 0.002 0.05  # trailing comment\n");
+  const auto mix = sched::parse_job_mix(is);
+  ASSERT_EQ(mix.size(), 2u);
+  EXPECT_EQ(mix[0].app, "stream");
+  EXPECT_EQ(mix[0].size, "medium");
+  EXPECT_EQ(mix[0].priority, 1);
+  EXPECT_FALSE(mix[0].deadline.has_value());
+  EXPECT_EQ(mix[1].app, "stencil");
+  ASSERT_TRUE(mix[1].deadline.has_value());
+  EXPECT_DOUBLE_EQ(*mix[1].deadline, 0.05);
+}
+
+TEST(Workloads, RejectsMalformedMixLines) {
+  std::istringstream bad_app("warp medium 0 0.0\n");
+  EXPECT_THROW(sched::parse_job_mix(bad_app), Error);
+  std::istringstream missing("stream medium\n");
+  EXPECT_THROW(sched::parse_job_mix(missing), Error);
+  std::istringstream trailing("stream medium 0 0.0 0.1 junk\n");
+  EXPECT_THROW(sched::parse_job_mix(trailing), Error);
+}
+
+TEST(Workloads, DefaultMixIsDeterministicAndSubmittable) {
+  const auto a = sched::default_job_mix(6);
+  const auto b = sched::default_job_mix(6);
+  ASSERT_EQ(a.size(), 6u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].app, b[i].app);
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    sched::ServeJob sj = sched::make_serve_job(a[i], static_cast<int>(i));
+    EXPECT_NO_THROW(sj.job.spec.validate());
+  }
+}
+
+}  // namespace
+}  // namespace gpupipe

@@ -1,0 +1,277 @@
+// gpupipe_serve — replay a job mix through the multi-tenant scheduler.
+//
+// Reads a job-mix file (or generates a built-in mix), submits every job to
+// a sched::Scheduler over a multi-device shared context, and reports
+// per-job wait/service/turnaround, makespan versus the sum of solo
+// runtimes, and queue-wait/turnaround percentiles interpolated from the
+// `sched.` telemetry histograms.
+//
+// Usage:
+//   gpupipe_serve [mixfile] [--default-mix N] [--devices N]
+//                 [--profile k40m|hd7970|xeonphi] [--policy fifo|priority|sjf]
+//                 [--placement least-loaded|round-robin] [--cap MIB]
+//                 [--queue-capacity N] [--no-solo] [--json]
+//
+// Exit status: 0 on success; 1 on bad usage; 2 when a completed job's
+// device result fails host verification.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "gpu/device_profile.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workloads.hpp"
+
+using namespace gpupipe;
+
+namespace {
+
+struct Options {
+  std::string mixfile;
+  int default_mix = 10;
+  int devices = 2;
+  std::string profile = "k40m";
+  sched::SchedulerOptions sched;
+  bool solo = true;
+  bool json = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gpupipe_serve [mixfile] [--default-mix N] [--devices N]\n"
+               "                     [--profile k40m|hd7970|xeonphi]\n"
+               "                     [--policy fifo|priority|sjf]\n"
+               "                     [--placement least-loaded|round-robin]\n"
+               "                     [--cap MIB] [--queue-capacity N] [--no-solo] "
+               "[--json]\n");
+  return 1;
+}
+
+gpu::DeviceProfile profile_by_name(const std::string& name) {
+  if (name == "k40m") return gpu::nvidia_k40m();
+  if (name == "hd7970") return gpu::amd_hd7970();
+  if (name == "xeonphi") return gpu::intel_xeonphi();
+  throw Error("unknown device profile '" + name + "'");
+}
+
+/// Linear-interpolated quantile of a fixed-bucket histogram. The +inf tail
+/// bucket reports its lower bound (there is no upper edge to interpolate
+/// toward).
+double histogram_percentile(const telemetry::Histogram& h, double q) {
+  if (h.count() == 0) return 0.0;
+  const double rank = q * static_cast<double>(h.count());
+  double seen = 0.0;
+  for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+    const double n = static_cast<double>(h.buckets()[i]);
+    if (seen + n < rank || n == 0.0) {
+      seen += n;
+      continue;
+    }
+    const double lo = i == 0 ? 0.0 : h.bounds()[i - 1];
+    if (i >= h.bounds().size()) return lo;
+    const double hi = h.bounds()[i];
+    return lo + (hi - lo) * ((rank - seen) / n);
+  }
+  return h.bounds().empty() ? 0.0 : h.bounds().back();
+}
+
+/// Solo baseline: each job alone on a fresh single-device machine with the
+/// same profile (fresh host arrays, so the scheduled run's outputs are
+/// untouched).
+SimTime solo_runtime(const sched::JobMixLine& line, int index,
+                     const gpu::DeviceProfile& profile) {
+  sched::ServeJob sj = sched::make_serve_job(line, index);
+  gpu::Gpu g(profile, gpu::ExecMode::Functional);
+  core::Pipeline p(g, sj.job.spec);
+  const SimTime t0 = g.host_now();
+  p.run(sj.job.kernel);
+  return g.host_now() - t0;
+}
+
+void print_human(const sched::ScheduleReport& rep, const std::vector<sched::ServeJob>& jobs,
+                 SimTime sum_solo, const telemetry::Registry& reg, const Options& opt) {
+  std::printf("gpupipe_serve: %zu jobs, %d x %s, policy %s, placement %s\n",
+              jobs.size(), opt.devices, opt.profile.c_str(),
+              to_string(opt.sched.queue_policy), to_string(opt.sched.placement));
+  std::printf("%-20s %-9s %3s %8s %8s %8s %8s %6s\n", "job", "state", "dev",
+              "arrive", "wait_ms", "serve_ms", "turn_ms", "shape");
+  for (const auto& r : rep.jobs) {
+    const bool done = r.state == sched::JobState::Completed;
+    std::printf("%-20s %-9s %3d %8.3f %8.3f %8.3f %8.3f %4lldx%d%s%s\n", r.name.c_str(),
+                to_string(r.state), r.device, r.arrival * 1e3,
+                done ? r.wait() * 1e3 : 0.0, done ? r.service() * 1e3 : 0.0,
+                done ? r.turnaround() * 1e3 : 0.0,
+                static_cast<long long>(r.chunk_size), r.num_streams,
+                r.shrunk ? " shrunk" : "", r.deadline_missed ? " LATE" : "");
+  }
+  std::printf("completed %d, rejected %d, shrinks %lld, retries %lld, "
+              "backpressure %lld, deadline misses %lld\n",
+              rep.completed, rep.rejected,
+              static_cast<long long>(rep.admission_shrinks),
+              static_cast<long long>(rep.admission_retries),
+              static_cast<long long>(rep.backpressure_events),
+              static_cast<long long>(rep.deadline_misses));
+  std::printf("makespan %.3f ms", rep.makespan * 1e3);
+  if (opt.solo)
+    std::printf("  (sum of solo runtimes %.3f ms, speedup %.2fx)", sum_solo * 1e3,
+                rep.makespan > 0.0 ? sum_solo / rep.makespan : 0.0);
+  std::printf("\n");
+  const auto& hist = reg.histograms();
+  for (const char* name : {"sched.wait_s", "sched.turnaround_s"}) {
+    auto it = hist.find(name);
+    if (it == hist.end()) continue;
+    std::printf("%s: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n", name,
+                histogram_percentile(it->second, 0.50) * 1e3,
+                histogram_percentile(it->second, 0.95) * 1e3,
+                histogram_percentile(it->second, 0.99) * 1e3);
+  }
+}
+
+void print_json(const sched::ScheduleReport& rep, SimTime sum_solo,
+                const telemetry::Registry& reg, const Options& opt) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"options\":{\"devices\":" << opt.devices << ",\"profile\":\"" << opt.profile
+     << "\",\"policy\":\"" << to_string(opt.sched.queue_policy) << "\",\"placement\":\""
+     << to_string(opt.sched.placement) << "\",\"queue_capacity\":"
+     << opt.sched.queue_capacity << "},\"jobs\":[";
+  for (std::size_t i = 0; i < rep.jobs.size(); ++i) {
+    const auto& r = rep.jobs[i];
+    const bool done = r.state == sched::JobState::Completed;
+    if (i > 0) os << ",";
+    os << "{\"id\":" << r.id << ",\"name\":\"" << r.name << "\",\"state\":\""
+       << to_string(r.state) << "\",\"device\":" << r.device << ",\"priority\":"
+       << r.priority << ",\"arrival_s\":" << r.arrival << ",\"start_s\":" << r.start
+       << ",\"finish_s\":" << r.finish << ",\"wait_s\":" << (done ? r.wait() : 0.0)
+       << ",\"service_s\":" << (done ? r.service() : 0.0) << ",\"turnaround_s\":"
+       << (done ? r.turnaround() : 0.0) << ",\"estimate_s\":" << r.estimate
+       << ",\"footprint_bytes\":" << r.footprint << ",\"chunk_size\":" << r.chunk_size
+       << ",\"num_streams\":" << r.num_streams << ",\"shrunk\":"
+       << (r.shrunk ? "true" : "false") << ",\"admission_attempts\":"
+       << r.admission_attempts << ",\"deadline_missed\":"
+       << (r.deadline_missed ? "true" : "false") << "}";
+  }
+  os << "],\"summary\":{\"makespan_s\":" << rep.makespan << ",\"sum_solo_s\":" << sum_solo
+     << ",\"speedup\":" << (rep.makespan > 0.0 && opt.solo ? sum_solo / rep.makespan : 0.0)
+     << ",\"completed\":" << rep.completed << ",\"rejected\":" << rep.rejected
+     << ",\"throughput_jobs_per_s\":"
+     << (rep.makespan > 0.0 ? static_cast<double>(rep.completed) / rep.makespan : 0.0);
+  // Percentiles are interpolated from the sched.* histograms in the
+  // registry — the same numbers any metrics consumer would derive.
+  const auto& hist = reg.histograms();
+  for (const auto& [name, key] :
+       {std::pair<const char*, const char*>{"sched.wait_s", "wait"},
+        std::pair<const char*, const char*>{"sched.turnaround_s", "turnaround"}}) {
+    auto it = hist.find(name);
+    if (it == hist.end()) continue;
+    for (const auto& [q, tag] : {std::pair<double, const char*>{0.50, "p50"},
+                                 std::pair<double, const char*>{0.95, "p95"},
+                                 std::pair<double, const char*>{0.99, "p99"}})
+      os << ",\"" << key << "_" << tag << "_s\":" << histogram_percentile(it->second, q);
+  }
+  os << "},\"metrics\":";
+  reg.to_json(os);
+  os << "}";
+  std::printf("%s\n", os.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&](const char* what) -> std::string {
+        if (i + 1 >= argc) throw Error(std::string(what) + " needs a value");
+        return argv[++i];
+      };
+      if (a == "--default-mix") opt.default_mix = std::stoi(next("--default-mix"));
+      else if (a == "--devices") opt.devices = std::stoi(next("--devices"));
+      else if (a == "--profile") opt.profile = next("--profile");
+      else if (a == "--policy") {
+        const std::string p = next("--policy");
+        if (p == "fifo") opt.sched.queue_policy = sched::QueuePolicy::Fifo;
+        else if (p == "priority") opt.sched.queue_policy = sched::QueuePolicy::Priority;
+        else if (p == "sjf") opt.sched.queue_policy = sched::QueuePolicy::Sjf;
+        else throw Error("unknown policy '" + p + "'");
+      } else if (a == "--placement") {
+        const std::string p = next("--placement");
+        if (p == "least-loaded") opt.sched.placement = sched::PlacementPolicy::LeastLoaded;
+        else if (p == "round-robin") opt.sched.placement = sched::PlacementPolicy::RoundRobin;
+        else throw Error("unknown placement '" + p + "'");
+      } else if (a == "--cap") {
+        opt.sched.device_mem_cap = static_cast<Bytes>(std::stoll(next("--cap"))) * MiB;
+      } else if (a == "--queue-capacity") {
+        opt.sched.queue_capacity =
+            static_cast<std::size_t>(std::stoll(next("--queue-capacity")));
+      } else if (a == "--no-solo") opt.solo = false;
+      else if (a == "--json") opt.json = true;
+      else if (a == "--help" || a == "-h") return usage();
+      else if (!a.empty() && a[0] == '-') throw Error("unknown option '" + a + "'");
+      else opt.mixfile = a;
+    }
+    if (opt.devices < 1 || opt.default_mix < 1) throw Error("counts must be >= 1");
+
+    std::vector<sched::JobMixLine> mix;
+    if (opt.mixfile.empty()) {
+      mix = sched::default_job_mix(opt.default_mix);
+    } else {
+      std::ifstream f(opt.mixfile);
+      if (!f) throw Error("cannot open job mix file '" + opt.mixfile + "'");
+      mix = sched::parse_job_mix(f);
+    }
+    if (mix.empty()) throw Error("job mix is empty");
+
+    const gpu::DeviceProfile profile = profile_by_name(opt.profile);
+    auto ctx = gpu::make_shared_context();
+    std::vector<std::unique_ptr<gpu::Gpu>> gpus;
+    std::vector<gpu::Gpu*> devices;
+    for (int i = 0; i < opt.devices; ++i) {
+      gpus.push_back(std::make_unique<gpu::Gpu>(profile, gpu::ExecMode::Functional, ctx));
+      devices.push_back(gpus.back().get());
+    }
+
+    std::vector<sched::ServeJob> jobs;
+    jobs.reserve(mix.size());
+    sched::Scheduler scheduler(devices, opt.sched);
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      jobs.push_back(sched::make_serve_job(mix[i], static_cast<int>(i)));
+      scheduler.submit(jobs.back().job);
+    }
+    const sched::ScheduleReport rep = scheduler.run();
+
+    bool ok = true;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (rep.jobs[i].state != sched::JobState::Completed) continue;
+      if (!jobs[i].verify()) {
+        std::fprintf(stderr, "gpupipe_serve: job %zu (%s) FAILED verification\n", i,
+                     rep.jobs[i].name.c_str());
+        ok = false;
+      }
+    }
+
+    SimTime sum_solo = 0.0;
+    if (opt.solo)
+      for (std::size_t i = 0; i < mix.size(); ++i)
+        sum_solo += solo_runtime(mix[i], static_cast<int>(i), profile);
+
+    telemetry::Registry reg;
+    scheduler.collect_metrics(reg);
+    if (opt.json)
+      print_json(rep, sum_solo, reg, opt);
+    else
+      print_human(rep, jobs, sum_solo, reg, opt);
+    return ok ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gpupipe_serve: %s\n", e.what());
+    return 1;
+  }
+}
