@@ -13,10 +13,12 @@
 // snapshots and summary tables are deterministic and diffable.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <iomanip>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -25,14 +27,23 @@
 
 namespace gpupipe::telemetry {
 
-/// A monotonically increasing integer (events, bytes moved).
+/// A monotonically increasing integer (events, bytes moved). Updates are
+/// atomic: the ambient rare-event counters fire from the autotuner's dry-run
+/// worker threads, which may solve the same spec concurrently.
 class Counter {
  public:
-  void add(std::int64_t delta = 1) { value_ += delta; }
-  std::int64_t value() const { return value_; }
+  Counter() = default;
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(std::int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 /// A point-in-time double (busy seconds, high-water marks, ratios).
@@ -78,11 +89,35 @@ class Histogram {
 };
 
 /// A named collection of metrics with deterministic (sorted) iteration.
+/// Name lookup/registration is mutex-guarded and std::map nodes are stable,
+/// so handing out Counter references to concurrent writers is safe (Counter
+/// updates are atomic). Gauges, histograms, and the iteration/snapshot
+/// accessors remain post-hoc: call them from one thread at a time.
 class Registry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Registry() = default;
+  // Moves are post-hoc (benchmark plumbing); the mutex itself is not moved.
+  Registry(Registry&& other) noexcept
+      : counters_(std::move(other.counters_)),
+        gauges_(std::move(other.gauges_)),
+        histograms_(std::move(other.histograms_)) {}
+  Registry& operator=(Registry&& other) noexcept {
+    counters_ = std::move(other.counters_);
+    gauges_ = std::move(other.gauges_);
+    histograms_ = std::move(other.histograms_);
+    return *this;
+  }
+
+  Counter& counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_[name];
+  }
+  Gauge& gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_[name];
+  }
   Histogram& histogram(const std::string& name, std::vector<double> bounds) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = histograms_.find(name);
     if (it == histograms_.end())
       it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
@@ -91,10 +126,12 @@ class Registry {
 
   /// Counter value by name (0 when absent) — convenient in tests.
   std::int64_t counter_value(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second.value();
   }
   double gauge_value(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = gauges_.find(name);
     return it == gauges_.end() ? 0.0 : it->second.value();
   }
@@ -174,6 +211,7 @@ class Registry {
   }
 
  private:
+  mutable std::mutex mu_;  ///< guards name lookup/registration only
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

@@ -60,6 +60,12 @@ struct TuneOptions {
   /// Kernel roofline inputs for dry runs; when absent, a one-chunk probe
   /// execution measures seconds-per-iteration instead.
   std::optional<KernelCostHint> kernel_cost;
+  /// Worker threads for the dry-run sweep (each candidate is scored by a
+  /// private simulation, so they parallelize). 1 = serial; 0 = one per
+  /// hardware thread (capped at 8). The returned TuneResult — including the
+  /// explored order — is bit-identical for every value. The measured sweep
+  /// shares the device's virtual clock and always runs serially.
+  int tune_jobs = 1;
 };
 
 /// Measures candidate configurations of `spec` on `g` and returns the best.
@@ -67,6 +73,13 @@ struct TuneOptions {
 /// static. The workload runs once per surviving candidate — unless
 /// options.dry_run is set, in which case candidates are scored by plan
 /// replay without executing (and without allocating) anything.
+///
+/// Candidate lists are normalized before the sweep: duplicates are dropped
+/// (first occurrence wins) and chunk candidates above the loop trip count
+/// collapse to one trip-sized candidate (they all plan the identical single
+/// chunk). The one-chunk probe only executes when something consumes it:
+/// a dry sweep without kernel_cost, or a measured sweep whose model
+/// prefilter has more than one distinct chunk to rank.
 TuneResult autotune(gpu::Gpu& g, PipelineSpec spec, const KernelFactory& make_kernel,
                     const TuneOptions& options = {});
 

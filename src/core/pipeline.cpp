@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "core/layout.hpp"
 #include "core/model.hpp"
+#include "core/plan_cache.hpp"
 #include "core/plan_opt.hpp"
 #include "core/telemetry.hpp"
 
@@ -101,7 +102,22 @@ void Pipeline::configure_buffers() {
     a.binding = std::make_unique<RingBufferBinding>(*a.ring);
     bindings.push_back(a.binding.get());
   }
-  plan_ = build_plan(spec_.loop_begin, spec_.loop_end, 0);
+  PlanCache& cache = PlanCache::instance();
+  if (spec_.schedule == ScheduleKind::Static && cache.enabled() &&
+      PlanCache::fingerprintable(spec_)) {
+    // Cache-compiled plans are node-identical to build_plan at this shape:
+    // the cache derives ring lengths from the same layout formulas RingBuffer
+    // clamps with, and reads pinned-ness from the same device.
+    PipelineSpec shaped = spec_;
+    shaped.chunk_size = chunk_size_;
+    shaped.num_streams = s;
+    PlanCache::Compiled compiled = cache.compile(gpu_, shaped);
+    plan_ = std::move(compiled.plan);
+    opt_report_ = std::move(compiled.report);
+  } else {
+    plan_ = std::make_shared<const ExecutionPlan>(
+        build_plan(spec_.loop_begin, spec_.loop_end, 0));
+  }
   executor_.bind(streams_, std::move(bindings));
 }
 
@@ -132,7 +148,7 @@ Bytes Pipeline::buffer_footprint() const {
 }
 
 void Pipeline::collect_metrics(telemetry::Registry& reg, const std::string& prefix) const {
-  collect_plan_metrics(reg, plan_, prefix);
+  collect_plan_metrics(reg, *plan_, prefix);
   collect_stats_metrics(reg, stats_, prefix);
   collect_opt_metrics(reg, opt_report_, prefix);
   const std::string p = prefix + "pipeline.";
@@ -163,8 +179,8 @@ PlanKernelMaker Pipeline::maker(const KernelFactory& make_kernel) const {
 void Pipeline::run(const KernelFactory& make_kernel) {
   const PlanKernelMaker mk = maker(make_kernel);
   if (spec_.schedule == ScheduleKind::Static) {
-    maybe_validate(plan_);
-    executor_.run(plan_, mk);
+    maybe_validate(*plan_);
+    executor_.run(*plan_, mk);
     return;
   }
 
@@ -194,8 +210,8 @@ void Pipeline::run(const KernelFactory& make_kernel) {
 void Pipeline::enqueue(const KernelFactory& make_kernel) {
   require(spec_.schedule == ScheduleKind::Static,
           "split-phase execution requires the static schedule");
-  maybe_validate(plan_);
-  executor_.enqueue(plan_, maker(make_kernel));
+  maybe_validate(*plan_);
+  executor_.enqueue(*plan_, maker(make_kernel));
 }
 
 void Pipeline::wait() { executor_.wait(); }

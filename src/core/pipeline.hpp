@@ -119,8 +119,10 @@ class Pipeline {
 
   /// The compiled op graph run() executes (static schedule; the adaptive
   /// schedule re-plans around its probe). Rebuilt whenever buffers are
-  /// reconfigured.
-  const ExecutionPlan& execution_plan() const { return plan_; }
+  /// reconfigured; fingerprintable static specs share the immutable plan
+  /// object with the process-wide PlanCache (and with other pipelines of
+  /// the same shape).
+  const ExecutionPlan& execution_plan() const { return *plan_; }
 
   /// Pass statistics of the most recent plan compilation.
   const OptReport& opt_report() const { return opt_report_; }
@@ -191,7 +193,9 @@ class Pipeline {
   std::vector<ArrayState> arrays_;
   NameIndex index_;  ///< array name -> arrays_ position (view_of/rebind_host)
   PipelineStats stats_;
-  ExecutionPlan plan_;      ///< compiled full-loop plan for the current shape
+  /// Compiled full-loop plan for the current shape — immutable and possibly
+  /// shared with the PlanCache and other same-shape pipelines.
+  std::shared_ptr<const ExecutionPlan> plan_;
   /// Report of the latest optimize_plan call (build_plan is const but
   /// compilation is observable state, hence mutable).
   mutable OptReport opt_report_;

@@ -10,6 +10,7 @@
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "core/layout.hpp"
+#include "core/plan_cache.hpp"
 #include "core/plan_opt.hpp"
 #include "core/tile_pipeline.hpp"
 
@@ -557,25 +558,18 @@ ExecutionPlan PlanBuilder::tiles(const TileSpec& spec, const TileBuildState& sta
 
 Bytes predicted_pipeline_footprint(const gpu::Gpu& g, const PipelineSpec& spec,
                                    std::int64_t chunk_size, int num_streams) {
-  Bytes total = 0;
-  for (const auto& a : spec.arrays)
-    total += RingBuffer::predict_footprint(
-        g, a,
-        layout::ring_len_for_spec(a, spec.loop_begin, spec.loop_end, chunk_size, num_streams));
-  return total;
+  return PlanCache::instance().footprint(g, spec, chunk_size, num_streams);
 }
 
-std::pair<std::int64_t, int> solve_pipeline_memory(const gpu::Gpu& g, const PipelineSpec& spec,
-                                                   Bytes limit) {
-  auto footprint = [&](std::int64_t c, int s) {
-    return predicted_pipeline_footprint(g, spec, c, s);
-  };
+SolvedShape solve_pipeline_shape(const gpu::Gpu& g, const PipelineSpec& spec, Bytes limit) {
   std::int64_t c = spec.chunk_size;
   int s = spec.num_streams;
-  while (footprint(c, s) > limit) {
+  for (;;) {
+    const Bytes fp = predicted_pipeline_footprint(g, spec, c, s);
+    if (fp <= limit) return {c, s, fp};
     if (c > 1) {
       log_debug("pipeline: shrinking chunk_size ", c, " -> ", (c + 1) / 2,
-                " to meet the memory limit (need ", footprint(c, s), " of ", limit, " bytes)");
+                " to meet the memory limit (need ", fp, " of ", limit, " bytes)");
       if (telemetry::metrics_enabled())
         telemetry::global_metrics().counter("pipeline.chunk_shrink_events").add(1);
       c = (c + 1) / 2;
@@ -587,10 +581,15 @@ std::pair<std::int64_t, int> solve_pipeline_memory(const gpu::Gpu& g, const Pipe
     } else {
       throw gpu::OomError(
           "pipeline_mem_limit unsatisfiable: even chunk_size=1 with one stream needs " +
-          std::to_string(footprint(1, 1)) + " bytes, limit is " + std::to_string(limit));
+          std::to_string(fp) + " bytes, limit is " + std::to_string(limit));
     }
   }
-  return {c, s};
+}
+
+std::pair<std::int64_t, int> solve_pipeline_memory(const gpu::Gpu& g, const PipelineSpec& spec,
+                                                   Bytes limit) {
+  const SolvedShape solved = solve_pipeline_shape(g, spec, limit);
+  return {solved.chunk_size, solved.num_streams};
 }
 
 // --- Static validation ---
@@ -914,12 +913,14 @@ SimTime estimate_pipeline_runtime(const gpu::Gpu& g, PipelineSpec spec,
                                   const DryRunCost& cost, Bytes limit) {
   spec.validate();
   Bytes budget = limit == 0 ? g.device_mem_free() : std::min(limit, g.device_mem_free());
-  const auto [c, s] = solve_pipeline_memory(g, spec, budget);
-  spec.chunk_size = c;
-  spec.num_streams = s;
+  const SolvedShape solved = solve_pipeline_shape(g, spec, budget);
+  spec.chunk_size = solved.chunk_size;
+  spec.num_streams = solved.num_streams;
   DryRunCost dc = cost;
-  if (dc.live_streams == 0) dc.live_streams = s;
-  return dry_run(PlanBuilder::pipeline(g, spec), g.profile(), dc).makespan;
+  if (dc.live_streams == 0) dc.live_streams = solved.num_streams;
+  // Keyed at the solved shape, not the requested one: admission retries with
+  // shrinking budgets that solve to the same shape share one memo.
+  return PlanCache::instance().estimate(g, spec, dc);
 }
 
 }  // namespace gpupipe::core

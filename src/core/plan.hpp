@@ -231,6 +231,18 @@ class PlanBuilder {
 std::pair<std::int64_t, int> solve_pipeline_memory(const gpu::Gpu& g,
                                                    const PipelineSpec& spec, Bytes limit);
 
+/// A memory-solved pipeline shape plus the footprint it was accepted at.
+struct SolvedShape {
+  std::int64_t chunk_size = 1;
+  int num_streams = 1;
+  Bytes footprint = 0;  ///< predicted footprint at (chunk_size, num_streams)
+};
+
+/// solve_pipeline_memory, but also returns the footprint of the final shape
+/// so callers that need both (the admission controller commits exactly what
+/// the solver accepted) pay for one lookup instead of two.
+SolvedShape solve_pipeline_shape(const gpu::Gpu& g, const PipelineSpec& spec, Bytes limit);
+
 /// Predicted total device ring-buffer footprint of `spec` at the given
 /// chunk/stream shape — exactly what constructing a Pipeline at that shape
 /// would allocate. Pure arithmetic; the admission controller uses it to

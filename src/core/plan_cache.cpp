@@ -1,0 +1,287 @@
+#include "core/plan_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/buffer.hpp"
+#include "core/layout.hpp"
+
+namespace gpupipe::core {
+
+namespace {
+
+void append_i64(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+  out += '|';
+}
+
+// Hexfloat: exact round-trip, so two cost hints differing in the last ulp
+// key differently (bit-identical results require bit-identical inputs).
+void append_f64(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a|", v);
+  out += buf;
+}
+
+/// Every numeric field of the device profile, name first. Keying on the
+/// profile's content (not the Gpu instance) lets separate devices — and the
+/// serve tool's solo-baseline machines — share one compiled plan.
+void append_profile(std::string& out, const gpu::DeviceProfile& p) {
+  out += p.name;
+  out += '|';
+  append_i64(out, static_cast<std::int64_t>(p.total_memory));
+  append_i64(out, static_cast<std::int64_t>(p.reserved_memory));
+  append_i64(out, static_cast<std::int64_t>(p.context_memory));
+  append_i64(out, static_cast<std::int64_t>(p.per_stream_memory));
+  append_f64(out, p.peak_flops);
+  append_f64(out, p.mem_bandwidth);
+  append_f64(out, p.pcie_bandwidth);
+  append_i64(out, static_cast<std::int64_t>(p.pcie_half_saturation));
+  append_i64(out, static_cast<std::int64_t>(p.pcie_row_half_saturation));
+  append_f64(out, p.pageable_penalty);
+  append_f64(out, p.copy_setup_latency);
+  append_f64(out, p.copy_segment_latency);
+  append_f64(out, p.kernel_launch_latency);
+  append_f64(out, p.api_call_host_overhead);
+  append_f64(out, p.sched_overhead_per_stream);
+  append_i64(out, p.h2d_engines);
+  append_i64(out, p.d2h_engines);
+  append_i64(out, p.unified_copy_engine ? 1 : 0);
+  append_i64(out, p.max_concurrent_kernels);
+  append_i64(out, static_cast<std::int64_t>(p.pitch_alignment));
+  append_i64(out, static_cast<std::int64_t>(p.alloc_alignment));
+}
+
+/// The uncached predicted footprint — the arithmetic
+/// predicted_pipeline_footprint (core/plan.cpp) delegates here through the
+/// cache, so this is the single definition.
+Bytes raw_footprint(const gpu::Gpu& g, const PipelineSpec& spec, std::int64_t chunk_size,
+                    int num_streams) {
+  Bytes total = 0;
+  for (const auto& a : spec.arrays)
+    total += RingBuffer::predict_footprint(
+        g, a,
+        layout::ring_len_for_spec(a, spec.loop_begin, spec.loop_end, chunk_size,
+                                  num_streams));
+  return total;
+}
+
+/// The uncached full-loop compile: identical construction to the predicted
+/// builder in core/plan.cpp and to Pipeline::build_plan at the same shape
+/// (ring lengths clamped to the array extents exactly like RingBuffer, host
+/// pinned-ness read from the device).
+PlanCache::Compiled raw_compile(const gpu::Gpu& g, const PipelineSpec& spec) {
+  spec.validate();
+  PipelineBuildState state;
+  state.ring_lens.reserve(spec.arrays.size());
+  state.pinned.reserve(spec.arrays.size());
+  for (const auto& a : spec.arrays) {
+    state.ring_lens.push_back(
+        std::min(layout::ring_len_for_spec(a, spec.loop_begin, spec.loop_end,
+                                           spec.chunk_size, spec.num_streams),
+                 a.dims[static_cast<std::size_t>(a.split.dim)]));
+    state.pinned.push_back(g.is_pinned(a.host));
+  }
+  ExecutionPlan plan = PlanBuilder::pipeline(spec, spec.chunk_size, spec.num_streams,
+                                             spec.loop_begin, spec.loop_end, state);
+  PlanCache::Compiled out;
+  out.report = optimize_plan(plan, spec.opt_level);
+  out.plan = std::make_shared<const ExecutionPlan>(std::move(plan));
+  return out;
+}
+
+Bytes approx_plan_bytes(const ExecutionPlan& p) {
+  Bytes b = sizeof(ExecutionPlan);
+  for (const PlanNode& n : p.nodes) {
+    b += sizeof(PlanNode);
+    b += static_cast<Bytes>(n.deps.capacity()) * sizeof(int);
+    b += static_cast<Bytes>(n.segments.capacity()) * sizeof(PlanSegment);
+    b += static_cast<Bytes>(n.accesses.capacity()) * sizeof(PlanAccess);
+    b += n.label.size();
+  }
+  for (const PlanArrayInfo& a : p.arrays) b += sizeof(PlanArrayInfo) + a.name.size();
+  return b;
+}
+
+std::size_t initial_capacity() {
+  if (const char* e = std::getenv("GPUPIPE_PLAN_CACHE")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(e, &end, 10);
+    if (end != e && *end == '\0' && v >= 0) return static_cast<std::size_t>(v);
+  }
+  return PlanCache::kDefaultCapacity;
+}
+
+}  // namespace
+
+PlanCache& PlanCache::instance() {
+  static PlanCache cache(initial_capacity());
+  return cache;
+}
+
+bool PlanCache::fingerprintable(const PipelineSpec& spec) {
+  if (spec.schedule != ScheduleKind::Static) return false;
+  for (const auto& a : spec.arrays)
+    if (a.split.window_fn) return false;
+  return true;
+}
+
+std::string PlanCache::fingerprint(const gpu::Gpu& g, const PipelineSpec& spec,
+                                   std::int64_t chunk_size, int num_streams) {
+  require(fingerprintable(spec),
+          "plan cache: spec is not fingerprintable (window_fn or non-static schedule)");
+  std::string key;
+  key.reserve(256);
+  append_profile(key, g.profile());
+  append_i64(key, spec.opt_level);
+  append_i64(key, spec.loop_begin);
+  append_i64(key, spec.loop_end);
+  append_i64(key, chunk_size);
+  append_i64(key, num_streams);
+  for (const auto& a : spec.arrays) {
+    key += a.name;
+    key += '|';
+    append_i64(key, static_cast<std::int64_t>(a.map));
+    append_i64(key, static_cast<std::int64_t>(a.elem_size));
+    for (auto d : a.dims) append_i64(key, d);
+    key += ';';
+    append_i64(key, a.split.dim);
+    append_i64(key, a.split.start.scale);
+    append_i64(key, a.split.start.offset);
+    append_i64(key, a.split.window);
+    append_i64(key, g.is_pinned(a.host) ? 1 : 0);
+  }
+  return key;
+}
+
+std::shared_ptr<const PlanCache::Entry> PlanCache::find(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  lru_.splice(lru_.begin(), lru_, it->second.pos);  // touch: move to MRU
+  return it->second.entry;
+}
+
+void PlanCache::insert(const std::string& key, std::shared_ptr<const Entry> entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  if (map_.find(key) != map_.end()) return;  // a racing miss filled it first
+  lru_.push_front(key);
+  bytes_ += entry->cost;
+  map_.emplace(key, Slot{std::move(entry), lru_.begin()});
+  while (map_.size() > capacity_) {
+    auto victim = map_.find(lru_.back());
+    bytes_ -= victim->second.entry->cost;
+    map_.erase(victim);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Bytes PlanCache::footprint(const gpu::Gpu& g, const PipelineSpec& spec,
+                           std::int64_t chunk_size, int num_streams) {
+  if (!usable(spec)) return raw_footprint(g, spec, chunk_size, num_streams);
+  const std::string key = "fp|" + fingerprint(g, spec, chunk_size, num_streams);
+  if (auto e = find(key)) return e->footprint;
+  auto e = std::make_shared<Entry>();
+  e->footprint = raw_footprint(g, spec, chunk_size, num_streams);
+  e->cost = static_cast<Bytes>(key.size()) + sizeof(Entry);
+  const Bytes fp = e->footprint;
+  insert(key, std::move(e));
+  return fp;
+}
+
+PlanCache::Compiled PlanCache::compile(const gpu::Gpu& g, const PipelineSpec& spec) {
+  if (!usable(spec)) return raw_compile(g, spec);
+  const std::string key = "plan|" + fingerprint(g, spec, spec.chunk_size, spec.num_streams);
+  if (auto e = find(key)) return Compiled{e->plan, e->report};
+  Compiled built = raw_compile(g, spec);
+  auto e = std::make_shared<Entry>();
+  e->plan = built.plan;
+  e->report = built.report;
+  e->cost = static_cast<Bytes>(key.size()) + sizeof(Entry) + approx_plan_bytes(*built.plan);
+  insert(key, std::move(e));
+  return built;
+}
+
+SimTime PlanCache::estimate(const gpu::Gpu& g, const PipelineSpec& spec,
+                            const DryRunCost& cost) {
+  if (!usable(spec)) {
+    const Compiled built = raw_compile(g, spec);
+    return dry_run(*built.plan, g.profile(), cost).makespan;
+  }
+  std::string key = "est|" + fingerprint(g, spec, spec.chunk_size, spec.num_streams);
+  append_f64(key, cost.flops_per_iter);
+  append_f64(key, cost.bytes_per_iter);
+  append_f64(key, cost.seconds_per_iter);
+  append_i64(key, cost.live_streams);
+  if (auto e = find(key)) return e->makespan;
+  const Compiled built = compile(g, spec);
+  auto e = std::make_shared<Entry>();
+  e->makespan = dry_run(*built.plan, g.profile(), cost).makespan;
+  e->cost = static_cast<Bytes>(key.size()) + sizeof(Entry);
+  const SimTime makespan = e->makespan;
+  insert(key, std::move(e));
+  return makespan;
+}
+
+void PlanCache::set_capacity(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = n;
+  while (map_.size() > capacity_) {
+    auto victim = map_.find(lru_.back());
+    bytes_ -= victim->second.entry->cost;
+    map_.erase(victim);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+void PlanCache::reset_stats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.bytes = bytes_;
+  s.entries = static_cast<std::int64_t>(map_.size());
+  return s;
+}
+
+void PlanCache::collect_metrics(telemetry::Registry& reg, const std::string& prefix) const {
+  const PlanCacheStats s = stats();
+  const std::string p = prefix + "plan_cache.";
+  reg.counter(p + "hits").add(s.hits);
+  reg.counter(p + "misses").add(s.misses);
+  reg.counter(p + "evictions").add(s.evictions);
+  reg.gauge(p + "bytes").set(static_cast<double>(s.bytes));
+  reg.gauge(p + "entries").set(static_cast<double>(s.entries));
+  reg.gauge(p + "capacity").set(static_cast<double>(capacity()));
+  reg.gauge(p + "hit_rate").set(s.hit_rate());
+}
+
+}  // namespace gpupipe::core

@@ -1,0 +1,152 @@
+// Plan compilation cache — memoized planning for the serve hot path.
+//
+// The scheduler's admission loop and the serving front end call the same
+// planning pipeline over and over: predicted_pipeline_footprint on every
+// admission attempt (including each backoff retry), a full
+// build-plus-optimize in estimate_pipeline_runtime per submitted job, and
+// another in Pipeline's constructor once the job starts. For repeated
+// tenants every one of those calls recomputes a pure function of (device
+// profile, spec shape). This module memoizes the three expensive results —
+// the predicted ring footprint at a shape, the built+optimized full-loop
+// ExecutionPlan (shared and immutable, so concurrent pipelines and dry runs
+// replay one object), and the dry-run makespan — behind one bounded LRU
+// keyed by a canonical fingerprint of everything the result depends on.
+//
+// Soundness: a fingerprint covers the device profile (name plus every
+// numeric field), the loop bounds, opt level, per-array geometry (map,
+// element size, dims, affine split, window), the host pinned-ness the plan
+// bakes into transfer costs, and — for dry-run memos — the DryRunCost
+// terms. Host pointers and mem_limit are deliberately excluded: plans are
+// pointer-free (transfers go through ring-buffer bindings) and the memory
+// limit only enters planning through the solved shape, which is part of the
+// key. Specs with a window_fn split cannot be fingerprinted (arbitrary
+// std::function) and bypass the cache entirely, as does everything when the
+// capacity is 0 — a cached call and a computed call return identical
+// values, so behaviour with the cache on is bit-identical to off.
+//
+// Thread safety: the LRU is mutex-guarded; misses compute outside the lock
+// (plan building is pure), so the autotuner's dry-run workers share hits
+// without serializing their simulations. hits/misses/evictions/bytes are
+// atomics, exported as the plan_cache.* metric namespace.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/metrics.hpp"
+#include "core/plan.hpp"
+#include "core/plan_opt.hpp"
+
+namespace gpupipe::core {
+
+/// Point-in-time counters of one PlanCache.
+struct PlanCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  Bytes bytes = 0;  ///< approximate resident bytes of the cached entries
+  std::int64_t entries = 0;
+
+  double hit_rate() const {
+    const std::int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// Bounded, thread-safe LRU over the three planning memos. One process-wide
+/// instance() serves Pipeline, the solver/estimator entry points, the
+/// admission controller, and the autotuner; tests may construct private
+/// instances.
+class PlanCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  /// Capacity 0 disables the cache: every call computes directly and no
+  /// entry is stored. The GPUPIPE_PLAN_CACHE environment variable overrides
+  /// the global instance's initial capacity.
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  /// The process-global cache the planning entry points consult.
+  static PlanCache& instance();
+
+  /// A compiled full-loop plan plus the artifacts Pipeline needs alongside
+  /// it. The plan is immutable and shared between every consumer.
+  struct Compiled {
+    std::shared_ptr<const ExecutionPlan> plan;
+    OptReport report;
+  };
+
+  /// Predicted ring footprint of `spec` at shape (chunk_size, num_streams)
+  /// — memoized predicted_pipeline_footprint.
+  Bytes footprint(const gpu::Gpu& g, const PipelineSpec& spec, std::int64_t chunk_size,
+                  int num_streams);
+
+  /// The built+optimized full-loop plan of `spec` at its own shape, with
+  /// ring lengths from the layout formulas (clamped to the array extents,
+  /// exactly like RingBuffer) and pinned-ness read from `g` — node-identical
+  /// to the plan Pipeline compiles at that shape.
+  Compiled compile(const gpu::Gpu& g, const PipelineSpec& spec);
+
+  /// Dry-run makespan of compile(g, spec)'s plan under `cost`. The caller
+  /// resolves cost.live_streams before keying (estimate_pipeline_runtime
+  /// defaults it to the solved stream count).
+  SimTime estimate(const gpu::Gpu& g, const PipelineSpec& spec, const DryRunCost& cost);
+
+  /// Whether `spec` can be keyed at all: static schedule and affine splits
+  /// only (a window_fn is an arbitrary std::function). Non-fingerprintable
+  /// specs compute directly on every call.
+  static bool fingerprintable(const PipelineSpec& spec);
+
+  /// The canonical key of `spec` at a shape on `g`'s device — exposed so
+  /// tests can assert which field changes miss. Requires fingerprintable().
+  static std::string fingerprint(const gpu::Gpu& g, const PipelineSpec& spec,
+                                 std::int64_t chunk_size, int num_streams);
+
+  void set_capacity(std::size_t n);
+  std::size_t capacity() const;
+  bool enabled() const { return capacity() > 0; }
+  /// Drops every entry (stats are kept; see reset_stats).
+  void clear();
+  void reset_stats();
+  PlanCacheStats stats() const;
+
+  /// Exports the plan_cache.{hits,misses,evictions,bytes,entries,capacity}
+  /// namespace into `reg` (prefix prepended, matching the other collectors).
+  void collect_metrics(telemetry::Registry& reg, const std::string& prefix = {}) const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ExecutionPlan> plan;  ///< compile entries
+    OptReport report;
+    Bytes footprint = 0;     ///< footprint entries
+    SimTime makespan = 0.0;  ///< estimate entries
+    Bytes cost = 0;          ///< approximate bytes charged to the bytes stat
+  };
+
+  std::shared_ptr<const Entry> find(const std::string& key);
+  void insert(const std::string& key, std::shared_ptr<const Entry> entry);
+  bool usable(const PipelineSpec& spec) const {
+    return enabled() && fingerprintable(spec);
+  }
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  /// MRU-first key order; the map holds list iterators for O(1) touch.
+  std::list<std::string> lru_;
+  struct Slot {
+    std::shared_ptr<const Entry> entry;
+    std::list<std::string>::iterator pos;
+  };
+  std::unordered_map<std::string, Slot> map_;
+  Bytes bytes_ = 0;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> evictions_{0};
+};
+
+}  // namespace gpupipe::core

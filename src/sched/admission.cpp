@@ -26,12 +26,15 @@ AdmissionDecision AdmissionController::solve(const State& st,
   // — the same rule Pipeline's constructor applies against free memory.
   const Bytes limit = spec.mem_limit ? std::min(*spec.mem_limit, budget) : budget;
   try {
-    const auto [c, s] = core::solve_pipeline_memory(*st.gpu, spec, limit);
+    // One solver call yields both the shape and the footprint it was
+    // accepted at — the bytes committed are exactly the bytes the solver
+    // checked against the budget.
+    const core::SolvedShape solved = core::solve_pipeline_shape(*st.gpu, spec, limit);
     d.admitted = true;
-    d.chunk_size = c;
-    d.num_streams = s;
-    d.footprint = core::predicted_pipeline_footprint(*st.gpu, spec, c, s);
-    d.shrunk = c < spec.chunk_size || s < spec.num_streams;
+    d.chunk_size = solved.chunk_size;
+    d.num_streams = solved.num_streams;
+    d.footprint = solved.footprint;
+    d.shrunk = solved.chunk_size < spec.chunk_size || solved.num_streams < spec.num_streams;
   } catch (const gpu::OomError&) {
     // Even (chunk 1, stream 1) exceeds the budget — not admissible now.
   }

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "core/plan_cache.hpp"
 
 namespace gpupipe::sched {
 
@@ -385,6 +386,10 @@ void Scheduler::collect_metrics(telemetry::Registry& reg, const std::string& pre
                              : 0.0;
     reg.gauge(dp + "utilization").set(makespan_ > 0.0 ? busy / makespan_ : 0.0);
   }
+
+  // The planning cache the admission/estimate hot path runs through; its
+  // hit rate is the serve-loop health signal (docs/observability.md).
+  core::PlanCache::instance().collect_metrics(reg, prefix);
 }
 
 }  // namespace gpupipe::sched

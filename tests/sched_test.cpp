@@ -9,6 +9,7 @@
 
 #include "common/metrics.hpp"
 #include "core/plan.hpp"
+#include "core/plan_cache.hpp"
 #include "gpu/device_profile.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/workloads.hpp"
@@ -351,6 +352,44 @@ TEST(Scheduler, SameMixTwiceIsBitIdentical) {
   expect_identical(run_mix(mix, opts), run_mix(mix, opts));
 }
 
+TEST(Scheduler, PlanCacheToggleDoesNotChangeTheSchedule) {
+  const auto mix = sched::default_job_mix(9);
+  sched::SchedulerOptions opts;
+  opts.queue_policy = sched::QueuePolicy::Sjf;
+  core::PlanCache& cache = core::PlanCache::instance();
+  cache.set_capacity(0);  // every planning call computes directly
+  const MixRun off = run_mix(mix, opts);
+  cache.set_capacity(core::PlanCache::kDefaultCapacity);
+  cache.clear();
+  const MixRun cold = run_mix(mix, opts);
+  const MixRun warm = run_mix(mix, opts);  // all-hit replay
+  expect_identical(off, cold);
+  expect_identical(off, warm);
+}
+
+// The bytes the admission controller commits are the bytes the solver
+// checked against the budget: the device's real allocation peak must stay
+// under the per-device committed peak.
+TEST(Scheduler, CommittedFootprintsBoundRealDevicePeaks) {
+  const auto mix = sched::default_job_mix(8);
+  Machine m(2);
+  sched::SchedulerOptions opts;
+  opts.device_mem_cap = 64 * MiB;
+  sched::Scheduler s(m.devices, opts);
+  std::vector<sched::ServeJob> jobs;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    jobs.push_back(sched::make_serve_job(mix[i], static_cast<int>(i)));
+    s.submit(jobs.back().job);
+  }
+  const sched::ScheduleReport rep = s.run();
+  EXPECT_EQ(rep.completed, 8);
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_GT(s.admission().committed_peak(d), 0u);
+    EXPECT_LE(m.gpus[d]->device_mem_stats().peak, s.admission().committed_peak(d))
+        << "device " << d;
+  }
+}
+
 TEST(Scheduler, MetricsToggleDoesNotChangeTheSchedule) {
   const auto mix = sched::default_job_mix(8);
   const bool was = telemetry::metrics_enabled();
@@ -397,6 +436,11 @@ TEST(Scheduler, CollectMetricsPopulatesSchedNamespace) {
   EXPECT_GT(reg.gauge_value("serve.sched.dev0.mem_cap_bytes"), 0.0);
   EXPECT_GT(reg.gauge_value("serve.sched.dev0.utilization"), 0.0);
   EXPECT_GT(reg.gauge_value("serve.sched.dev0.committed_peak_bytes"), 0.0);
+  // The scheduler's snapshot includes the plan-cache namespace (the cache
+  // serves every admission estimate; see docs/observability.md).
+  EXPECT_GT(reg.gauge_value("serve.plan_cache.capacity"), 0.0);
+  EXPECT_GT(reg.gauge_value("serve.plan_cache.entries"), 0.0);
+  EXPECT_GT(reg.counter_value("serve.plan_cache.hits"), 0);
   const auto& hist = reg.histograms();
   ASSERT_TRUE(hist.count("serve.sched.wait_s"));
   ASSERT_TRUE(hist.count("serve.sched.turnaround_s"));

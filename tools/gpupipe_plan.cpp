@@ -13,6 +13,11 @@
 //   --annotate  execute the region, dry-run the same plan, and print
 //               measured vs modelled time per plan node plus the mean
 //               relative model error
+//   --tune      sweep (chunk_size, num_streams) candidates with the dry-run
+//               autotuner and print the exploration table (never executes:
+//               the kernel term comes from --flops-per-iter/--bytes-per-iter;
+//               --tune-jobs N parallelizes the sweep, --json emits the
+//               TuneResult as JSON)
 //
 // --summary/--dot/--trace never execute: the plan is pure arithmetic and
 // the timeline comes from a cost-model dry run. --metrics/--annotate run
@@ -20,8 +25,8 @@
 // no data) so the printed numbers are the executed ones.
 //
 // Usage: gpupipe_plan region.pipe -D nz=64 -D ny=32 -D nx=32
-//            [--dot | --trace | --summary | --metrics | --annotate]
-//            [--profile k40m|hd7970|xeonphi]
+//            [--dot | --trace | --summary | --metrics | --annotate | --tune]
+//            [--profile k40m|hd7970|xeonphi] [--json] [--tune-jobs N]
 //            [--flops-per-iter F] [--bytes-per-iter B] [-o out]
 #include <cstdio>
 #include <fstream>
@@ -32,6 +37,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "core/autotune.hpp"
 #include "core/pipeline.hpp"
 #include "core/plan.hpp"
 #include "core/plan_opt.hpp"
@@ -186,11 +192,64 @@ void print_summary(std::ostream& os, const gpupipe::core::ExecutionPlan& plan,
 int usage(int code) {
   std::fprintf(stderr,
                "usage: gpupipe_plan <region-file> [-D name=value ...]\n"
-               "           [--dot | --trace | --summary | --metrics | --annotate]\n"
-               "           [--opt | --opt=N | --no-opt]\n"
+               "           [--dot | --trace | --summary | --metrics | --annotate | "
+               "--tune]\n"
+               "           [--opt | --opt=N | --no-opt] [--json] [--tune-jobs N]\n"
                "           [--profile k40m|hd7970|xeonphi]\n"
                "           [--flops-per-iter F] [--bytes-per-iter B] [-o out]\n");
   return code;
+}
+
+/// --tune: the dry-run autotuner's exploration record, as a table or JSON.
+/// Entirely device-free — the analytic kernel hint replaces the probe.
+void run_tune(std::ostream& os, const gpupipe::core::PipelineSpec& spec,
+              const gpupipe::gpu::DeviceProfile& profile,
+              const gpupipe::core::DryRunCost& cost, int tune_jobs, bool json) {
+  gpupipe::gpu::Gpu g(profile, gpupipe::gpu::ExecMode::Modeled);
+  g.hazards().set_enabled(false);
+  gpupipe::core::TuneOptions topt;
+  topt.dry_run = true;
+  topt.kernel_cost =
+      gpupipe::core::KernelCostHint{cost.flops_per_iter, cost.bytes_per_iter};
+  topt.tune_jobs = tune_jobs;
+  // The kernel factory is never invoked: with an analytic kernel_cost the
+  // dry sweep skips the probe execution.
+  const gpupipe::core::TuneResult r = gpupipe::core::autotune(
+      g, spec, [](const gpupipe::core::ChunkContext&) { return gpupipe::gpu::KernelDesc{}; },
+      topt);
+  if (json) {
+    os.precision(17);
+    os << "{\"best\":{\"chunk_size\":" << r.chunk_size << ",\"num_streams\":"
+       << r.num_streams << ",\"makespan_s\":" << r.best_time << "},\"explored\":[";
+    for (std::size_t i = 0; i < r.explored.size(); ++i) {
+      const auto& c = r.explored[i];
+      if (i > 0) os << ",";
+      os << "{\"chunk_size\":" << c.chunk_size << ",\"num_streams\":" << c.num_streams
+         << ",\"feasible\":" << (c.feasible ? "true" : "false");
+      if (c.feasible) os << ",\"makespan_s\":" << c.measured;
+      os << "}";
+    }
+    os << "]}\n";
+    return;
+  }
+  os << "autotune: " << r.explored.size() << " candidates, best chunk " << r.chunk_size
+     << " x " << r.num_streams << " streams (" << r.best_time << " s)\n";
+  char line[128];
+  std::snprintf(line, sizeof(line), "%8s %8s %14s %6s\n", "chunk", "streams",
+                "makespan_s", "");
+  os << line;
+  for (const auto& c : r.explored) {
+    if (c.feasible)
+      std::snprintf(line, sizeof(line), "%8lld %8d %14.6e %6s\n",
+                    static_cast<long long>(c.chunk_size), c.num_streams, c.measured,
+                    (c.chunk_size == r.chunk_size && c.num_streams == r.num_streams)
+                        ? "best"
+                        : "");
+    else
+      std::snprintf(line, sizeof(line), "%8lld %8d %14s %6s\n",
+                    static_cast<long long>(c.chunk_size), c.num_streams, "infeasible", "");
+    os << line;
+  }
 }
 
 /// Executes the region through the real Pipeline/PlanExecutor stack on a
@@ -239,6 +298,8 @@ void run_measured(std::ostream& os, const std::string& mode,
 int main(int argc, char** argv) {
   std::string input_path, output_path, mode = "--summary";
   int opt_override = -1;  // -1 = use the directive's pipeline_opt level
+  int tune_jobs = 1;
+  bool json = false;
   gpupipe::dsl::Env env;
   gpupipe::gpu::DeviceProfile profile = gpupipe::gpu::nvidia_k40m();
   gpupipe::core::DryRunCost cost;
@@ -258,8 +319,17 @@ int main(int argc, char** argv) {
           throw Error("-D value must be an integer, got: " + def);
         }
       } else if (arg == "--dot" || arg == "--trace" || arg == "--summary" ||
-                 arg == "--metrics" || arg == "--annotate") {
+                 arg == "--metrics" || arg == "--annotate" || arg == "--tune") {
         mode = arg;
+      } else if (arg == "--json") {
+        json = true;
+      } else if (arg == "--tune-jobs" && i + 1 < argc) {
+        try {
+          tune_jobs = std::stoi(argv[++i]);
+        } catch (const std::logic_error&) {
+          throw Error("--tune-jobs expects an integer");
+        }
+        if (tune_jobs < 0) throw Error("--tune-jobs must be >= 0");
       } else if (arg == "--opt") {
         opt_override = 1;
       } else if (arg.rfind("--opt=", 0) == 0) {
@@ -339,7 +409,9 @@ int main(int argc, char** argv) {
     }
     std::ostream& os = output_path.empty() ? std::cout : out_file;
 
-    if (mode == "--metrics" || mode == "--annotate") {
+    if (mode == "--tune") {
+      run_tune(os, spec, profile, cost, tune_jobs, json);
+    } else if (mode == "--metrics" || mode == "--annotate") {
       run_measured(os, mode, spec, profile, cost);
     } else if (mode == "--dot") {
       plan.to_dot(os);

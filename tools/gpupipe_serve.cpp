@@ -10,7 +10,14 @@
 //   gpupipe_serve [mixfile] [--default-mix N] [--devices N]
 //                 [--profile k40m|hd7970|xeonphi] [--policy fifo|priority|sjf]
 //                 [--placement least-loaded|round-robin] [--cap MIB]
-//                 [--queue-capacity N] [--no-solo] [--json]
+//                 [--queue-capacity N] [--plan-cache N] [--tune-jobs N]
+//                 [--no-solo] [--json]
+//
+// --plan-cache N sets the planning cache capacity (entries; 0 disables the
+// cache — useful for A/B-ing the serve hot path). --tune-jobs N runs a
+// dry-run autotune per distinct app/size template before submission, with N
+// parallel workers (0 = one per hardware thread), and submits each job at
+// its tuned shape.
 //
 // Exit status: 0 on success; 1 on bad usage; 2 when a completed job's
 // device result fails host verification.
@@ -19,12 +26,17 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "core/autotune.hpp"
+#include "core/plan_cache.hpp"
 #include "gpu/device_profile.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/workloads.hpp"
@@ -41,6 +53,8 @@ struct Options {
   sched::SchedulerOptions sched;
   bool solo = true;
   bool json = false;
+  std::optional<std::size_t> plan_cache;  ///< cache capacity override
+  std::optional<int> tune_jobs;           ///< pre-submit autotune workers
 };
 
 int usage() {
@@ -49,8 +63,8 @@ int usage() {
                "                     [--profile k40m|hd7970|xeonphi]\n"
                "                     [--policy fifo|priority|sjf]\n"
                "                     [--placement least-loaded|round-robin]\n"
-               "                     [--cap MIB] [--queue-capacity N] [--no-solo] "
-               "[--json]\n");
+               "                     [--cap MIB] [--queue-capacity N] [--plan-cache N]\n"
+               "                     [--tune-jobs N] [--no-solo] [--json]\n");
   return 1;
 }
 
@@ -132,6 +146,12 @@ void print_human(const sched::ScheduleReport& rep, const std::vector<sched::Serv
                 histogram_percentile(it->second, 0.95) * 1e3,
                 histogram_percentile(it->second, 0.99) * 1e3);
   }
+  const core::PlanCacheStats pc = core::PlanCache::instance().stats();
+  std::printf("plan cache: %lld hits, %lld misses (%.1f%% hit rate), %lld evictions, "
+              "%lld entries, %.1f KiB\n",
+              static_cast<long long>(pc.hits), static_cast<long long>(pc.misses),
+              pc.hit_rate() * 100.0, static_cast<long long>(pc.evictions),
+              static_cast<long long>(pc.entries), static_cast<double>(pc.bytes) / 1024.0);
 }
 
 void print_json(const sched::ScheduleReport& rep, SimTime sum_solo,
@@ -212,6 +232,10 @@ int main(int argc, char** argv) {
       } else if (a == "--queue-capacity") {
         opt.sched.queue_capacity =
             static_cast<std::size_t>(std::stoll(next("--queue-capacity")));
+      } else if (a == "--plan-cache") {
+        opt.plan_cache = static_cast<std::size_t>(std::stoll(next("--plan-cache")));
+      } else if (a == "--tune-jobs") {
+        opt.tune_jobs = std::stoi(next("--tune-jobs"));
       } else if (a == "--no-solo") opt.solo = false;
       else if (a == "--json") opt.json = true;
       else if (a == "--help" || a == "-h") return usage();
@@ -219,6 +243,8 @@ int main(int argc, char** argv) {
       else opt.mixfile = a;
     }
     if (opt.devices < 1 || opt.default_mix < 1) throw Error("counts must be >= 1");
+    if (opt.tune_jobs && *opt.tune_jobs < 0) throw Error("--tune-jobs must be >= 0");
+    if (opt.plan_cache) core::PlanCache::instance().set_capacity(*opt.plan_cache);
 
     std::vector<sched::JobMixLine> mix;
     if (opt.mixfile.empty()) {
@@ -242,9 +268,29 @@ int main(int argc, char** argv) {
     std::vector<sched::ServeJob> jobs;
     jobs.reserve(mix.size());
     sched::Scheduler scheduler(devices, opt.sched);
+    // One dry-run autotune per distinct app/size template (the mix repeats
+    // them), parallel across --tune-jobs workers. The tuner shares the
+    // planning cache, so repeated shapes inside one sweep hit too.
+    std::map<std::string, std::pair<std::int64_t, int>> tuned;
     for (std::size_t i = 0; i < mix.size(); ++i) {
       jobs.push_back(sched::make_serve_job(mix[i], static_cast<int>(i)));
-      scheduler.submit(jobs.back().job);
+      sched::Job& job = jobs.back().job;
+      if (opt.tune_jobs) {
+        const std::string key = mix[i].app + "/" + mix[i].size;
+        auto it = tuned.find(key);
+        if (it == tuned.end()) {
+          core::TuneOptions topt;
+          topt.dry_run = true;
+          topt.kernel_cost = core::KernelCostHint{job.flops_per_iter, job.bytes_per_iter};
+          topt.tune_jobs = *opt.tune_jobs;
+          const core::TuneResult tr =
+              core::autotune(*devices[0], job.spec, job.kernel, topt);
+          it = tuned.emplace(key, std::make_pair(tr.chunk_size, tr.num_streams)).first;
+        }
+        job.spec.chunk_size = it->second.first;
+        job.spec.num_streams = it->second.second;
+      }
+      scheduler.submit(job);
     }
     const sched::ScheduleReport rep = scheduler.run();
 
