@@ -1,0 +1,117 @@
+// Move-only callable with small-buffer storage.
+//
+// The simulator schedules millions of events per serve run; wrapping each in
+// std::function costs a heap allocation whenever the closure outgrows the
+// (implementation-defined, typically 16-byte) inline buffer — and capturing a
+// shared_ptr plus a this-pointer already does. InlineCallable gives the event
+// queue a callable with a buffer sized for the closures the sim core actually
+// creates, so the common case never touches the allocator, and a heap
+// fallback so arbitrary user lambdas still work through the same API.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gpupipe {
+
+/// Move-only `void()` callable. Closures up to `Buffer` bytes (and with
+/// pointer alignment or less — captures of pointers, indices, and doubles,
+/// which is everything the sim core stores) live inline; larger or
+/// over-aligned ones fall back to a single heap allocation. Invoking an
+/// empty callable is undefined — callers check explicit bool first (the
+/// event queue never stores empty slots).
+template <std::size_t Buffer = 48>
+class InlineCallable {
+ public:
+  InlineCallable() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallable> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallable(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Buffer && alignof(Fn) <= alignof(void*) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineCallable(InlineCallable&& o) noexcept { move_from(o); }
+  InlineCallable& operator=(InlineCallable&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineCallable(const InlineCallable&) = delete;
+  InlineCallable& operator=(const InlineCallable&) = delete;
+  ~InlineCallable() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(this); }
+
+  /// Destroys the held callable (if any), leaving the object empty.
+  void reset() {
+    if (ops_) {
+      ops_->destroy(this);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(InlineCallable*);
+    void (*destroy)(InlineCallable*);
+    void (*relocate)(InlineCallable* dst, InlineCallable* src);
+  };
+
+  template <typename Fn>
+  static Fn* inline_ptr(InlineCallable* c) {
+    return std::launder(reinterpret_cast<Fn*>(c->buf_));
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](InlineCallable* c) { (*inline_ptr<Fn>(c))(); },
+      [](InlineCallable* c) { inline_ptr<Fn>(c)->~Fn(); },
+      [](InlineCallable* dst, InlineCallable* src) {
+        ::new (static_cast<void*>(dst->buf_)) Fn(std::move(*inline_ptr<Fn>(src)));
+        inline_ptr<Fn>(src)->~Fn();
+      },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](InlineCallable* c) { (*static_cast<Fn*>(c->heap_))(); },
+      [](InlineCallable* c) { delete static_cast<Fn*>(c->heap_); },
+      [](InlineCallable* dst, InlineCallable* src) {
+        dst->heap_ = src->heap_;
+        src->heap_ = nullptr;
+      },
+  };
+
+  void move_from(InlineCallable& o) noexcept {
+    if (o.ops_) {
+      o.ops_->relocate(this, &o);
+      ops_ = o.ops_;
+      o.ops_ = nullptr;
+    }
+  }
+
+  union {
+    alignas(void*) unsigned char buf_[Buffer];
+    void* heap_;
+  };
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace gpupipe

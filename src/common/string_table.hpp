@@ -1,0 +1,63 @@
+// Append-only string interning table.
+//
+// The trace layer records two strings (lane, label) per span; at serve scale
+// that is millions of heap-allocated copies of a few dozen distinct values.
+// Interning maps each distinct string to a dense 32-bit id once, so spans
+// carry POD ids and resolve them back only when a human-readable dump is
+// produced. Ids are assigned in first-seen order, which keeps them
+// deterministic for a deterministic workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/name_index.hpp"
+
+namespace gpupipe {
+
+/// Dense id for an interned string. 0 is always the empty string.
+using StringId = std::uint32_t;
+
+/// Append-only intern table: string -> dense id, id -> string. Never forgets
+/// an entry, so ids stay valid for the lifetime of the table.
+class StringTable {
+ public:
+  StringTable() { (void)intern(std::string_view{}); }
+
+  /// Returns the id for `s`, interning it on first sight.
+  StringId intern(std::string_view s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    const StringId id = static_cast<StringId>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Resolves an id back to its string. Ids come only from intern(), so an
+  /// out-of-range id is a logic error.
+  const std::string& lookup(StringId id) const {
+    require(id < strings_.size(), "string id out of range");
+    return strings_[id];
+  }
+
+  /// Number of distinct strings interned (including the empty string).
+  std::size_t size() const { return strings_.size(); }
+
+  /// Approximate heap footprint of the table, for observability gauges.
+  std::size_t bytes() const {
+    std::size_t b = strings_.capacity() * sizeof(std::string);
+    for (const auto& s : strings_) b += s.capacity();
+    return b;
+  }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, StringId, NameHash, std::equal_to<>> ids_;
+};
+
+}  // namespace gpupipe

@@ -1,6 +1,7 @@
 #include "core/multi.hpp"
 
 #include "core/layout.hpp"
+#include "core/telemetry.hpp"
 
 namespace gpupipe::core {
 
@@ -66,6 +67,14 @@ void MultiPipeline::collect_metrics(telemetry::Registry& reg,
   for (std::size_t i = 0; i < parts_.size(); ++i) {
     if (!parts_[i].pipeline) continue;
     parts_[i].pipeline->collect_metrics(reg, prefix + "dev" + std::to_string(i) + ".");
+  }
+  // The devices share one SharedContext (class invariant), so the event
+  // queue / task arena capacity counters are machine-wide: collect them once
+  // under the base prefix, from the first device's context.
+  for (const Part& part : parts_) {
+    if (!part.device) continue;
+    collect_sim_metrics(reg, part.device->context()->sim, prefix);
+    break;
   }
 }
 

@@ -151,6 +151,7 @@ void Pipeline::collect_metrics(telemetry::Registry& reg, const std::string& pref
   collect_plan_metrics(reg, *plan_, prefix);
   collect_stats_metrics(reg, stats_, prefix);
   collect_opt_metrics(reg, opt_report_, prefix);
+  collect_sim_metrics(reg, gpu_.context()->sim, prefix);
   const std::string p = prefix + "pipeline.";
   reg.gauge(p + "chunk_size").set(static_cast<double>(chunk_size_));
   reg.gauge(p + "num_streams").set(static_cast<double>(effective_streams()));

@@ -800,20 +800,19 @@ DryRunResult dry_run(const ExecutionPlan& plan, const gpu::DeviceProfile& profil
   std::vector<const sim::Task*> seen;
 
   auto lane = [](int s) { return "s" + std::to_string(s); };
+  std::vector<StringId> lane_ids(static_cast<std::size_t>(plan.num_streams));
+  for (int s = 0; s < plan.num_streams; ++s)
+    lane_ids[static_cast<std::size_t>(s)] = out.trace.intern(lane(s));
 
   auto submit = [&](int stream, sim::Engine& engine, SimTime dur, sim::SpanKind kind,
-                    std::string label, Bytes bytes, std::int64_t node) {
+                    const std::string& label, Bytes bytes, std::int64_t node) {
     host += profile.api_call_host_overhead;
     if (&engine != &command) dur += sched;
-    auto t = sim::Task::create(engine, dur, std::move(label));
+    auto t = sim::Task::create(engine, dur, label);
     sim::TaskPtr& tl = tail[static_cast<std::size_t>(stream)];
     if (tl) t->depends_on(tl);
-    sim::Task* raw = t.get();
-    sim::Trace* tr = &out.trace;
-    t->on_complete([raw, kind, ln = lane(stream), bytes, node, tr] {
-      tr->record(sim::Span{kind, ln, raw->label(), raw->start_time(), raw->end_time(), bytes,
-                           node});
-    });
+    t->set_span(out.trace, kind, lane_ids[static_cast<std::size_t>(stream)],
+                out.trace.intern(label), bytes, node);
     t->submit(host);
     tl = t;
     return t;

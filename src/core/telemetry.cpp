@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/table.hpp"
+#include "sim/task.hpp"
 
 namespace gpupipe::core {
 
@@ -110,6 +111,26 @@ void collect_device_metrics(telemetry::Registry& reg, const gpu::Gpu& g,
   reg.gauge(p + "device_mem_capacity_bytes")
       .set(static_cast<double>(g.device_mem_free() + mem.current));
   reg.counter(p + "device_allocations").add(static_cast<std::int64_t>(mem.total_allocations));
+}
+
+void collect_sim_metrics(telemetry::Registry& reg, sim::Simulator& sim,
+                         const std::string& prefix) {
+  const std::string p = prefix + "sim.";
+  reg.counter(p + "events_executed").add(static_cast<std::int64_t>(sim.events_executed()));
+  reg.gauge(p + "events_pending").set(static_cast<double>(sim.events_pending()));
+  reg.gauge(p + "events_high_water").set(static_cast<double>(sim.events_high_water()));
+  reg.gauge(p + "event_pool_slots").set(static_cast<double>(sim.event_pool_slots()));
+  reg.gauge(p + "now_s").set(sim.now());
+
+  const sim::TaskArena& arena = sim.extension<sim::TaskArena>();
+  const std::string a = p + "arena.";
+  reg.gauge(a + "tasks_live").set(static_cast<double>(arena.live()));
+  reg.gauge(a + "tasks_high_water").set(static_cast<double>(arena.high_water()));
+  reg.gauge(a + "task_slots").set(static_cast<double>(arena.slots()));
+  reg.counter(a + "tasks_created").add(static_cast<std::int64_t>(arena.created()));
+  reg.gauge(a + "edge_slots").set(static_cast<double>(arena.edge_slots()));
+  reg.gauge(a + "labels_interned").set(static_cast<double>(arena.labels().size()));
+  reg.gauge(a + "labels_bytes").set(static_cast<double>(arena.labels().bytes()));
 }
 
 std::vector<NodeCost> attribute_spans(const ExecutionPlan& plan, const sim::Trace& t) {

@@ -24,6 +24,7 @@
 #include "core/plan.hpp"
 #include "core/plan_opt.hpp"
 #include "gpu/gpu.hpp"
+#include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
 namespace gpupipe::core {
@@ -52,6 +53,17 @@ void collect_opt_metrics(telemetry::Registry& reg, const OptReport& report,
 /// device-memory high-water marks (client peak and observed peak).
 void collect_device_metrics(telemetry::Registry& reg, const gpu::Gpu& g,
                             const std::string& prefix = "");
+
+/// Simulation-core metrics under <prefix>sim.*: events executed, the event
+/// queue's pending count and high-water mark, the pooled-callable store
+/// size, and the task arena's slab occupancy (live / high-water / slots /
+/// created, successor-edge slots, interned labels). These are the capacity
+/// counters behind the serve-scale hot loop — a pool or arena high-water
+/// that keeps growing across requests is a leak in task or event recycling.
+/// Non-const: reaching the arena through Simulator::extension constructs it
+/// on first use (a fresh simulator then reports zeros, which is correct).
+void collect_sim_metrics(telemetry::Registry& reg, sim::Simulator& sim,
+                         const std::string& prefix = "");
 
 /// Measured cost attributed to one plan node through the span join.
 struct NodeCost {

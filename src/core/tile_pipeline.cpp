@@ -170,6 +170,7 @@ void TilePipeline::collect_metrics(telemetry::Registry& reg,
   collect_plan_metrics(reg, plan_, prefix);
   collect_stats_metrics(reg, stats_, prefix);
   collect_opt_metrics(reg, opt_report_, prefix);
+  collect_sim_metrics(reg, gpu_.context()->sim, prefix);
   const std::string p = prefix + "pipeline.";
   reg.gauge(p + "num_streams").set(static_cast<double>(effective_streams()));
   reg.gauge(p + "buffer_footprint_bytes").set(static_cast<double>(buffer_footprint()));

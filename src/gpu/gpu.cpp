@@ -197,15 +197,11 @@ sim::TaskPtr Gpu::submit(Stream& s, sim::Engine& engine, SimTime duration, sim::
   }
 
   if (trace_.enabled()) {
-    sim::Task* raw = task.get();
-    std::string lane = s.name();
+    if (s.lane_id_ == 0) s.lane_id_ = trace_.intern(s.name());
     // The plan node is captured now, at submission: by the time the span is
     // recorded (completion) the executor has moved on to other nodes.
-    const std::int64_t node = trace_.plan_node();
-    task->on_complete([this, raw, kind, lane = std::move(lane), bytes, node] {
-      trace_.record(sim::Span{kind, lane, raw->label(), raw->start_time(), raw->end_time(),
-                              bytes, node});
-    });
+    task->set_span(trace_, kind, s.lane_id_, trace_.intern(label), bytes,
+                   trace_.plan_node());
   }
 
   task->submit(ctx_->host_time);

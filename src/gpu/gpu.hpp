@@ -66,7 +66,8 @@ class Stream {
   Stream(int id, std::string name) : id_(id), name_(std::move(name)) {}
   int id_;
   std::string name_;
-  sim::TaskPtr last_;  // tail of the in-order chain
+  sim::TaskPtr last_;     // tail of the in-order chain
+  StringId lane_id_ = 0;  // trace lane, interned lazily (0 = not yet)
 };
 
 /// A marker recorded into a stream; complete once all prior work on that

@@ -4,10 +4,14 @@
 // capacity is the scheduler's backpressure threshold: arrivals beyond it
 // stay at the source until a slot frees. Selection is deterministic — every
 // policy breaks ties by submission order, so two runs of the same mix pick
-// the same job at every decision point. Jobs whose admission failed carry a
-// `not_before` retry gate (exponential backoff, set by the scheduler) and
-// are skipped until it passes, which lets smaller jobs overtake a job that
-// is waiting for device memory to free up.
+// the same job at every decision point. Jobs whose admission failed are
+// defer()red behind a `not_before` retry gate (exponential backoff, set by
+// the scheduler) and parked on a separate backoff list, which lets smaller
+// jobs overtake a job that is waiting for device memory to free up. The
+// scheduler wake()s the whole batch whose gates have passed at the top of
+// each dispatch round, so pick() only ever scans currently-eligible items —
+// at serve scale the backoff list holds the memory-starved tail of the
+// fleet, and rescanning it per pick() was the dispatch loop's hot spot.
 #pragma once
 
 #include <cstdint>
@@ -53,34 +57,72 @@ class JobQueue {
 
   QueuePolicy policy() const { return policy_; }
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
-  bool full() const { return items_.size() >= capacity_; }
+  std::size_t size() const { return eligible_.size() + backoff_.size(); }
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() >= capacity_; }
+  /// Items parked behind a retry gate (observability).
+  std::size_t backoff_size() const { return backoff_.size(); }
 
-  /// Adds an item; false when the queue is full (backpressure).
+  /// Adds an item; false when the queue is full (backpressure). An item
+  /// arriving with a retry gate already set parks directly on the backoff
+  /// list.
   bool push(Item it) {
     if (full()) return false;
-    items_.push_back(it);
+    (it.not_before > 0.0 ? backoff_ : eligible_).push_back(it);
     return true;
   }
 
-  /// Best eligible item at virtual time `now` (retry gate passed), or
-  /// nullptr. The pointer is invalidated by push/remove.
-  Item* pick(SimTime now) {
-    Item* best = nullptr;
-    for (Item& it : items_) {
-      if (it.not_before > now) continue;
-      if (best == nullptr || before(it, *best)) best = &it;
+  /// Moves every parked item whose retry gate has passed back to the
+  /// eligible set — one batch per scheduler tick, not one scan per pick().
+  /// Returns the number of items woken.
+  std::size_t wake(SimTime now) {
+    std::size_t woken = 0;
+    for (std::size_t i = 0; i < backoff_.size();) {
+      if (backoff_[i].not_before <= now) {
+        eligible_.push_back(backoff_[i]);
+        backoff_.erase(backoff_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++woken;
+      } else {
+        ++i;
+      }
     }
+    return woken;
+  }
+
+  /// Parks `job` (must be eligible) behind a retry gate: it will not be
+  /// pick()ed again until a wake() at or after `t`.
+  void defer(int job, SimTime t) {
+    for (std::size_t i = 0; i < eligible_.size(); ++i) {
+      if (eligible_[i].job == job) {
+        Item it = eligible_[i];
+        it.not_before = t;
+        eligible_.erase(eligible_.begin() + static_cast<std::ptrdiff_t>(i));
+        backoff_.push_back(it);
+        return;
+      }
+    }
+    ensure(false, "job queue defer: job not eligible");
+  }
+
+  /// Best eligible item, or nullptr. The pointer is invalidated by
+  /// push/remove/defer/wake. Wakes the current tick's due batch first, so
+  /// the scan below only ever walks currently-eligible items.
+  Item* pick(SimTime now) {
+    wake(now);
+    Item* best = nullptr;
+    for (Item& it : eligible_)
+      if (best == nullptr || before(it, *best)) best = &it;
     return best;
   }
 
-  /// Removes the item of `job` (must be present).
+  /// Removes the item of `job` (must be present in either set).
   void remove(int job) {
-    for (std::size_t i = 0; i < items_.size(); ++i) {
-      if (items_[i].job == job) {
-        items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
-        return;
+    for (auto* list : {&eligible_, &backoff_}) {
+      for (std::size_t i = 0; i < list->size(); ++i) {
+        if ((*list)[i].job == job) {
+          list->erase(list->begin() + static_cast<std::ptrdiff_t>(i));
+          return;
+        }
       }
     }
     ensure(false, "job queue remove: job not queued");
@@ -89,7 +131,7 @@ class JobQueue {
   /// Earliest future retry gate (> now); +inf when none is pending.
   SimTime next_retry(SimTime now) const {
     SimTime t = std::numeric_limits<SimTime>::infinity();
-    for (const Item& it : items_)
+    for (const Item& it : backoff_)
       if (it.not_before > now && it.not_before < t) t = it.not_before;
     return t;
   }
@@ -111,7 +153,8 @@ class JobQueue {
 
   QueuePolicy policy_;
   std::size_t capacity_;
-  std::vector<Item> items_;
+  std::vector<Item> eligible_;  // gate passed (or never gated); pick() scans these
+  std::vector<Item> backoff_;   // parked until a wake() at not_before
 };
 
 }  // namespace gpupipe::sched

@@ -164,6 +164,10 @@ bool Scheduler::intake() {
 
 bool Scheduler::dispatch() {
   bool progress = false;
+  // One batched wakeup per dispatch round: every job whose retry gate has
+  // passed re-enters the eligible set here, so the pick loop below never
+  // rescans the backed-off tail.
+  queue_.wake(host_now());
   while (JobQueue::Item* it = queue_.pick(host_now())) {
     const int id = it->job;
     const std::size_t idx = static_cast<std::size_t>(id);
@@ -197,7 +201,7 @@ bool Scheduler::dispatch() {
       const double exp = static_cast<double>(records_[idx].admission_attempts - 1);
       const SimTime delay = std::min(
           opts_.backoff_max, opts_.backoff_initial * std::pow(opts_.backoff_factor, exp));
-      it->not_before = host_now() + delay;
+      queue_.defer(id, host_now() + delay);
       ++admission_retries_;
     }
   }

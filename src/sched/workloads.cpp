@@ -39,14 +39,20 @@ double compute_fn(double x) {
   return v;
 }
 
-core::ArraySpec slab_array(const char* name, core::MapType map, std::vector<double>& host,
+core::ArraySpec slab_array(const char* name, core::MapType map, std::byte* host,
                            std::int64_t rows, std::int64_t row_elems, std::int64_t window) {
   return core::ArraySpec{name,
                          map,
-                         reinterpret_cast<std::byte*>(host.data()),
+                         host,
                          sizeof(double),
                          {rows, row_elems},
                          core::SplitSpec{0, core::Affine{1, 0}, window}};
+}
+
+core::ArraySpec slab_array(const char* name, core::MapType map, std::vector<double>& host,
+                           std::int64_t rows, std::int64_t row_elems, std::int64_t window) {
+  return slab_array(name, map, reinterpret_cast<std::byte*>(host.data()), rows, row_elems,
+                    window);
 }
 
 core::KernelFactory pointwise_kernel(const char* name, std::int64_t row_elems,
@@ -92,6 +98,26 @@ core::KernelFactory stencil_kernel(std::int64_t row_elems) {
   };
 }
 
+/// Kernel factory + roofline cost hints per app; shared by the backed and
+/// synthetic job makers so both shapes estimate and schedule identically.
+void assign_app_kernel(Job& job, const std::string& app, std::int64_t row_elems) {
+  if (app == "stream") {
+    job.kernel = pointwise_kernel("serve_stream", row_elems, 2.0, stream_fn);
+    job.flops_per_iter = static_cast<double>(row_elems) * 2.0;
+    job.bytes_per_iter = static_cast<double>(row_elems) * 2 * sizeof(double);
+  } else if (app == "compute") {
+    // 16 fused-polynomial steps per element: solidly compute-bound on the
+    // roofline, unlike the transfer-bound stream/stencil apps.
+    job.kernel = pointwise_kernel("serve_compute", row_elems, 48.0, compute_fn);
+    job.flops_per_iter = static_cast<double>(row_elems) * 48.0;
+    job.bytes_per_iter = static_cast<double>(row_elems) * 2 * sizeof(double);
+  } else {
+    job.kernel = stencil_kernel(row_elems);
+    job.flops_per_iter = static_cast<double>(row_elems) * 3.0;
+    job.bytes_per_iter = static_cast<double>(row_elems) * 4 * sizeof(double);
+  }
+}
+
 }  // namespace
 
 ServeJob make_serve_job(const JobMixLine& line, int index) {
@@ -127,25 +153,52 @@ ServeJob make_serve_job(const JobMixLine& line, int index) {
       slab_array("out", core::MapType::From, *sj.out, out_rows, t.row_elems, 1),
   };
 
-  if (line.app == "stream") {
-    job.kernel = pointwise_kernel("serve_stream", t.row_elems, 2.0, stream_fn);
-    job.flops_per_iter = static_cast<double>(t.row_elems) * 2.0;
-    job.bytes_per_iter = static_cast<double>(t.row_elems) * 2 * sizeof(double);
-  } else if (line.app == "compute") {
-    // 16 fused-polynomial steps per element: solidly compute-bound on the
-    // roofline, unlike the transfer-bound stream/stencil apps.
-    job.kernel = pointwise_kernel("serve_compute", t.row_elems, 48.0, compute_fn);
-    job.flops_per_iter = static_cast<double>(t.row_elems) * 48.0;
-    job.bytes_per_iter = static_cast<double>(t.row_elems) * 2 * sizeof(double);
-  } else {
-    job.kernel = stencil_kernel(t.row_elems);
-    job.flops_per_iter = static_cast<double>(t.row_elems) * 3.0;
-    job.bytes_per_iter = static_cast<double>(t.row_elems) * 4 * sizeof(double);
-  }
+  assign_app_kernel(job, line.app, t.row_elems);
+  return sj;
+}
+
+ServeJob make_synthetic_job(const JobMixLine& line, int index) {
+  const SizeTemplate t = size_template(line.size);
+  const bool stencil = line.app == "stencil";
+  if (!stencil && line.app != "stream" && line.app != "compute")
+    throw Error("job mix: unknown app '" + line.app + "' (stream|stencil|compute)");
+
+  ServeJob sj;
+  sj.app = line.app;
+  sj.rows = t.rows;
+  sj.row_elems = t.row_elems;
+  const std::int64_t out_rows = stencil ? t.rows - 2 : t.rows;
+
+  // Placeholder host ranges: disjoint per job (32 MiB windows, comfortably
+  // larger than the biggest template's ~12.6 MiB slab) so no two tenants
+  // alias, and never dereferenced — modeled-mode devices skip functional
+  // copy/kernel payloads, and verify() passes trivially without backing.
+  const std::uintptr_t base =
+      0x400000000000ull + (static_cast<std::uintptr_t>(index) << 25);
+  std::byte* fake_in = reinterpret_cast<std::byte*>(base);
+  std::byte* fake_out = reinterpret_cast<std::byte*>(base + (1ull << 24));
+
+  Job& job = sj.job;
+  job.name = line.app + "-" + line.size + "-" + std::to_string(index);
+  job.priority = line.priority;
+  job.arrival = line.arrival;
+  if (line.deadline) job.deadline = line.arrival + *line.deadline;
+
+  core::PipelineSpec& spec = job.spec;
+  spec.chunk_size = t.chunk_size;
+  spec.num_streams = t.num_streams;
+  spec.loop_begin = 0;
+  spec.loop_end = out_rows;
+  spec.arrays = {
+      slab_array("in", core::MapType::To, fake_in, t.rows, t.row_elems, stencil ? 3 : 1),
+      slab_array("out", core::MapType::From, fake_out, out_rows, t.row_elems, 1),
+  };
+  assign_app_kernel(job, line.app, t.row_elems);
   return sj;
 }
 
 bool ServeJob::verify() const {
+  if (!in || !out) return true;  // synthetic job: no host backing to check
   const std::vector<double>& i = *in;
   const std::vector<double>& o = *out;
   const std::int64_t e = row_elems;
@@ -166,6 +219,7 @@ bool ServeJob::verify() const {
 }
 
 double ServeJob::output_checksum() const {
+  if (!out) return 0.0;  // synthetic job: no output array
   double sum = 0.0;
   for (std::size_t k = 0; k < out->size(); ++k)
     sum += (*out)[k] * static_cast<double>((k % 13) + 1);
@@ -221,6 +275,25 @@ std::vector<JobMixLine> default_job_mix(int n) {
     l.priority = i % 3;
     l.arrival = 0.0008 * static_cast<double>(i);
     if (i % 5 == 4) l.deadline = 0.25;  // generous; missed only if starved
+    mix.push_back(std::move(l));
+  }
+  return mix;
+}
+
+std::vector<JobMixLine> synthetic_job_mix(int n) {
+  require(n >= 1, "synthetic job mix needs at least one job");
+  static const char* apps[] = {"stream", "stencil", "compute"};
+  static const char* sizes[] = {"medium", "small", "large"};
+  std::vector<JobMixLine> mix;
+  mix.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    JobMixLine l;
+    l.app = apps[i % 3];
+    l.size = sizes[(i / 3 + i) % 3];
+    l.priority = i % 3;
+    // 50 us spacing: a 100k-tenant fleet arrives inside 5 s of virtual time,
+    // so the queue and backoff paths stay saturated throughout.
+    l.arrival = 5e-5 * static_cast<double>(i);
     mix.push_back(std::move(l));
   }
   return mix;

@@ -33,7 +33,7 @@ struct JobMixLine {
   std::string size;  ///< small | medium | large
   int priority = 0;
   SimTime arrival = 0.0;
-  std::optional<SimTime> deadline;  ///< relative to arrival
+  std::optional<SimTime> deadline{};  ///< relative to arrival
 };
 
 /// Parses a job-mix stream; throws gpupipe::Error with the offending line
@@ -43,6 +43,12 @@ std::vector<JobMixLine> parse_job_mix(std::istream& is);
 /// A deterministic built-in mix of `n` jobs cycling through the app and
 /// size templates with staggered arrivals and varied priorities.
 std::vector<JobMixLine> default_job_mix(int n);
+
+/// A deterministic mix of `n` synthetic tenants for scale runs: the same
+/// app/size cycling as default_job_mix but with serve-tight arrivals (50 us
+/// spacing) so large fleets genuinely contend. Pair with make_synthetic_job
+/// and ExecMode::Modeled — gpupipe_serve's --jobs flag does exactly that.
+std::vector<JobMixLine> synthetic_job_mix(int n);
 
 /// A runnable job plus the host arrays backing it and a result check.
 struct ServeJob {
@@ -65,5 +71,13 @@ struct ServeJob {
 /// Instantiates `line` as job number `index` (names the job and seeds its
 /// deterministic input data). Throws on an unknown app or size.
 ServeJob make_serve_job(const JobMixLine& line, int index);
+
+/// Instantiates `line` with the same spec, kernel shape, and cost hints as
+/// make_serve_job but *no host backing*: the array host pointers are
+/// disjoint placeholder addresses that are never dereferenced, because the
+/// job must run on ExecMode::Modeled devices (functional payloads skipped).
+/// verify() trivially passes for such jobs. This keeps a 100k-tenant mix at
+/// O(1) host memory instead of ~1.5 MiB per job.
+ServeJob make_synthetic_job(const JobMixLine& line, int index);
 
 }  // namespace gpupipe::sched

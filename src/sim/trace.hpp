@@ -9,6 +9,14 @@
 // the executor publishes the node it is issuing via set_plan_node() and the
 // runtime captures plan_node() at submission time, so per-node measured
 // costs can be joined back onto the plan (core/telemetry.hpp).
+//
+// Spans are POD: lane and label are ids into the trace's intern table
+// (one table per Trace, shared by lanes and labels), so recording a span at
+// serve scale is a 48-byte append with no string allocation. Strings are
+// resolved back only by the aggregate views and dumps; the dump formats are
+// byte-identical to what the string-carrying spans produced. The intern
+// table survives clear() so cached ids (streams cache their lane id, tasks
+// their label id) stay valid across trace resets.
 #pragma once
 
 #include <algorithm>
@@ -17,8 +25,10 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/string_table.hpp"
 #include "common/units.hpp"
 
 namespace gpupipe::sim {
@@ -39,15 +49,16 @@ inline const char* to_string(SpanKind k) {
   return "?";
 }
 
-/// One completed operation on the timeline.
+/// One completed operation on the timeline. `lane` and `label` are ids in
+/// the owning Trace's intern table (Trace::lane / Trace::label resolve them).
 struct Span {
   SpanKind kind = SpanKind::Other;
-  std::string lane;   // engine or stream name
-  std::string label;  // operation description
+  StringId lane = 0;   // engine or stream name (interned)
+  StringId label = 0;  // operation description (interned)
   SimTime start = 0.0;
   SimTime end = 0.0;
-  Bytes bytes = 0;        // payload size for transfers, 0 otherwise
-  std::int64_t node = -1; // originating ExecutionPlan node id, -1 if none
+  Bytes bytes = 0;         // payload size for transfers, 0 otherwise
+  std::int64_t node = -1;  // originating ExecutionPlan node id, -1 if none
 
   SimTime duration() const { return end - start; }
 };
@@ -57,6 +68,19 @@ class Trace {
  public:
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
+
+  /// Interns a lane/label string, returning the id to put in a Span. Ids are
+  /// per-Trace and stay valid for the Trace's lifetime (clear() keeps the
+  /// table), so hot paths intern once and reuse the id.
+  StringId intern(std::string_view s) { return strings_.intern(s); }
+
+  /// Resolves interned ids back to strings.
+  const std::string& str(StringId id) const { return strings_.lookup(id); }
+  const std::string& lane(const Span& s) const { return strings_.lookup(s.lane); }
+  const std::string& label(const Span& s) const { return strings_.lookup(s.label); }
+
+  /// The intern table (for observability: distinct strings, footprint).
+  const StringTable& strings() const { return strings_; }
 
   /// Bounds the number of retained spans (0 = unbounded, the default).
   /// Once full the trace behaves as a ring keeping the newest spans; each
@@ -74,15 +98,31 @@ class Trace {
   /// Spans evicted by the capacity ring since the last clear().
   std::uint64_t dropped_spans() const { return dropped_; }
 
-  void record(Span s) {
+  /// Capacity hint: pre-sizes span storage for `n` spans. Callers that know
+  /// the workload size up front (the serve driver knows its plan's span
+  /// count, benches know their sweep) skip the geometric-growth copies —
+  /// an unbounded 1M-span run otherwise copies ~2x its final footprint.
+  void reserve(std::size_t n) { spans_.reserve(n); }
+
+  /// Hot-path record: `s.lane` / `s.label` must be ids from this trace's
+  /// intern().
+  void record(const Span& s) {
     if (!enabled_) return;
     if (cap_ == 0 || spans_.size() < cap_) {
-      spans_.push_back(std::move(s));
+      spans_.push_back(s);
       return;
     }
-    spans_[oldest_] = std::move(s);
+    spans_[oldest_] = s;
     oldest_ = (oldest_ + 1) % cap_;
     ++dropped_;
+  }
+
+  /// Convenience record interning the strings on the spot (tests, cold
+  /// paths).
+  void record(SpanKind kind, std::string_view lane, std::string_view label, SimTime start,
+              SimTime end, Bytes bytes = 0, std::int64_t node = -1) {
+    if (!enabled_) return;
+    record(Span{kind, intern(lane), intern(label), start, end, bytes, node});
   }
 
   /// The plan node currently being issued (stamped into spans the runtime
@@ -111,7 +151,7 @@ class Trace {
   /// Total span time per lane (per-stream / per-engine busy time).
   std::map<std::string, SimTime> time_by_lane() const {
     std::map<std::string, SimTime> out;
-    for (const auto& s : spans_) out[s.lane] += s.duration();
+    for (const auto& s : spans_) out[strings_.lookup(s.lane)] += s.duration();
     return out;
   }
 
@@ -171,23 +211,26 @@ class Trace {
       return out;
     };
     normalize();
-    // Stable lane -> tid mapping in order of first appearance.
+    // Stable lane -> tid mapping in order of first appearance. Keyed by the
+    // resolved name (not the id) so the metadata rows keep the
+    // sorted-by-name order the string-keyed map produced.
     std::map<std::string, int> tids;
     for (const auto& s : spans_)
-      tids.emplace(s.lane, static_cast<int>(tids.size()) + 1);
+      tids.emplace(strings_.lookup(s.lane), static_cast<int>(tids.size()) + 1);
 
     os << "{\"traceEvents\":[";
     bool first = true;
-    for (const auto& [lane, tid] : tids) {
+    for (const auto& [lane_name, tid] : tids) {
       if (!first) os << ",";
       first = false;
       os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-         << ",\"args\":{\"name\":\"" << escape(lane) << "\"}}";
+         << ",\"args\":{\"name\":\"" << escape(lane_name) << "\"}}";
     }
     for (const auto& s : spans_) {
-      os << ",{\"name\":\"" << escape(s.label) << "\",\"cat\":\"" << to_string(s.kind)
-         << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tids[s.lane]
-         << ",\"ts\":" << s.start * 1e6 << ",\"dur\":" << s.duration() * 1e6;
+      os << ",{\"name\":\"" << escape(strings_.lookup(s.label)) << "\",\"cat\":\""
+         << to_string(s.kind) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+         << tids[strings_.lookup(s.lane)] << ",\"ts\":" << s.start * 1e6
+         << ",\"dur\":" << s.duration() * 1e6;
       if (s.bytes > 0 || s.node >= 0) {
         os << ",\"args\":{";
         bool first_arg = true;
@@ -212,8 +255,9 @@ class Trace {
     std::sort(sorted.begin(), sorted.end(),
               [](const Span& a, const Span& b) { return a.start < b.start; });
     for (const auto& s : sorted) {
-      os << "[" << s.start * 1e3 << "ms - " << s.end * 1e3 << "ms] " << s.lane << " "
-         << to_string(s.kind) << " " << s.label << "\n";
+      os << "[" << s.start * 1e3 << "ms - " << s.end * 1e3 << "ms] "
+         << strings_.lookup(s.lane) << " " << to_string(s.kind) << " "
+         << strings_.lookup(s.label) << "\n";
     }
   }
 
@@ -232,6 +276,7 @@ class Trace {
   std::uint64_t dropped_ = 0;
   std::int64_t plan_node_ = -1;
   mutable std::vector<Span> spans_;
+  StringTable strings_;
 };
 
 /// Stream-overlap efficiency of a device timeline: the fraction of

@@ -119,8 +119,9 @@ TEST(MatmulApp, NonContiguousTransfersAreSlowerThanContiguous) {
   SimTime t2d = 0.0, t1d = 0.0;
   for (const auto& s : g.trace().spans()) {
     if (s.kind != sim::SpanKind::H2D) continue;
-    if (s.label.rfind("h2d2D", 0) == 0) t2d += s.duration();
-    if (s.label.rfind("h2d[", 0) == 0) t1d += s.duration();
+    const std::string& label = g.trace().label(s);
+    if (label.rfind("h2d2D", 0) == 0) t2d += s.duration();
+    if (label.rfind("h2d[", 0) == 0) t1d += s.duration();
   }
   EXPECT_GT(t2d, t1d * 1.5);
 }

@@ -97,8 +97,8 @@ TEST(Coverage, Copy2dPitchValidation) {
 
 TEST(Coverage, TraceTextDumpIsSorted) {
   sim::Trace trace;
-  trace.record({sim::SpanKind::Kernel, "s0", "late", 2.0, 3.0, 0});
-  trace.record({sim::SpanKind::H2D, "s0", "early", 0.0, 1.0, 16});
+  trace.record(sim::SpanKind::Kernel, "s0", "late", 2.0, 3.0, 0);
+  trace.record(sim::SpanKind::H2D, "s0", "early", 0.0, 1.0, 16);
   std::ostringstream os;
   trace.dump(os);
   const std::string out = os.str();

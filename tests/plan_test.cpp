@@ -35,7 +35,7 @@ NodeTimes recover_node_times(const ExecutionPlan& plan, const sim::Trace& trace,
   for (const auto& s : trace.spans()) {
     if (s.kind == sim::SpanKind::H2D || s.kind == sim::SpanKind::D2H ||
         s.kind == sim::SpanKind::Kernel)
-      by_lane[s.lane].push_back(&s);
+      by_lane[trace.lane(s)].push_back(&s);
   }
   for (auto& [lane, spans] : by_lane)
     std::sort(spans.begin(), spans.end(),

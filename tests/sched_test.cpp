@@ -436,6 +436,16 @@ TEST(Scheduler, CollectMetricsPopulatesSchedNamespace) {
   EXPECT_GT(reg.gauge_value("serve.sched.dev0.mem_cap_bytes"), 0.0);
   EXPECT_GT(reg.gauge_value("serve.sched.dev0.utilization"), 0.0);
   EXPECT_GT(reg.gauge_value("serve.sched.dev0.committed_peak_bytes"), 0.0);
+  // Utilization is busy time over makespan with in-flight work pro-rated to
+  // the sampling clock; it can never exceed 1.0 per device. (A regression
+  // here means Engine::busy_time is crediting in-flight tasks their full
+  // duration again.)
+  for (int dev = 0; dev < 2; ++dev) {
+    const double util =
+        reg.gauge_value("serve.sched.dev" + std::to_string(dev) + ".utilization");
+    EXPECT_GE(util, 0.0);
+    EXPECT_LE(util, 1.0);
+  }
   // The scheduler's snapshot includes the plan-cache namespace (the cache
   // serves every admission estimate; see docs/observability.md).
   EXPECT_GT(reg.gauge_value("serve.plan_cache.capacity"), 0.0);

@@ -151,7 +151,7 @@ TEST(Telemetry, EveryDeviceSpanCarriesItsPlanNode) {
     if (s.kind != sim::SpanKind::H2D && s.kind != sim::SpanKind::D2H &&
         s.kind != sim::SpanKind::Kernel)
       continue;
-    EXPECT_GE(s.node, 0) << s.label;
+    EXPECT_GE(s.node, 0) << g.trace().label(s);
     EXPECT_LT(s.node, static_cast<std::int64_t>(plan.nodes.size()));
     if (s.kind == sim::SpanKind::H2D) trace_h2d += s.bytes;
   }
@@ -231,6 +231,35 @@ TEST(Telemetry, CollectMetricsHonoursPrefixAndEmitsGauges) {
   EXPECT_GT(reg.histograms().at("dev0.plan.ring_occupancy").count(), 0);
   // Unprefixed names were not created.
   EXPECT_EQ(reg.counter_value("plan.nodes"), 0);
+}
+
+TEST(Telemetry, SimCoreCapacityMetricsAreSaneAfterADrainedRun) {
+  gpu::Gpu g(gpu::nvidia_k40m());
+  const std::int64_t n = 24, m = 8;
+  std::vector<double> in(n * m), out(n * m, 0.0);
+  std::iota(in.begin(), in.end(), 1.0);
+  Pipeline p(g, stencil_spec(in, out, n, m, 1));
+  p.run(stencil_kernel(m));
+
+  Registry reg;
+  p.collect_metrics(reg, "dev0.");
+  // The run executed events and created tasks...
+  EXPECT_GT(reg.counter_value("dev0.sim.events_executed"), 0);
+  EXPECT_GT(reg.counter_value("dev0.sim.arena.tasks_created"), 0);
+  EXPECT_GT(reg.gauge_value("dev0.sim.arena.labels_interned"), 0.0);
+  // ...the queue is drained, and the only tasks still alive are the stream
+  // tails (each stream pins its last task as the dependency anchor for the
+  // next submission) — far below the in-flight peak...
+  EXPECT_EQ(reg.gauge_value("dev0.sim.events_pending"), 0.0);
+  EXPECT_LT(reg.gauge_value("dev0.sim.arena.tasks_live"),
+            reg.gauge_value("dev0.sim.arena.tasks_high_water"));
+  // ...and the arena is sized by the high-water mark, never below it. (The
+  // event pool gauge counts inline-callable slots only; the task lifecycle
+  // events this run schedules are all tagged, so it stays 0 here.)
+  EXPECT_GT(reg.gauge_value("dev0.sim.events_high_water"), 0.0);
+  EXPECT_GT(reg.gauge_value("dev0.sim.arena.tasks_high_water"), 0.0);
+  EXPECT_GE(reg.gauge_value("dev0.sim.arena.task_slots"),
+            reg.gauge_value("dev0.sim.arena.tasks_high_water"));
 }
 
 // --- Annotation (measured vs modelled) ---

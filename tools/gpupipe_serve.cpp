@@ -7,7 +7,7 @@
 // `sched.` telemetry histograms.
 //
 // Usage:
-//   gpupipe_serve [mixfile] [--default-mix N] [--devices N]
+//   gpupipe_serve [mixfile] [--default-mix N] [--jobs N] [--devices N]
 //                 [--profile k40m|hd7970|xeonphi] [--policy fifo|priority|sjf]
 //                 [--placement least-loaded|round-robin] [--cap MIB]
 //                 [--queue-capacity N] [--plan-cache N] [--tune-jobs N]
@@ -18,6 +18,12 @@
 // dry-run autotune per distinct app/size template before submission, with N
 // parallel workers (0 = one per hardware thread), and submits each job at
 // its tuned shape.
+//
+// --jobs N generates a synthetic N-tenant mix (no mix file needed) and runs
+// it on modeled-mode devices: jobs carry no host arrays, so tenant counts in
+// the 100k range fit in memory, at the cost of skipping result verification
+// and the solo baseline. Scheduling, admission, and telemetry behave exactly
+// as in functional runs.
 //
 // Exit status: 0 on success; 1 on bad usage; 2 when a completed job's
 // device result fails host verification.
@@ -48,6 +54,7 @@ namespace {
 struct Options {
   std::string mixfile;
   int default_mix = 10;
+  int jobs = 0;  ///< >0: synthetic modeled-mode mix of N tenants
   int devices = 2;
   std::string profile = "k40m";
   sched::SchedulerOptions sched;
@@ -59,7 +66,7 @@ struct Options {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gpupipe_serve [mixfile] [--default-mix N] [--devices N]\n"
+               "usage: gpupipe_serve [mixfile] [--default-mix N] [--jobs N] [--devices N]\n"
                "                     [--profile k40m|hd7970|xeonphi]\n"
                "                     [--policy fifo|priority|sjf]\n"
                "                     [--placement least-loaded|round-robin]\n"
@@ -214,6 +221,7 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (a == "--default-mix") opt.default_mix = std::stoi(next("--default-mix"));
+      else if (a == "--jobs") opt.jobs = std::stoi(next("--jobs"));
       else if (a == "--devices") opt.devices = std::stoi(next("--devices"));
       else if (a == "--profile") opt.profile = next("--profile");
       else if (a == "--policy") {
@@ -243,11 +251,20 @@ int main(int argc, char** argv) {
       else opt.mixfile = a;
     }
     if (opt.devices < 1 || opt.default_mix < 1) throw Error("counts must be >= 1");
+    if (opt.jobs < 0) throw Error("--jobs must be >= 1");
+    if (opt.jobs > 0 && !opt.mixfile.empty())
+      throw Error("--jobs generates its own mix; drop the mix file");
     if (opt.tune_jobs && *opt.tune_jobs < 0) throw Error("--tune-jobs must be >= 0");
     if (opt.plan_cache) core::PlanCache::instance().set_capacity(*opt.plan_cache);
+    const bool synthetic = opt.jobs > 0;
+    // Synthetic tenants have no host arrays: nothing to verify, and a
+    // functional solo baseline would allocate the backing the mode avoids.
+    if (synthetic) opt.solo = false;
 
     std::vector<sched::JobMixLine> mix;
-    if (opt.mixfile.empty()) {
+    if (synthetic) {
+      mix = sched::synthetic_job_mix(opt.jobs);
+    } else if (opt.mixfile.empty()) {
       mix = sched::default_job_mix(opt.default_mix);
     } else {
       std::ifstream f(opt.mixfile);
@@ -257,11 +274,13 @@ int main(int argc, char** argv) {
     if (mix.empty()) throw Error("job mix is empty");
 
     const gpu::DeviceProfile profile = profile_by_name(opt.profile);
+    const gpu::ExecMode mode =
+        synthetic ? gpu::ExecMode::Modeled : gpu::ExecMode::Functional;
     auto ctx = gpu::make_shared_context();
     std::vector<std::unique_ptr<gpu::Gpu>> gpus;
     std::vector<gpu::Gpu*> devices;
     for (int i = 0; i < opt.devices; ++i) {
-      gpus.push_back(std::make_unique<gpu::Gpu>(profile, gpu::ExecMode::Functional, ctx));
+      gpus.push_back(std::make_unique<gpu::Gpu>(profile, mode, ctx));
       devices.push_back(gpus.back().get());
     }
 
@@ -273,7 +292,8 @@ int main(int argc, char** argv) {
     // planning cache, so repeated shapes inside one sweep hit too.
     std::map<std::string, std::pair<std::int64_t, int>> tuned;
     for (std::size_t i = 0; i < mix.size(); ++i) {
-      jobs.push_back(sched::make_serve_job(mix[i], static_cast<int>(i)));
+      jobs.push_back(synthetic ? sched::make_synthetic_job(mix[i], static_cast<int>(i))
+                               : sched::make_serve_job(mix[i], static_cast<int>(i)));
       sched::Job& job = jobs.back().job;
       if (opt.tune_jobs) {
         const std::string key = mix[i].app + "/" + mix[i].size;
