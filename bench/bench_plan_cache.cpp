@@ -1,20 +1,26 @@
 // Plan-cache bench: what the planning cache buys the serve hot path.
 //
-// Three scenarios, all on the built-in serve job mix (sched/workloads):
+// Four scenarios, all on the built-in serve job mix (sched/workloads):
 //   * cold vs warm planning — wall-clock of estimate_pipeline_runtime per
 //     job with the cache bypassed (capacity 0) versus primed, the cost every
 //     admission attempt pays,
 //   * cache hit rate on the default gpupipe_serve mix — one cold scheduler
 //     run (compulsory misses) and one steady-state rerun of the identical
 //     mix (the CI floor gates the steady rate at >= 0.9),
+//   * cold fleet warmup with the persistent disk tier — a fresh replica's
+//     first planning pass with an empty memory tier, against a disk
+//     directory seeded by a peer versus no directory at all (the CI floor
+//     gates the speedup at >= 2x with zero corrupt reads),
 //   * serial vs parallel autotune — the dry-run sweep at tune_jobs 1 versus
 //     one worker per hardware thread, with the TuneResult compared field by
 //     field (bit-identity is part of the contract, not just a speedup).
 // Unlike the figure benches these measure *host* wall-clock: planning is
-// real CPU work, not simulated time. BENCH_plan_cache.json carries the
-// numbers for the CI floor checks.
+// real CPU work, not simulated time. BENCH_plan_cache.json and
+// BENCH_plan_cache_disk.json carry the numbers for the CI floor checks.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -123,7 +129,78 @@ ServeStats measure_serve() {
   return s;
 }
 
-// --- Scenario 3: serial vs parallel dry-run autotune ---
+// --- Scenario 3: cold fleet warmup, with and without the disk tier ---
+
+struct DiskTiming {
+  double cold_s = 0.0;    ///< fresh replica, no persistent cache: full replan
+  double warm_s = 0.0;    ///< fresh replica, disk tier seeded by a peer
+  std::size_t files = 0;  ///< artifacts persisted by the seeding pass
+  std::uint64_t hits = 0;
+  std::uint64_t corrupt = 0;
+  int calls = 0;
+};
+
+// Every rep models one replica of a serve fleet starting cold: the memory
+// tier is empty and each job template must be footprinted, planned, and
+// estimated. Without GPUPIPE_PLAN_CACHE_DIR that work repeats per replica;
+// with it, the first replica's disk writes turn every later replica's
+// warmup into deserialization. Same process here, but clear() empties the
+// memory tier exactly as a fresh exec would.
+DiskTiming measure_disk() {
+  namespace fs = std::filesystem;
+  const auto mix = sched::default_job_mix(mix_size());
+  std::vector<sched::ServeJob> jobs;
+  for (std::size_t i = 0; i < mix.size(); ++i)
+    jobs.push_back(sched::make_serve_job(mix[i], static_cast<int>(i)));
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Functional);
+  quiet(g);
+
+  auto pass = [&] {
+    for (const auto& sj : jobs) {
+      core::DryRunCost cost;
+      cost.flops_per_iter = sj.job.flops_per_iter;
+      cost.bytes_per_iter = sj.job.bytes_per_iter;
+      benchmark::DoNotOptimize(core::estimate_pipeline_runtime(g, sj.job.spec, cost));
+    }
+  };
+
+  const fs::path dir = fs::temp_directory_path() / "gpupipe_bench_plan_cache_disk";
+  fs::remove_all(dir);
+  core::PlanCache& cache = core::PlanCache::instance();
+  cache.set_capacity(core::PlanCache::kDefaultCapacity);
+  cache.set_disk_dir("");
+
+  const int reps = quick_mode() ? 5 : 20;
+  DiskTiming t;
+  t.calls = static_cast<int>(jobs.size());
+  t.cold_s = std::numeric_limits<double>::infinity();
+  t.warm_s = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    cache.clear();
+    t.cold_s = std::min(t.cold_s, wall(pass));
+  }
+
+  cache.set_disk_dir(dir.string());
+  cache.clear();
+  pass();  // the first replica seeds the directory
+  t.files = static_cast<std::size_t>(
+      std::distance(fs::directory_iterator(dir), fs::directory_iterator{}));
+  cache.reset_stats();
+  for (int r = 0; r < reps; ++r) {
+    cache.clear();
+    t.warm_s = std::min(t.warm_s, wall(pass));
+  }
+  t.hits = cache.stats().disk_hits;
+  t.corrupt = cache.stats().disk_corrupt;
+
+  cache.set_disk_dir("");
+  cache.clear();
+  cache.reset_stats();
+  fs::remove_all(dir);
+  return t;
+}
+
+// --- Scenario 4: serial vs parallel dry-run autotune ---
 
 struct TuneTiming {
   double serial_s = 0.0;
@@ -192,6 +269,10 @@ const ServeStats& serve() {
   static const ServeStats s = measure_serve();
   return s;
 }
+const DiskTiming& disk() {
+  static const DiskTiming t = measure_disk();
+  return t;
+}
 const TuneTiming& tune() {
   static const TuneTiming t = measure_tune();
   return t;
@@ -208,6 +289,17 @@ void register_all() {
     for (auto _ : st) st.SetIterationTime(t.warm_s / t.calls);
     st.counters["speedup"] = t.warm_s > 0.0 ? t.cold_s / t.warm_s : 0.0;
   })->UseManualTime()->Iterations(1);
+  benchmark::RegisterBenchmark("plan_cache/disk_cold", [](benchmark::State& st) {
+    const DiskTiming& t = disk();
+    for (auto _ : st) st.SetIterationTime(t.cold_s / t.calls);
+    st.counters["calls"] = static_cast<double>(t.calls);
+  })->UseManualTime()->Iterations(1);
+  benchmark::RegisterBenchmark("plan_cache/disk_warm", [](benchmark::State& st) {
+    const DiskTiming& t = disk();
+    for (auto _ : st) st.SetIterationTime(t.warm_s / t.calls);
+    st.counters["speedup"] = t.warm_s > 0.0 ? t.cold_s / t.warm_s : 0.0;
+    st.counters["disk_hits"] = static_cast<double>(t.hits);
+  })->UseManualTime()->Iterations(1);
   benchmark::RegisterBenchmark("plan_cache/tune_serial", [](benchmark::State& st) {
     for (auto _ : st) st.SetIterationTime(tune().serial_s);
   })->UseManualTime()->Iterations(1);
@@ -222,9 +314,11 @@ void register_all() {
 void print_figure() {
   const PlanTiming& pt = planning();
   const ServeStats& sv = serve();
+  const DiskTiming& dk = disk();
   const TuneTiming& tn = tune();
   const double per_cold = pt.cold_s / pt.calls;
   const double per_warm = pt.warm_s / pt.calls;
+  const double disk_speedup = dk.warm_s > 0.0 ? dk.cold_s / dk.warm_s : 0.0;
 
   std::printf("\nPlan cache — %d-job serve mix, 2x K40m\n", mix_size());
   Table t({"scenario", "value"});
@@ -233,6 +327,9 @@ void print_figure() {
   t.add_row({"warm speedup", Table::num(per_warm > 0.0 ? per_cold / per_warm : 0.0, 1) + "x"});
   t.add_row({"cold-start hit rate", Table::num(sv.cold.hit_rate() * 100.0, 1) + "%"});
   t.add_row({"steady-state hit rate", Table::num(sv.steady.hit_rate() * 100.0, 1) + "%"});
+  t.add_row({"replica warmup, no disk (ms)", Table::num(dk.cold_s * 1e3, 3)});
+  t.add_row({"replica warmup, warm disk (ms)", Table::num(dk.warm_s * 1e3, 3)});
+  t.add_row({"disk warmup speedup", Table::num(disk_speedup, 1) + "x"});
   t.add_row({"tune serial (ms)", Table::num(tn.serial_s * 1e3, 3)});
   t.add_row({"tune parallel (ms)", Table::num(tn.parallel_s * 1e3, 3)});
   const double tune_speedup = tn.parallel_s > 0.0 ? tn.serial_s / tn.parallel_s : 0.0;
@@ -264,6 +361,19 @@ void print_figure() {
   art.derived("tune_speedup", tn.parallel_s > 0.0 ? tn.serial_s / tn.parallel_s : 0.0);
   art.derived("tune_identical", tn.identical ? 1.0 : 0.0);
   art.write();
+
+  // The disk tier gets its own artifact: the CI floor gates the cold-fleet
+  // warmup speedup and requires zero corrupt reads on a healthy directory.
+  Artifact disk_art("plan_cache_disk");
+  disk_art.config("jobs", static_cast<double>(mix_size()));
+  disk_art.config("profile", "k40m");
+  disk_art.metric("warmup.cold_s", dk.cold_s);
+  disk_art.metric("warmup.warm_disk_s", dk.warm_s);
+  disk_art.metric("disk.files", static_cast<double>(dk.files));
+  disk_art.metric("disk.hits", static_cast<double>(dk.hits));
+  disk_art.metric("disk.corrupt", static_cast<double>(dk.corrupt));
+  disk_art.derived("disk_speedup", disk_speedup);
+  disk_art.write();
 }
 
 }  // namespace

@@ -1,12 +1,20 @@
 #include "core/plan_cache.hpp"
 
+#include <atomic>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <span>
 #include <utility>
 
+#include "common/checksum.hpp"
 #include "common/error.hpp"
 #include "core/buffer.hpp"
 #include "core/layout.hpp"
+#include "core/plan_serialize.hpp"
 
 namespace gpupipe::core {
 
@@ -19,10 +27,17 @@ void append_i64(std::string& out, std::int64_t v) {
 
 // Hexfloat: exact round-trip, so two cost hints differing in the last ulp
 // key differently (bit-identical results require bit-identical inputs).
+// std::to_chars, not snprintf("%a"): printf's hexfloat spells the radix
+// point with the LC_NUMERIC decimal character, so the same spec would hash
+// differently under e.g. a comma-decimal locale — fatal once keys persist
+// on disk and travel between machines. to_chars is locale-independent by
+// specification.
 void append_f64(std::string& out, double v) {
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%a|", v);
-  out += buf;
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::hex);
+  require(ec == std::errc{}, "plan cache: hexfloat encoding failed");
+  out.append(buf, end);
+  out += '|';
 }
 
 /// Every numeric field of the device profile, name first. Keying on the
@@ -114,11 +129,61 @@ std::size_t initial_capacity() {
   return PlanCache::kDefaultCapacity;
 }
 
+/// GPUPIPE_PLAN_CACHE_TRACE=1 prints every memory-tier miss and insert with
+/// its full fingerprint key to stderr — the tool for diagnosing why a warmed
+/// cache or an AOT bundle fails to hit (diff the keys the producer inserted
+/// against the keys the consumer missed).
+bool trace_enabled() {
+  static const bool on = std::getenv("GPUPIPE_PLAN_CACHE_TRACE") != nullptr;
+  return on;
+}
+
+/// 16-hex-digit content hash used as the on-disk file name (the full key is
+/// echoed inside the file and verified on read, so a hash collision or a
+/// renamed file is detected as a mismatch, not served).
+std::string key_hash_hex(const std::string& key) {
+  const std::uint64_t h = fnv1a(std::span<const char>(key.data(), key.size()));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// The cache-key prefix each artifact kind persists under (Tune records
+/// only ever live in bundles, never in the entry store).
+const char* kind_prefix(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::Plan: return "plan|";
+    case ArtifactKind::Footprint: return "fp|";
+    case ArtifactKind::Estimate: return "est|";
+    case ArtifactKind::Tune: return nullptr;
+  }
+  return nullptr;
+}
+
+ArtifactKind kind_of_key(const std::string& key) {
+  if (key.rfind("plan|", 0) == 0) return ArtifactKind::Plan;
+  if (key.rfind("fp|", 0) == 0) return ArtifactKind::Footprint;
+  return ArtifactKind::Estimate;  // "est|..." — the only other entry prefix
+}
+
 }  // namespace
 
 PlanCache& PlanCache::instance() {
   static PlanCache cache(initial_capacity());
+  static const bool seeded = [] {
+    if (const char* e = std::getenv("GPUPIPE_PLAN_CACHE_DIR"); e && *e)
+      cache.set_disk_dir(e);
+    return true;
+  }();
+  (void)seeded;
   return cache;
+}
+
+std::string PlanCache::profile_fingerprint(const gpu::DeviceProfile& profile) {
+  std::string out;
+  out.reserve(192);
+  append_profile(out, profile);
+  return out;
 }
 
 bool PlanCache::fingerprintable(const PipelineSpec& spec) {
@@ -160,6 +225,7 @@ std::shared_ptr<const PlanCache::Entry> PlanCache::find(const std::string& key) 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
+    if (trace_enabled()) std::fprintf(stderr, "plan_cache: miss %s\n", key.c_str());
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
@@ -170,6 +236,7 @@ std::shared_ptr<const PlanCache::Entry> PlanCache::find(const std::string& key) 
 
 void PlanCache::insert(const std::string& key, std::shared_ptr<const Entry> entry) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (trace_enabled()) std::fprintf(stderr, "plan_cache: insert %s\n", key.c_str());
   if (capacity_ == 0) return;
   if (map_.find(key) != map_.end()) return;  // a racing miss filled it first
   lru_.push_front(key);
@@ -189,10 +256,12 @@ Bytes PlanCache::footprint(const gpu::Gpu& g, const PipelineSpec& spec,
   if (!usable(spec)) return raw_footprint(g, spec, chunk_size, num_streams);
   const std::string key = "fp|" + fingerprint(g, spec, chunk_size, num_streams);
   if (auto e = find(key)) return e->footprint;
+  if (auto e = disk_load(key)) return e->footprint;
   auto e = std::make_shared<Entry>();
   e->footprint = raw_footprint(g, spec, chunk_size, num_streams);
   e->cost = static_cast<Bytes>(key.size()) + sizeof(Entry);
   const Bytes fp = e->footprint;
+  disk_store(key, *e);
   insert(key, std::move(e));
   return fp;
 }
@@ -201,11 +270,13 @@ PlanCache::Compiled PlanCache::compile(const gpu::Gpu& g, const PipelineSpec& sp
   if (!usable(spec)) return raw_compile(g, spec);
   const std::string key = "plan|" + fingerprint(g, spec, spec.chunk_size, spec.num_streams);
   if (auto e = find(key)) return Compiled{e->plan, e->report};
+  if (auto e = disk_load(key)) return Compiled{e->plan, e->report};
   Compiled built = raw_compile(g, spec);
   auto e = std::make_shared<Entry>();
   e->plan = built.plan;
   e->report = built.report;
   e->cost = static_cast<Bytes>(key.size()) + sizeof(Entry) + approx_plan_bytes(*built.plan);
+  disk_store(key, *e);
   insert(key, std::move(e));
   return built;
 }
@@ -222,13 +293,229 @@ SimTime PlanCache::estimate(const gpu::Gpu& g, const PipelineSpec& spec,
   append_f64(key, cost.seconds_per_iter);
   append_i64(key, cost.live_streams);
   if (auto e = find(key)) return e->makespan;
+  if (auto e = disk_load(key)) return e->makespan;
   const Compiled built = compile(g, spec);
   auto e = std::make_shared<Entry>();
   e->makespan = dry_run(*built.plan, g.profile(), cost).makespan;
   e->cost = static_cast<Bytes>(key.size()) + sizeof(Entry);
   const SimTime makespan = e->makespan;
+  disk_store(key, *e);
   insert(key, std::move(e));
   return makespan;
+}
+
+void PlanCache::set_disk_dir(const std::string& dir) {
+  std::string resolved = dir;
+  if (!resolved.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(resolved, ec);
+    if (ec) resolved.clear();  // unusable directory: leave the tier off
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  disk_dir_ = std::move(resolved);
+}
+
+std::string PlanCache::disk_dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_dir_;
+}
+
+std::string PlanCache::disk_path(const std::string& key) const {
+  const std::string dir = disk_dir();
+  if (dir.empty()) return {};
+  return dir + "/" + key_hash_hex(key) + ".plan";
+}
+
+std::shared_ptr<const PlanCache::Entry> PlanCache::disk_load(const std::string& key) {
+  const std::string path = disk_path(key);
+  if (path.empty()) return nullptr;
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+      disk_misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    bytes.assign(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+    if (is.bad()) bytes.clear();
+  }
+  PlanArtifact a;
+  bool ok = deserialize_artifact(bytes, a);
+  // The embedded key must be exactly the one asked for: a filename-hash
+  // collision, a renamed/copied file, or fingerprint-format drift between
+  // builds all land here as a mismatch instead of being served.
+  ok = ok && a.key == key && kind_prefix(a.kind) != nullptr &&
+       key.rfind(kind_prefix(a.kind), 0) == 0;
+  std::shared_ptr<Entry> e;
+  if (ok) {
+    e = std::make_shared<Entry>();
+    switch (a.kind) {
+      case ArtifactKind::Plan: {
+        auto plan = std::make_shared<ExecutionPlan>(std::move(a.plan));
+        // A checksum-valid but hazardous graph (FNV is not cryptographic)
+        // must never reach an executor; re-prove it race-free like the
+        // builder did.
+        try {
+          plan->validate();
+        } catch (...) {
+          ok = false;
+        }
+        e->plan = std::move(plan);
+        e->report = std::move(a.report);
+        e->cost = static_cast<Bytes>(key.size()) + sizeof(Entry) + approx_plan_bytes(*e->plan);
+        break;
+      }
+      case ArtifactKind::Footprint:
+        e->footprint = a.footprint;
+        e->cost = static_cast<Bytes>(key.size()) + sizeof(Entry);
+        break;
+      case ArtifactKind::Estimate:
+        e->makespan = a.estimate;
+        e->cost = static_cast<Bytes>(key.size()) + sizeof(Entry);
+        break;
+      case ArtifactKind::Tune:
+        ok = false;  // tune results are bundle-only, never entry files
+        break;
+    }
+  }
+  if (!ok) {
+    disk_corrupt_.fetch_add(1, std::memory_order_relaxed);
+    // Quarantine the bad file so the next lookup recomputes without
+    // re-parsing it and the operator can inspect what went wrong.
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".quarantined", ec);
+    if (ec) std::filesystem::remove(path, ec);
+    return nullptr;
+  }
+  disk_hits_.fetch_add(1, std::memory_order_relaxed);
+  disk_bytes_read_.fetch_add(static_cast<std::int64_t>(bytes.size()),
+                             std::memory_order_relaxed);
+  insert(key, e);
+  return e;
+}
+
+void PlanCache::disk_store(const std::string& key, const Entry& entry) {
+  const std::string path = disk_path(key);
+  if (path.empty()) return;
+  PlanArtifact a;
+  a.kind = kind_of_key(key);
+  a.key = key;
+  switch (a.kind) {
+    case ArtifactKind::Plan:
+      if (!entry.plan) return;
+      a.plan = *entry.plan;
+      a.report = entry.report;
+      break;
+    case ArtifactKind::Footprint:
+      a.footprint = entry.footprint;
+      break;
+    case ArtifactKind::Estimate:
+      a.estimate = entry.makespan;
+      break;
+    case ArtifactKind::Tune:
+      return;
+  }
+  const std::string bytes = serialize_artifact(a);
+  // Unique-enough temp name (per-process ASLR address + sequence) in the
+  // destination directory, so the final rename is same-filesystem atomic.
+  // Two replicas racing on one temp name at worst produce a torn file that
+  // the next read quarantines and recomputes — degraded, never wrong.
+  static std::atomic<std::uint64_t> seq{0};
+  char suffix[48];
+  std::snprintf(suffix, sizeof(suffix), ".tmp.%llx.%llu",
+                static_cast<unsigned long long>(reinterpret_cast<std::uintptr_t>(&seq)),
+                static_cast<unsigned long long>(seq.fetch_add(1)));
+  const std::string temp = path + suffix;
+  std::error_code ec;
+  {
+    std::ofstream os(temp, std::ios::binary | std::ios::trunc);
+    if (!os || !os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+      std::filesystem::remove(temp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::filesystem::remove(temp, ec);
+    return;
+  }
+  disk_writes_.fetch_add(1, std::memory_order_relaxed);
+  disk_bytes_written_.fetch_add(static_cast<std::int64_t>(bytes.size()),
+                                std::memory_order_relaxed);
+}
+
+std::size_t PlanCache::load_bundle(const PlanBundle& bundle) {
+  if (!enabled()) return 0;
+  std::size_t admitted = 0;
+  for (const PlanArtifact& a : bundle.artifacts) {
+    const char* prefix = kind_prefix(a.kind);
+    if (prefix == nullptr || a.key.rfind(prefix, 0) != 0) continue;
+    auto e = std::make_shared<Entry>();
+    switch (a.kind) {
+      case ArtifactKind::Plan: {
+        auto plan = std::make_shared<ExecutionPlan>(a.plan);
+        try {
+          plan->validate();
+        } catch (...) {
+          plan.reset();
+        }
+        if (!plan) continue;
+        e->plan = std::move(plan);
+        e->report = a.report;
+        e->cost =
+            static_cast<Bytes>(a.key.size()) + sizeof(Entry) + approx_plan_bytes(*e->plan);
+        break;
+      }
+      case ArtifactKind::Footprint:
+        e->footprint = a.footprint;
+        e->cost = static_cast<Bytes>(a.key.size()) + sizeof(Entry);
+        break;
+      case ArtifactKind::Estimate:
+        e->makespan = a.estimate;
+        e->cost = static_cast<Bytes>(a.key.size()) + sizeof(Entry);
+        break;
+      case ArtifactKind::Tune:
+        continue;
+    }
+    insert(a.key, std::move(e));
+    ++admitted;
+  }
+  return admitted;
+}
+
+void PlanCache::export_bundle(PlanBundle& bundle) const {
+  std::vector<std::pair<std::string, std::shared_ptr<const Entry>>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(map_.size());
+    // Least-recent first, so load_bundle's front-inserts rebuild the same
+    // recency order this cache had.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto found = map_.find(*it);
+      if (found != map_.end()) snapshot.emplace_back(*it, found->second.entry);
+    }
+  }
+  for (auto& [key, e] : snapshot) {
+    PlanArtifact a;
+    a.kind = kind_of_key(key);
+    a.key = key;
+    switch (a.kind) {
+      case ArtifactKind::Plan:
+        if (!e->plan) continue;
+        a.plan = *e->plan;
+        a.report = e->report;
+        break;
+      case ArtifactKind::Footprint:
+        a.footprint = e->footprint;
+        break;
+      case ArtifactKind::Estimate:
+        a.estimate = e->makespan;
+        break;
+      case ArtifactKind::Tune:
+        continue;
+    }
+    bundle.artifacts.push_back(std::move(a));
+  }
 }
 
 void PlanCache::set_capacity(std::size_t n) {
@@ -259,6 +546,12 @@ void PlanCache::reset_stats() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
+  disk_hits_.store(0, std::memory_order_relaxed);
+  disk_misses_.store(0, std::memory_order_relaxed);
+  disk_corrupt_.store(0, std::memory_order_relaxed);
+  disk_writes_.store(0, std::memory_order_relaxed);
+  disk_bytes_read_.store(0, std::memory_order_relaxed);
+  disk_bytes_written_.store(0, std::memory_order_relaxed);
 }
 
 PlanCacheStats PlanCache::stats() const {
@@ -266,6 +559,13 @@ PlanCacheStats PlanCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  s.disk_misses = disk_misses_.load(std::memory_order_relaxed);
+  s.disk_corrupt = disk_corrupt_.load(std::memory_order_relaxed);
+  s.disk_writes = disk_writes_.load(std::memory_order_relaxed);
+  s.disk_bytes_read = static_cast<Bytes>(disk_bytes_read_.load(std::memory_order_relaxed));
+  s.disk_bytes_written =
+      static_cast<Bytes>(disk_bytes_written_.load(std::memory_order_relaxed));
   std::lock_guard<std::mutex> lock(mu_);
   s.bytes = bytes_;
   s.entries = static_cast<std::int64_t>(map_.size());
@@ -282,6 +582,13 @@ void PlanCache::collect_metrics(telemetry::Registry& reg, const std::string& pre
   reg.gauge(p + "entries").set(static_cast<double>(s.entries));
   reg.gauge(p + "capacity").set(static_cast<double>(capacity()));
   reg.gauge(p + "hit_rate").set(s.hit_rate());
+  reg.counter(p + "disk.hits").add(s.disk_hits);
+  reg.counter(p + "disk.misses").add(s.disk_misses);
+  reg.counter(p + "disk.corrupt").add(s.disk_corrupt);
+  reg.counter(p + "disk.writes").add(s.disk_writes);
+  reg.counter(p + "disk.bytes_read").add(static_cast<std::int64_t>(s.disk_bytes_read));
+  reg.counter(p + "disk.bytes_written")
+      .add(static_cast<std::int64_t>(s.disk_bytes_written));
 }
 
 }  // namespace gpupipe::core

@@ -28,6 +28,14 @@
 // (plan building is pure), so the autotuner's dry-run workers share hits
 // without serializing their simulations. hits/misses/evictions/bytes are
 // atomics, exported as the plan_cache.* metric namespace.
+//
+// Persistence: an optional on-disk tier (set_disk_dir /
+// GPUPIPE_PLAN_CACHE_DIR) makes entries outlive the process. Memory misses
+// fall through to disk before computing; computed entries are written back
+// atomically. The wire format, its corruption tolerance, and the AOT
+// bundle path (`gpupipe_compile` → load_bundle) live in
+// core/plan_serialize.hpp; disk traffic is counted in the
+// plan_cache.disk.* metric namespace.
 #pragma once
 
 #include <atomic>
@@ -44,6 +52,8 @@
 
 namespace gpupipe::core {
 
+struct PlanBundle;
+
 /// Point-in-time counters of one PlanCache.
 struct PlanCacheStats {
   std::int64_t hits = 0;
@@ -51,6 +61,16 @@ struct PlanCacheStats {
   std::int64_t evictions = 0;
   Bytes bytes = 0;  ///< approximate resident bytes of the cached entries
   std::int64_t entries = 0;
+  /// Disk-tier counters (all zero when no disk directory is configured).
+  /// A memory miss that a disk entry satisfies counts as both a `miss` (the
+  /// memory tier missed) and a `disk_hit` — the combined effective hit rate
+  /// is (hits + disk_hits) / (hits + misses).
+  std::int64_t disk_hits = 0;
+  std::int64_t disk_misses = 0;
+  std::int64_t disk_corrupt = 0;  ///< entries rejected and quarantined
+  std::int64_t disk_writes = 0;
+  Bytes disk_bytes_read = 0;
+  Bytes disk_bytes_written = 0;
 
   double hit_rate() const {
     const std::int64_t total = hits + misses;
@@ -107,16 +127,46 @@ class PlanCache {
   static std::string fingerprint(const gpu::Gpu& g, const PipelineSpec& spec,
                                  std::int64_t chunk_size, int num_streams);
 
+  /// The device-profile prefix every fingerprint starts with (name plus
+  /// every numeric field, locale-independent). Bundle tune records key on
+  /// this so plans tuned for one device never apply to another.
+  static std::string profile_fingerprint(const gpu::DeviceProfile& profile);
+
+  /// Enables (non-empty) or disables (empty) the on-disk tier: memory
+  /// misses fall through to `dir`, and computed entries are written back
+  /// with an atomic temp-file + rename. The directory is created if needed;
+  /// creation failure leaves the tier disabled. Corrupt files — short
+  /// reads, checksum mismatches, version skew, key mismatches — are counted
+  /// in disk_corrupt, quarantined (renamed `*.quarantined`), and treated as
+  /// misses; they never crash and never produce a wrong plan. The
+  /// GPUPIPE_PLAN_CACHE_DIR environment variable seeds the global
+  /// instance's directory.
+  void set_disk_dir(const std::string& dir);
+  std::string disk_dir() const;
+
+  /// Admits every compatible artifact of `bundle` into the memory tier
+  /// (Tune records are skipped — the caller applies those to job specs).
+  /// Counts toward neither hits nor misses. Returns the number admitted.
+  std::size_t load_bundle(const PlanBundle& bundle);
+
+  /// Snapshots the resident entries into `bundle` (appended,
+  /// least-recently-used first, so re-loading reproduces the recency
+  /// order). Tune records are never resident and are not exported.
+  void export_bundle(PlanBundle& bundle) const;
+
   void set_capacity(std::size_t n);
   std::size_t capacity() const;
   bool enabled() const { return capacity() > 0; }
-  /// Drops every entry (stats are kept; see reset_stats).
+  /// Drops every memory-tier entry (stats are kept — see reset_stats —
+  /// and on-disk entries persist: the next miss re-reads them).
   void clear();
   void reset_stats();
   PlanCacheStats stats() const;
 
   /// Exports the plan_cache.{hits,misses,evictions,bytes,entries,capacity}
-  /// namespace into `reg` (prefix prepended, matching the other collectors).
+  /// namespace — plus plan_cache.disk.{hits,misses,corrupt,writes,
+  /// bytes_read,bytes_written} when a disk tier is configured — into `reg`
+  /// (prefix prepended, matching the other collectors).
   void collect_metrics(telemetry::Registry& reg, const std::string& prefix = {}) const;
 
  private:
@@ -134,6 +184,14 @@ class PlanCache {
     return enabled() && fingerprintable(spec);
   }
 
+  /// Memory miss fall-through: reads the key's disk entry (if a disk dir is
+  /// set), validates it, admits it to the memory tier, and returns it.
+  /// Returns nullptr on miss or corruption. IO runs outside the LRU lock.
+  std::shared_ptr<const Entry> disk_load(const std::string& key);
+  /// Write-back after a computed miss (atomic temp + rename; best effort).
+  void disk_store(const std::string& key, const Entry& entry);
+  std::string disk_path(const std::string& key) const;
+
   mutable std::mutex mu_;
   std::size_t capacity_;
   /// MRU-first key order; the map holds list iterators for O(1) touch.
@@ -144,9 +202,16 @@ class PlanCache {
   };
   std::unordered_map<std::string, Slot> map_;
   Bytes bytes_ = 0;
+  std::string disk_dir_;  ///< empty = disk tier off (guarded by mu_)
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};
   std::atomic<std::int64_t> evictions_{0};
+  std::atomic<std::int64_t> disk_hits_{0};
+  std::atomic<std::int64_t> disk_misses_{0};
+  std::atomic<std::int64_t> disk_corrupt_{0};
+  std::atomic<std::int64_t> disk_writes_{0};
+  std::atomic<std::int64_t> disk_bytes_read_{0};
+  std::atomic<std::int64_t> disk_bytes_written_{0};
 };
 
 }  // namespace gpupipe::core

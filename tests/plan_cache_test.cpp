@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <clocale>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -438,6 +440,38 @@ TEST(PlanCacheAutotune, MeasuredSweepWithPrefilterIgnoresTuneJobs) {
                     opts);
   };
   expect_identical(run(1), run(6));
+}
+
+TEST(PlanCache, FingerprintIsLocaleIndependent) {
+  // The device-profile prefix embeds doubles (clock rates, bandwidths) as
+  // hexfloats. printf-family "%a" renders them with LC_NUMERIC's decimal
+  // point, so a process running under a comma-decimal locale would compute
+  // different keys than the gpupipe_compile process that wrote a bundle or
+  // disk cache — every cross-process lookup would silently miss. The
+  // encoder must therefore be locale-independent (std::to_chars).
+  gpu::Gpu g(gpu::nvidia_k40m(), gpu::ExecMode::Modeled);
+  g.hazards().set_enabled(false);
+  const PipelineSpec spec = stencil_spec(g, 16, 64);
+  const std::string c_locale_key = PlanCache::fingerprint(g, spec, 4, 2);
+  EXPECT_NE(c_locale_key.find('.'), std::string::npos);  // hexfloat mantissas
+
+  const std::string saved = std::setlocale(LC_NUMERIC, nullptr);
+  bool switched = false;
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8",
+                           "de_DE", "fr_FR", "C.UTF-8@comma"})
+    if (std::setlocale(LC_NUMERIC, name) != nullptr &&
+        *std::localeconv()->decimal_point == ',') {
+      switched = true;
+      break;
+    }
+  if (!switched) {
+    std::setlocale(LC_NUMERIC, saved.c_str());
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  const std::string comma_locale_key = PlanCache::fingerprint(g, spec, 4, 2);
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_EQ(comma_locale_key, c_locale_key);
+  EXPECT_EQ(comma_locale_key.find(','), std::string::npos);
 }
 
 }  // namespace

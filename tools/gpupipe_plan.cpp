@@ -45,6 +45,7 @@
 #include "dsl/bind.hpp"
 #include "gpu/device_profile.hpp"
 #include "region_file.hpp"
+#include "tool_util.hpp"
 
 namespace {
 
@@ -310,46 +311,28 @@ int main(int argc, char** argv) {
         const std::string def = argv[++i];
         const auto eq = def.find('=');
         if (eq == std::string::npos) throw Error("-D expects name=value, got: " + def);
-        try {
-          std::size_t used = 0;
-          const std::string value = def.substr(eq + 1);
-          env[def.substr(0, eq)] = std::stoll(value, &used);
-          if (used != value.size()) throw std::invalid_argument(value);
-        } catch (const std::logic_error&) {
-          throw Error("-D value must be an integer, got: " + def);
-        }
+        env[def.substr(0, eq)] =
+            gpupipe::tools::parse_int("-D " + def.substr(0, eq), def.substr(eq + 1));
       } else if (arg == "--dot" || arg == "--trace" || arg == "--summary" ||
                  arg == "--metrics" || arg == "--annotate" || arg == "--tune") {
         mode = arg;
       } else if (arg == "--json") {
         json = true;
       } else if (arg == "--tune-jobs" && i + 1 < argc) {
-        try {
-          tune_jobs = std::stoi(argv[++i]);
-        } catch (const std::logic_error&) {
-          throw Error("--tune-jobs expects an integer");
-        }
-        if (tune_jobs < 0) throw Error("--tune-jobs must be >= 0");
+        tune_jobs = static_cast<int>(gpupipe::tools::parse_int("--tune-jobs", argv[++i], 0));
       } else if (arg == "--opt") {
         opt_override = 1;
       } else if (arg.rfind("--opt=", 0) == 0) {
-        try {
-          opt_override = std::stoi(arg.substr(6));
-        } catch (const std::logic_error&) {
-          throw Error("--opt= expects an integer level, got: " + arg);
-        }
+        opt_override =
+            static_cast<int>(gpupipe::tools::parse_int("--opt=", arg.substr(6), 0, 2));
       } else if (arg == "--no-opt") {
         opt_override = 0;
       } else if (arg == "--profile" && i + 1 < argc) {
-        const std::string name = argv[++i];
-        if (name == "k40m") profile = gpupipe::gpu::nvidia_k40m();
-        else if (name == "hd7970") profile = gpupipe::gpu::amd_hd7970();
-        else if (name == "xeonphi") profile = gpupipe::gpu::intel_xeonphi();
-        else throw Error("unknown profile '" + name + "'");
+        profile = gpupipe::tools::profile_by_name(argv[++i]);
       } else if (arg == "--flops-per-iter" && i + 1 < argc) {
-        cost.flops_per_iter = std::stod(argv[++i]);
+        cost.flops_per_iter = gpupipe::tools::parse_double("--flops-per-iter", argv[++i], 0.0);
       } else if (arg == "--bytes-per-iter" && i + 1 < argc) {
-        cost.bytes_per_iter = std::stod(argv[++i]);
+        cost.bytes_per_iter = gpupipe::tools::parse_double("--bytes-per-iter", argv[++i], 0.0);
       } else if (arg == "-o" && i + 1 < argc) {
         output_path = argv[++i];
       } else if (arg == "-h" || arg == "--help") {
@@ -428,6 +411,11 @@ int main(int argc, char** argv) {
     if (!output_path.empty())
       std::fprintf(stderr, "wrote %s\n", output_path.c_str());
     return 0;
+  } catch (const Error& e) {
+    // Bad flags and malformed inputs land here (tools::parse_int and
+    // friends throw Error, never std::invalid_argument): one line + usage.
+    std::fprintf(stderr, "gpupipe-plan: %s\n", e.what());
+    return usage(1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gpupipe-plan: %s\n", e.what());
     return 1;

@@ -11,13 +11,21 @@
 //                 [--profile k40m|hd7970|xeonphi] [--policy fifo|priority|sjf]
 //                 [--placement least-loaded|round-robin] [--cap MIB]
 //                 [--queue-capacity N] [--plan-cache N] [--tune-jobs N]
-//                 [--no-solo] [--json]
+//                 [--bundle FILE] [--cache-dir DIR] [--no-solo] [--json]
 //
 // --plan-cache N sets the planning cache capacity (entries; 0 disables the
 // cache — useful for A/B-ing the serve hot path). --tune-jobs N runs a
 // dry-run autotune per distinct app/size template before submission, with N
 // parallel workers (0 = one per hardware thread), and submits each job at
 // its tuned shape.
+//
+// --bundle FILE loads a `gpupipe_compile` AOT bundle at startup: its plan /
+// footprint / estimate artifacts pre-warm the plan cache and its tuned
+// shapes are applied to matching job templates (unless --tune-jobs re-tunes
+// live), so a fresh replica starts hot. --cache-dir DIR enables the plan
+// cache's persistent on-disk tier (same as GPUPIPE_PLAN_CACHE_DIR): misses
+// fall through memory -> disk -> compute and computed plans are written
+// back for the next process.
 //
 // --jobs N generates a synthetic N-tenant mix (no mix file needed) and runs
 // it on modeled-mode devices: jobs carry no host arrays, so tenant counts in
@@ -27,6 +35,7 @@
 //
 // Exit status: 0 on success; 1 on bad usage; 2 when a completed job's
 // device result fails host verification.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,9 +52,11 @@
 #include "common/metrics.hpp"
 #include "core/autotune.hpp"
 #include "core/plan_cache.hpp"
+#include "core/plan_serialize.hpp"
 #include "gpu/device_profile.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/workloads.hpp"
+#include "tool_util.hpp"
 
 using namespace gpupipe;
 
@@ -62,6 +73,8 @@ struct Options {
   bool json = false;
   std::optional<std::size_t> plan_cache;  ///< cache capacity override
   std::optional<int> tune_jobs;           ///< pre-submit autotune workers
+  std::string bundle;                     ///< AOT plan bundle to preload
+  std::string cache_dir;                  ///< persistent plan-cache tier
 };
 
 int usage() {
@@ -71,15 +84,9 @@ int usage() {
                "                     [--policy fifo|priority|sjf]\n"
                "                     [--placement least-loaded|round-robin]\n"
                "                     [--cap MIB] [--queue-capacity N] [--plan-cache N]\n"
-               "                     [--tune-jobs N] [--no-solo] [--json]\n");
+               "                     [--tune-jobs N] [--bundle FILE] [--cache-dir DIR]\n"
+               "                     [--no-solo] [--json]\n");
   return 1;
-}
-
-gpu::DeviceProfile profile_by_name(const std::string& name) {
-  if (name == "k40m") return gpu::nvidia_k40m();
-  if (name == "hd7970") return gpu::amd_hd7970();
-  if (name == "xeonphi") return gpu::intel_xeonphi();
-  throw Error("unknown device profile '" + name + "'");
 }
 
 /// Linear-interpolated quantile of a fixed-bucket histogram. The +inf tail
@@ -159,6 +166,16 @@ void print_human(const sched::ScheduleReport& rep, const std::vector<sched::Serv
               static_cast<long long>(pc.hits), static_cast<long long>(pc.misses),
               pc.hit_rate() * 100.0, static_cast<long long>(pc.evictions),
               static_cast<long long>(pc.entries), static_cast<double>(pc.bytes) / 1024.0);
+  if (!core::PlanCache::instance().disk_dir().empty() || pc.disk_hits > 0 ||
+      pc.disk_corrupt > 0)
+    std::printf("plan cache disk: %lld hits, %lld misses, %lld corrupt, %lld writes, "
+                "%.1f KiB read, %.1f KiB written\n",
+                static_cast<long long>(pc.disk_hits),
+                static_cast<long long>(pc.disk_misses),
+                static_cast<long long>(pc.disk_corrupt),
+                static_cast<long long>(pc.disk_writes),
+                static_cast<double>(pc.disk_bytes_read) / 1024.0,
+                static_cast<double>(pc.disk_bytes_written) / 1024.0);
 }
 
 void print_json(const sched::ScheduleReport& rep, SimTime sum_solo,
@@ -213,6 +230,9 @@ void print_json(const sched::ScheduleReport& rep, SimTime sum_solo,
 
 int main(int argc, char** argv) {
   Options opt;
+  // Parse phase: any malformed flag — non-numeric, trailing garbage,
+  // negative where a count is required — reports one line and the usage
+  // string, never an uncaught std::invalid_argument out of std::stoi.
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
@@ -220,9 +240,12 @@ int main(int argc, char** argv) {
         if (i + 1 >= argc) throw Error(std::string(what) + " needs a value");
         return argv[++i];
       };
-      if (a == "--default-mix") opt.default_mix = std::stoi(next("--default-mix"));
-      else if (a == "--jobs") opt.jobs = std::stoi(next("--jobs"));
-      else if (a == "--devices") opt.devices = std::stoi(next("--devices"));
+      auto next_int = [&](const char* what, std::int64_t min_value) {
+        return tools::parse_int(what, next(what), min_value);
+      };
+      if (a == "--default-mix") opt.default_mix = static_cast<int>(next_int(a.c_str(), 1));
+      else if (a == "--jobs") opt.jobs = static_cast<int>(next_int(a.c_str(), 1));
+      else if (a == "--devices") opt.devices = static_cast<int>(next_int(a.c_str(), 1));
       else if (a == "--profile") opt.profile = next("--profile");
       else if (a == "--policy") {
         const std::string p = next("--policy");
@@ -236,26 +259,32 @@ int main(int argc, char** argv) {
         else if (p == "round-robin") opt.sched.placement = sched::PlacementPolicy::RoundRobin;
         else throw Error("unknown placement '" + p + "'");
       } else if (a == "--cap") {
-        opt.sched.device_mem_cap = static_cast<Bytes>(std::stoll(next("--cap"))) * MiB;
+        opt.sched.device_mem_cap = static_cast<Bytes>(next_int(a.c_str(), 1)) * MiB;
       } else if (a == "--queue-capacity") {
-        opt.sched.queue_capacity =
-            static_cast<std::size_t>(std::stoll(next("--queue-capacity")));
+        opt.sched.queue_capacity = static_cast<std::size_t>(next_int(a.c_str(), 0));
       } else if (a == "--plan-cache") {
-        opt.plan_cache = static_cast<std::size_t>(std::stoll(next("--plan-cache")));
+        opt.plan_cache = static_cast<std::size_t>(next_int(a.c_str(), 0));
       } else if (a == "--tune-jobs") {
-        opt.tune_jobs = std::stoi(next("--tune-jobs"));
+        opt.tune_jobs = static_cast<int>(next_int(a.c_str(), 0));
+      } else if (a == "--bundle") {
+        opt.bundle = next("--bundle");
+      } else if (a == "--cache-dir") {
+        opt.cache_dir = next("--cache-dir");
       } else if (a == "--no-solo") opt.solo = false;
       else if (a == "--json") opt.json = true;
       else if (a == "--help" || a == "-h") return usage();
       else if (!a.empty() && a[0] == '-') throw Error("unknown option '" + a + "'");
       else opt.mixfile = a;
     }
-    if (opt.devices < 1 || opt.default_mix < 1) throw Error("counts must be >= 1");
-    if (opt.jobs < 0) throw Error("--jobs must be >= 1");
     if (opt.jobs > 0 && !opt.mixfile.empty())
       throw Error("--jobs generates its own mix; drop the mix file");
-    if (opt.tune_jobs && *opt.tune_jobs < 0) throw Error("--tune-jobs must be >= 0");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gpupipe_serve: %s\n", e.what());
+    return usage();
+  }
+  try {
     if (opt.plan_cache) core::PlanCache::instance().set_capacity(*opt.plan_cache);
+    if (!opt.cache_dir.empty()) core::PlanCache::instance().set_disk_dir(opt.cache_dir);
     const bool synthetic = opt.jobs > 0;
     // Synthetic tenants have no host arrays: nothing to verify, and a
     // functional solo baseline would allocate the backing the mode avoids.
@@ -273,7 +302,36 @@ int main(int argc, char** argv) {
     }
     if (mix.empty()) throw Error("job mix is empty");
 
-    const gpu::DeviceProfile profile = profile_by_name(opt.profile);
+    const gpu::DeviceProfile profile = tools::profile_by_name(opt.profile);
+
+    // AOT bundle preload: plan/footprint/estimate artifacts go straight
+    // into the plan cache's memory tier; tuned shapes are collected per job
+    // template, keyed under this device profile (a bundle compiled for a
+    // different device contributes nothing).
+    std::map<std::string, std::pair<std::int64_t, int>> bundled;
+    if (!opt.bundle.empty()) {
+      core::PlanBundle bundle;
+      std::string err;
+      if (!core::read_bundle_file(opt.bundle, bundle, &err))
+        throw Error("cannot load bundle '" + opt.bundle + "': " + err);
+      core::PlanCache& cache = core::PlanCache::instance();
+      // Keep the whole bundle resident: a preload that exactly fills the LRU
+      // tier would evict its own entries as soon as serving inserts anything.
+      cache.set_capacity(std::max(cache.capacity(), bundle.artifacts.size() +
+                                                        core::PlanCache::kDefaultCapacity));
+      const std::size_t admitted = cache.load_bundle(bundle);
+      const std::string tune_prefix = core::tune_artifact_key(profile, "");
+      for (const auto& art : bundle.artifacts) {
+        if (art.kind != core::ArtifactKind::Tune) continue;
+        if (art.key.rfind(tune_prefix, 0) != 0) continue;
+        bundled[art.key.substr(tune_prefix.size())] = {art.tune.chunk_size,
+                                                       art.tune.num_streams};
+      }
+      if (!opt.json)
+        std::printf("bundle: %zu plan entries preloaded, %zu tuned shapes from %s\n",
+                    admitted, bundled.size(), opt.bundle.c_str());
+    }
+
     const gpu::ExecMode mode =
         synthetic ? gpu::ExecMode::Modeled : gpu::ExecMode::Functional;
     auto ctx = gpu::make_shared_context();
@@ -309,6 +367,14 @@ int main(int argc, char** argv) {
         }
         job.spec.chunk_size = it->second.first;
         job.spec.num_streams = it->second.second;
+      } else if (!bundled.empty()) {
+        // No live tuner: submit at the bundle's pre-tuned shape, which is
+        // also the shape its preloaded plans were compiled at.
+        auto it = bundled.find(mix[i].app + "/" + mix[i].size);
+        if (it != bundled.end()) {
+          job.spec.chunk_size = it->second.first;
+          job.spec.num_streams = it->second.second;
+        }
       }
       scheduler.submit(job);
     }

@@ -1,0 +1,64 @@
+// Shared helpers for the gpupipe_* command-line drivers.
+//
+// Flag parsing goes through parse_int/parse_double instead of bare
+// std::stoi/std::stod: those throw std::invalid_argument straight out of
+// main on garbage input (and silently accept trailing junk like "8x"),
+// which a serving driver must not do. These reject non-numeric text,
+// trailing garbage, overflow, and out-of-range values with a gpupipe::Error
+// naming the flag, so every tool reports one clear line plus its usage
+// string instead of an uncaught-exception abort.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+#include "gpu/device_profile.hpp"
+
+namespace gpupipe::tools {
+
+/// Parses `value` as a base-10 integer for `flag`, requiring the whole
+/// string to be consumed and the result to land in [min_value, max_value].
+inline std::int64_t parse_int(
+    const std::string& flag, const std::string& value,
+    std::int64_t min_value = std::numeric_limits<std::int64_t>::min(),
+    std::int64_t max_value = std::numeric_limits<std::int64_t>::max()) {
+  std::int64_t v = 0;
+  const char* first = value.data();
+  const char* last = first + value.size();
+  const auto [end, ec] = std::from_chars(first, last, v, 10);
+  if (ec != std::errc{} || end != last)
+    throw Error(flag + " expects an integer, got '" + value + "'");
+  if (v < min_value)
+    throw Error(flag + " must be >= " + std::to_string(min_value) + ", got " + value);
+  if (v > max_value)
+    throw Error(flag + " must be <= " + std::to_string(max_value) + ", got " + value);
+  return v;
+}
+
+/// Parses `value` as a double for `flag` (full consumption, finite range
+/// check against min_value).
+inline double parse_double(const std::string& flag, const std::string& value,
+                           double min_value = -std::numeric_limits<double>::infinity()) {
+  double v = 0.0;
+  const char* first = value.data();
+  const char* last = first + value.size();
+  const auto [end, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || end != last)
+    throw Error(flag + " expects a number, got '" + value + "'");
+  if (v < min_value)
+    throw Error(flag + " must be >= " + std::to_string(min_value) + ", got " + value);
+  return v;
+}
+
+/// The built-in device profiles every tool accepts for --profile.
+inline gpu::DeviceProfile profile_by_name(const std::string& name) {
+  if (name == "k40m") return gpu::nvidia_k40m();
+  if (name == "hd7970") return gpu::amd_hd7970();
+  if (name == "xeonphi") return gpu::intel_xeonphi();
+  throw Error("unknown device profile '" + name + "' (k40m|hd7970|xeonphi)");
+}
+
+}  // namespace gpupipe::tools
