@@ -8,9 +8,16 @@
 //     priority / SJF) actually reorder jobs.
 // The BENCH_sched_jobmix.json artifact carries the per-config numbers for
 // the CI floor checks.
+//
+// Each config also runs an *observed twin*: the same mix with the flight
+// recorder and time-series sampler armed. Observation is pure — the twin's
+// virtual-time makespan must be bit-identical — so the artifact carries the
+// ratio (floor-checked at exactly 1.0) plus the recorded event count.
 #include <memory>
 
 #include "bench/bench_util.hpp"
+#include "common/flight_recorder.hpp"
+#include "core/timeseries.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/workloads.hpp"
 
@@ -40,12 +47,17 @@ struct MixResult {
   sched::ScheduleReport report;
   SimTime sum_solo = 0.0;
   SimTime mean_wait = 0.0;
+  /// Wait-time distribution; percentiles come from the shared
+  /// Histogram::quantile (the same math the serve tool reports).
+  telemetry::Histogram wait_hist{
+      {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}};
+  /// Observed twin: same run with recorder + sampler armed.
+  SimTime observed_makespan = 0.0;
+  std::uint64_t recorder_events = 0;
 };
 
-MixResult run_mix(const Config& cfg) {
-  auto mix = sched::default_job_mix(mix_size());
-  if (cfg.burst)
-    for (auto& l : mix) l.arrival = 0.0;
+sched::ScheduleReport run_once(const std::vector<sched::JobMixLine>& mix,
+                               sched::SchedulerOptions opts) {
   auto ctx = gpu::make_shared_context();
   std::vector<std::unique_ptr<gpu::Gpu>> gpus;
   std::vector<gpu::Gpu*> devices;
@@ -55,20 +67,40 @@ MixResult run_mix(const Config& cfg) {
     quiet(*gpus.back());
     devices.push_back(gpus.back().get());
   }
-  sched::SchedulerOptions opts;
-  opts.queue_policy = cfg.policy;
-  opts.device_mem_cap = cfg.cap;
   sched::Scheduler scheduler(devices, opts);
   std::vector<sched::ServeJob> jobs;
   for (std::size_t i = 0; i < mix.size(); ++i) {
     jobs.push_back(sched::make_serve_job(mix[i], static_cast<int>(i)));
     scheduler.submit(jobs.back().job);
   }
+  return scheduler.run();
+}
+
+MixResult run_mix(const Config& cfg) {
+  auto mix = sched::default_job_mix(mix_size());
+  if (cfg.burst)
+    for (auto& l : mix) l.arrival = 0.0;
+  sched::SchedulerOptions opts;
+  opts.queue_policy = cfg.policy;
+  opts.device_mem_cap = cfg.cap;
   MixResult r;
-  r.report = scheduler.run();
+  r.report = run_once(mix, opts);
   for (const auto& jr : r.report.jobs)
-    if (jr.state == sched::JobState::Completed) r.mean_wait += jr.wait();
+    if (jr.state == sched::JobState::Completed) {
+      r.mean_wait += jr.wait();
+      r.wait_hist.observe(jr.wait());
+    }
   if (r.report.completed > 0) r.mean_wait /= static_cast<double>(r.report.completed);
+
+  // Observed twin: recording and sampling must not move a single decision,
+  // so the virtual-time makespan has to come out bit-identical.
+  telemetry::FlightRecorder recorder(1 << 16);
+  telemetry::TimeSeriesStore series;
+  opts.recorder = &recorder;
+  opts.series = &series;
+  opts.sample_every = 0.0005;
+  r.observed_makespan = run_once(mix, opts).makespan;
+  r.recorder_events = recorder.total_recorded();
 
   for (std::size_t i = 0; i < mix.size(); ++i) {
     sched::ServeJob solo = sched::make_serve_job(mix[i], static_cast<int>(i));
@@ -132,11 +164,18 @@ void print_figure() {
     art.metric(p + "makespan_s", r.report.makespan);
     art.metric(p + "sum_solo_s", r.sum_solo);
     art.metric(p + "mean_wait_s", r.mean_wait);
+    art.metric(p + "wait_p50_s", r.wait_hist.quantile(0.50));
+    art.metric(p + "wait_p95_s", r.wait_hist.quantile(0.95));
+    art.metric(p + "observed_makespan_s", r.observed_makespan);
+    art.metric(p + "recorder_events", static_cast<double>(r.recorder_events));
     art.metric(p + "completed", r.report.completed);
     art.metric(p + "rejected", r.report.rejected);
     art.metric(p + "admission_shrinks", static_cast<double>(r.report.admission_shrinks));
     art.metric(p + "admission_retries", static_cast<double>(r.report.admission_retries));
     art.derived(p + "speedup_vs_solo", r.sum_solo / r.report.makespan);
+    // 1.0 exactly when observation changed nothing (floor-checked in CI).
+    art.derived(p + "observed_makespan_ratio",
+                r.observed_makespan / r.report.makespan);
   }
   t.print(std::cout);
   art.write();

@@ -1,0 +1,285 @@
+// Flight recorder: a bounded ring of structured serve-path events.
+//
+// The post-hoc metrics registry answers "what were the totals"; the flight
+// recorder answers "what happened to job 731, in order". The scheduler (and
+// the plan cache's disk tier) append one fixed-size FlightEvent per rare
+// control decision — enqueue, admission, shrink, placement, backoff, reject,
+// completion, deadline miss, disk hit/corruption, watchdog trip — stamped
+// with *sim* time and the job's trace id (the same id sim::Span carries), so
+// one job's full admission -> placement -> execution story can be
+// reconstructed by joining recorder events with trace spans.
+//
+// The ring is fixed capacity: once full it keeps the newest events and
+// counts the overwritten ones, so a 100k-job serve run records forever in
+// constant memory. Appends take a mutex (the plan cache records disk events
+// from autotune worker threads), but events are rare — nothing on the
+// per-chunk execution path records — and in a single-threaded serve run the
+// event order is deterministic, making dumps byte-diffable across runs.
+//
+// The watchdog rides the same stream: it watches completions, deadline
+// misses, and disk corruption against configured thresholds and, on
+// anomaly, records a WatchdogTrip event and fires a callback (the serve
+// driver uses it to dump the recorder).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gpupipe::telemetry {
+
+/// What happened. Payload fields `a`/`b` are kind-specific; the meanings are
+/// fixed by the exporter schema (common/export.hpp, docs/observability.md).
+enum class FlightEventKind : std::uint8_t {
+  Enqueue,       // job accepted into the ready queue
+  Backpressure,  // job bounced off a full queue (will retry)
+  Admit,         // admission granted; a = footprint bytes, b = chunk size
+  Shrink,        // admitted below requested shape; a = chunk, b = streams
+  Reject,        // gave up on the job; a = reason code (see reject_reason)
+  Backoff,       // admission failed, parked; a = attempt #, b = delay ns
+  QueueWake,     // backoff gates passed; a = jobs woken
+  Complete,      // job finished; a = service time ns
+  DeadlineMiss,  // job finished after its deadline; a = lateness ns
+  DiskHit,       // plan-cache memory miss served from disk; a = bytes read
+  DiskCorrupt,   // plan-cache disk entry rejected and quarantined
+  WatchdogTrip,  // a watchdog threshold fired; a = reason code
+};
+
+inline const char* to_string(FlightEventKind k) {
+  switch (k) {
+    case FlightEventKind::Enqueue: return "enqueue";
+    case FlightEventKind::Backpressure: return "backpressure";
+    case FlightEventKind::Admit: return "admit";
+    case FlightEventKind::Shrink: return "shrink";
+    case FlightEventKind::Reject: return "reject";
+    case FlightEventKind::Backoff: return "backoff";
+    case FlightEventKind::QueueWake: return "queue-wake";
+    case FlightEventKind::Complete: return "complete";
+    case FlightEventKind::DeadlineMiss: return "deadline-miss";
+    case FlightEventKind::DiskHit: return "disk-hit";
+    case FlightEventKind::DiskCorrupt: return "disk-corrupt";
+    case FlightEventKind::WatchdogTrip: return "watchdog-trip";
+  }
+  return "?";
+}
+
+/// Reject reason codes carried in FlightEvent::a.
+enum : std::int64_t {
+  kRejectImpossible = 0,  // cannot fit even at minimum shape
+  kRejectRetryBudget = 1  // admission attempts exhausted
+};
+inline const char* reject_reason(std::int64_t code) {
+  return code == kRejectImpossible ? "impossible" : "retry-budget";
+}
+
+/// Watchdog trip reason codes carried in FlightEvent::a.
+enum : std::int64_t { kTripStall = 0, kTripDeadlineStorm = 1, kTripDiskCorrupt = 2 };
+inline const char* trip_reason(std::int64_t code) {
+  switch (code) {
+    case kTripStall: return "stall";
+    case kTripDeadlineStorm: return "deadline-storm";
+    case kTripDiskCorrupt: return "disk-corrupt";
+  }
+  return "?";
+}
+
+/// One recorded event. Fixed size, no strings: recording never allocates
+/// once the ring is at capacity.
+struct FlightEvent {
+  SimTime time = 0.0;
+  FlightEventKind kind = FlightEventKind::Enqueue;
+  std::int32_t trace_id = -1;  // owning job's trace id, -1 for global events
+  std::int32_t job = -1;       // scheduler job id, -1 for global events
+  std::int32_t device = -1;    // placed device, -1 when not yet placed
+  std::int64_t a = 0;          // kind-specific payload (see FlightEventKind)
+  std::int64_t b = 0;
+};
+
+/// The bounded event ring.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 8192)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  /// Appends one event (thread-safe; overwrites the oldest when full).
+  void record(const FlightEvent& ev) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(ev);
+      return;
+    }
+    ring_[oldest_] = ev;
+    oldest_ = (oldest_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  /// Convenience append stamping the configured clock (used by recorders
+  /// that have no explicit time at hand, e.g. the plan cache's disk tier).
+  void record_now(FlightEventKind kind, std::int32_t trace_id = -1, std::int32_t job = -1,
+                  std::int32_t device = -1, std::int64_t a = 0, std::int64_t b = 0) {
+    FlightEvent ev;
+    ev.time = clock_ ? clock_() : 0.0;
+    ev.kind = kind;
+    ev.trace_id = trace_id;
+    ev.job = job;
+    ev.device = device;
+    ev.a = a;
+    ev.b = b;
+    record(ev);
+  }
+
+  /// The sim clock record_now() stamps (unset: events carry time 0).
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  /// Retained events, oldest first.
+  std::vector<FlightEvent> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<FlightEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+      out.push_back(ring_[(oldest_ + i) % ring_.size()]);
+    return out;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+  }
+  /// Events overwritten by the ring since construction/clear.
+  std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+  /// Events ever recorded (retained + dropped).
+  std::uint64_t total_recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+    oldest_ = 0;
+    dropped_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> ring_;
+  std::size_t oldest_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t total_ = 0;
+  std::function<SimTime()> clock_;
+};
+
+/// Watchdog thresholds. A zero/negative threshold disables that check.
+struct WatchdogOptions {
+  /// Trip when jobs are in flight but no job has completed for this many
+  /// sim-seconds (0 = off).
+  SimTime stall_timeout = 0.0;
+  /// Trip when at least this many deadline misses land within
+  /// `deadline_window` sim-seconds of each other (0 = off).
+  int deadline_storm_misses = 0;
+  SimTime deadline_window = 0.05;
+  /// Trip on the first plan-cache disk corruption observed.
+  bool trip_on_disk_corrupt = false;
+};
+
+/// One fired anomaly.
+struct WatchdogTrip {
+  SimTime time = 0.0;
+  std::int64_t reason = kTripStall;  // kTrip* code
+  std::int64_t value = 0;           // misses in window / stalled seconds ns / corrupt count
+};
+
+/// Anomaly detector over the serve control loop. The scheduler feeds it
+/// completions and deadline misses as they happen and calls check() at
+/// sampling points; each threshold trips at most once per quiet period
+/// (progress re-arms the stall check; a storm re-arms after the window
+/// drains). Everything is sim-time driven, so trips are deterministic.
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions opt = {}, FlightRecorder* recorder = nullptr)
+      : opt_(opt), recorder_(recorder) {}
+
+  /// Fired on every trip, after the recorder event is written (the serve
+  /// driver hooks this to dump the flight recorder).
+  std::function<void(const WatchdogTrip&)> on_trip;
+
+  void observe_completion(SimTime now) {
+    last_progress_ = now;
+    stalled_ = false;
+  }
+
+  void observe_deadline_miss(SimTime now) {
+    if (opt_.deadline_storm_misses <= 0) return;
+    recent_misses_.push_back(now);
+    while (!recent_misses_.empty() && recent_misses_.front() < now - opt_.deadline_window)
+      recent_misses_.pop_front();
+    const int in_window = static_cast<int>(recent_misses_.size());
+    if (in_window >= opt_.deadline_storm_misses && !storming_) {
+      storming_ = true;
+      trip(now, kTripDeadlineStorm, in_window);
+    } else if (in_window < opt_.deadline_storm_misses) {
+      storming_ = false;
+    }
+  }
+
+  /// Periodic threshold check: `active_jobs` currently running/queued jobs,
+  /// `disk_corrupt` the plan cache's corrupt-read counter.
+  void check(SimTime now, int active_jobs, std::int64_t disk_corrupt = 0) {
+    if (last_progress_ < 0.0) last_progress_ = now;  // arm on first check
+    if (opt_.stall_timeout > 0.0 && active_jobs > 0 && !stalled_ &&
+        now - last_progress_ > opt_.stall_timeout) {
+      stalled_ = true;
+      trip(now, kTripStall, static_cast<std::int64_t>((now - last_progress_) * 1e9));
+    }
+    if (opt_.trip_on_disk_corrupt && disk_corrupt > corrupt_seen_) {
+      corrupt_seen_ = disk_corrupt;
+      trip(now, kTripDiskCorrupt, disk_corrupt);
+    }
+  }
+
+  const std::vector<WatchdogTrip>& trips() const { return trips_; }
+  const WatchdogOptions& options() const { return opt_; }
+
+ private:
+  void trip(SimTime now, std::int64_t reason, std::int64_t value) {
+    WatchdogTrip t;
+    t.time = now;
+    t.reason = reason;
+    t.value = value;
+    trips_.push_back(t);
+    if (recorder_) {
+      FlightEvent ev;
+      ev.time = now;
+      ev.kind = FlightEventKind::WatchdogTrip;
+      ev.a = reason;
+      ev.b = value;
+      recorder_->record(ev);
+    }
+    if (on_trip) on_trip(t);
+  }
+
+  WatchdogOptions opt_;
+  FlightRecorder* recorder_ = nullptr;
+  SimTime last_progress_ = -1.0;
+  bool stalled_ = false;
+  bool storming_ = false;
+  std::int64_t corrupt_seen_ = 0;
+  std::deque<SimTime> recent_misses_;
+  std::vector<WatchdogTrip> trips_;
+};
+
+}  // namespace gpupipe::telemetry

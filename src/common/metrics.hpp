@@ -81,6 +81,28 @@ class Histogram {
   /// bucket is (bounds.back(), +inf).
   const std::vector<std::int64_t>& buckets() const { return buckets_; }
 
+  /// Linear-interpolated quantile (q in [0,1]) over the fixed buckets — the
+  /// shared percentile math behind serve summaries, watchdog thresholds, and
+  /// bench tables. The +inf tail bucket reports its lower bound (there is no
+  /// upper edge to interpolate toward); an empty histogram reports 0.
+  double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    const double rank = q * static_cast<double>(count_);
+    double seen = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      const double n = static_cast<double>(buckets_[i]);
+      if (seen + n < rank || n == 0.0) {
+        seen += n;
+        continue;
+      }
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      if (i >= bounds_.size()) return lo;
+      const double hi = bounds_[i];
+      return lo + (hi - lo) * ((rank - seen) / n);
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+  }
+
  private:
   std::vector<double> bounds_;
   std::vector<std::int64_t> buckets_;

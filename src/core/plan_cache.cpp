@@ -380,6 +380,8 @@ std::shared_ptr<const PlanCache::Entry> PlanCache::disk_load(const std::string& 
   }
   if (!ok) {
     disk_corrupt_.fetch_add(1, std::memory_order_relaxed);
+    if (auto* rec = recorder_.load(std::memory_order_relaxed))
+      rec->record_now(telemetry::FlightEventKind::DiskCorrupt);
     // Quarantine the bad file so the next lookup recomputes without
     // re-parsing it and the operator can inspect what went wrong.
     std::error_code ec;
@@ -390,6 +392,9 @@ std::shared_ptr<const PlanCache::Entry> PlanCache::disk_load(const std::string& 
   disk_hits_.fetch_add(1, std::memory_order_relaxed);
   disk_bytes_read_.fetch_add(static_cast<std::int64_t>(bytes.size()),
                              std::memory_order_relaxed);
+  if (auto* rec = recorder_.load(std::memory_order_relaxed))
+    rec->record_now(telemetry::FlightEventKind::DiskHit, -1, -1, -1,
+                    static_cast<std::int64_t>(bytes.size()));
   insert(key, e);
   return e;
 }
@@ -442,6 +447,64 @@ void PlanCache::disk_store(const std::string& key, const Entry& entry) {
   disk_writes_.fetch_add(1, std::memory_order_relaxed);
   disk_bytes_written_.fetch_add(static_cast<std::int64_t>(bytes.size()),
                                 std::memory_order_relaxed);
+}
+
+PlanCache::CompactionReport PlanCache::compact_disk() {
+  CompactionReport rep;
+  const std::string dir = disk_dir();
+  if (dir.empty()) return rep;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::error_code fec;
+    if (!entry.is_regular_file(fec) || fec) continue;
+    const std::string name = entry.path().filename().string();
+    ++rep.scanned;
+    enum class Fate { Keep, Quarantined, Temp, Stale };
+    Fate fate = Fate::Keep;
+    if (name.size() > 12 && name.ends_with(".quarantined")) {
+      fate = Fate::Quarantined;
+    } else if (name.find(".tmp.") != std::string::npos) {
+      // Debris from a writer that died between temp-write and rename.
+      fate = Fate::Temp;
+    } else if (name.ends_with(".plan")) {
+      // Header probe only (magic + version, both little-endian u32): a
+      // full-format record from another version will never be served, so
+      // it is dead weight; a current-version record is kept even if its
+      // body is damaged — the read path quarantines those with a precise
+      // corruption count, which compaction must not preempt.
+      std::uint8_t header[8] = {};
+      std::ifstream is(entry.path(), std::ios::binary);
+      const bool got =
+          is && is.read(reinterpret_cast<char*>(header), sizeof(header)).gcount() ==
+                    static_cast<std::streamsize>(sizeof(header));
+      auto le32 = [&](int off) {
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i) v = (v << 8) | header[off + i];
+        return v;
+      };
+      if (!got || le32(0) != kPlanArtifactMagic || le32(4) != kPlanFormatVersion)
+        fate = Fate::Stale;
+    }
+    if (fate == Fate::Keep) {
+      ++rep.kept;
+      continue;
+    }
+    const auto size = entry.file_size(fec);
+    std::error_code rec_ec;
+    if (!std::filesystem::remove(entry.path(), rec_ec) || rec_ec) {
+      ++rep.kept;  // undeletable: count it as surviving, not reclaimed
+      continue;
+    }
+    if (!fec) rep.bytes_reclaimed += static_cast<Bytes>(size);
+    switch (fate) {
+      case Fate::Quarantined: ++rep.removed_quarantined; break;
+      case Fate::Temp: ++rep.removed_temp; break;
+      case Fate::Stale: ++rep.removed_stale; break;
+      case Fate::Keep: break;
+    }
+  }
+  disk_compacted_.fetch_add(rep.removed(), std::memory_order_relaxed);
+  return rep;
 }
 
 std::size_t PlanCache::load_bundle(const PlanBundle& bundle) {
@@ -550,6 +613,7 @@ void PlanCache::reset_stats() {
   disk_misses_.store(0, std::memory_order_relaxed);
   disk_corrupt_.store(0, std::memory_order_relaxed);
   disk_writes_.store(0, std::memory_order_relaxed);
+  disk_compacted_.store(0, std::memory_order_relaxed);
   disk_bytes_read_.store(0, std::memory_order_relaxed);
   disk_bytes_written_.store(0, std::memory_order_relaxed);
 }
@@ -563,6 +627,7 @@ PlanCacheStats PlanCache::stats() const {
   s.disk_misses = disk_misses_.load(std::memory_order_relaxed);
   s.disk_corrupt = disk_corrupt_.load(std::memory_order_relaxed);
   s.disk_writes = disk_writes_.load(std::memory_order_relaxed);
+  s.disk_compacted = disk_compacted_.load(std::memory_order_relaxed);
   s.disk_bytes_read = static_cast<Bytes>(disk_bytes_read_.load(std::memory_order_relaxed));
   s.disk_bytes_written =
       static_cast<Bytes>(disk_bytes_written_.load(std::memory_order_relaxed));
@@ -586,6 +651,7 @@ void PlanCache::collect_metrics(telemetry::Registry& reg, const std::string& pre
   reg.counter(p + "disk.misses").add(s.disk_misses);
   reg.counter(p + "disk.corrupt").add(s.disk_corrupt);
   reg.counter(p + "disk.writes").add(s.disk_writes);
+  reg.counter(p + "disk.compacted").add(s.disk_compacted);
   reg.counter(p + "disk.bytes_read").add(static_cast<std::int64_t>(s.disk_bytes_read));
   reg.counter(p + "disk.bytes_written")
       .add(static_cast<std::int64_t>(s.disk_bytes_written));

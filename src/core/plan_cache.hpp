@@ -46,6 +46,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 #include "core/plan.hpp"
 #include "core/plan_opt.hpp"
@@ -69,6 +70,7 @@ struct PlanCacheStats {
   std::int64_t disk_misses = 0;
   std::int64_t disk_corrupt = 0;  ///< entries rejected and quarantined
   std::int64_t disk_writes = 0;
+  std::int64_t disk_compacted = 0;  ///< files removed by compact_disk()
   Bytes disk_bytes_read = 0;
   Bytes disk_bytes_written = 0;
 
@@ -144,6 +146,35 @@ class PlanCache {
   void set_disk_dir(const std::string& dir);
   std::string disk_dir() const;
 
+  /// Optional flight-recorder hook: disk-tier hits and corruptions are
+  /// recorded as DiskHit / DiskCorrupt events (stamped with the recorder's
+  /// clock — the serve tool binds it to virtual time). Caller-owned; must
+  /// outlive the cache's disk traffic. Null (the default) disables it.
+  void set_recorder(telemetry::FlightRecorder* rec) {
+    recorder_.store(rec, std::memory_order_relaxed);
+  }
+
+  /// What one compact_disk() pass did to the disk directory.
+  struct CompactionReport {
+    std::int64_t scanned = 0;              ///< regular files examined
+    std::int64_t removed_quarantined = 0;  ///< `*.quarantined` corpses
+    std::int64_t removed_stale = 0;  ///< `.plan` files with version/magic skew
+    std::int64_t removed_temp = 0;   ///< leftover `*.tmp.*` write debris
+    std::int64_t kept = 0;           ///< current-format `.plan` files retained
+    Bytes bytes_reclaimed = 0;       ///< total size of everything removed
+    std::int64_t removed() const {
+      return removed_quarantined + removed_stale + removed_temp;
+    }
+  };
+
+  /// Garbage-collects the disk tier: deletes quarantined corpses, `.plan`
+  /// files whose header magic/version no longer matches this binary (a new
+  /// format version would otherwise strand the old records forever), and
+  /// temp files orphaned by a crashed writer. Current-format records are
+  /// untouched — compaction never invalidates a servable entry. Removals
+  /// are counted in the disk_compacted stat. No-op without a disk dir.
+  CompactionReport compact_disk();
+
   /// Admits every compatible artifact of `bundle` into the memory tier
   /// (Tune records are skipped — the caller applies those to job specs).
   /// Counts toward neither hits nor misses. Returns the number admitted.
@@ -165,7 +196,8 @@ class PlanCache {
 
   /// Exports the plan_cache.{hits,misses,evictions,bytes,entries,capacity}
   /// namespace — plus plan_cache.disk.{hits,misses,corrupt,writes,
-  /// bytes_read,bytes_written} when a disk tier is configured — into `reg`
+  /// compacted,bytes_read,bytes_written} when a disk tier is configured —
+  /// into `reg`
   /// (prefix prepended, matching the other collectors).
   void collect_metrics(telemetry::Registry& reg, const std::string& prefix = {}) const;
 
@@ -210,8 +242,10 @@ class PlanCache {
   std::atomic<std::int64_t> disk_misses_{0};
   std::atomic<std::int64_t> disk_corrupt_{0};
   std::atomic<std::int64_t> disk_writes_{0};
+  std::atomic<std::int64_t> disk_compacted_{0};
   std::atomic<std::int64_t> disk_bytes_read_{0};
   std::atomic<std::int64_t> disk_bytes_written_{0};
+  std::atomic<telemetry::FlightRecorder*> recorder_{nullptr};
 };
 
 }  // namespace gpupipe::core

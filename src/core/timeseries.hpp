@@ -1,0 +1,92 @@
+// Fixed-capacity time series for the periodic serve sampler.
+//
+// The metrics registry is end-state only: after a run you know the final
+// queue depth, not that it spiked to 60 at t=12ms. The scheduler samples a
+// handful of live signals (queue depth, committed footprint, utilization,
+// plan-cache hit rate) on a *sim-time* cadence into these series, so the
+// shape over time is reproducible byte for byte — no wall clock anywhere.
+//
+// Each series is a bounded ring like the flight recorder: at capacity it
+// keeps the newest points and counts evictions, so an unbounded-duration
+// serve run samples forever in constant memory. Sample points carry the
+// nominal tick time (k * sample_every), not the loop's arrival time at the
+// tick, which keeps two runs' exports byte-identical even if one run's
+// event set reaches the tick through a different advance() split.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gpupipe::telemetry {
+
+/// One (sim-time, value) sample stream with ring-buffer retention.
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime t = 0.0;
+    double v = 0.0;
+  };
+
+  explicit TimeSeries(std::size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void add(SimTime t, double v) {
+    if (points_.size() < capacity_) {
+      points_.push_back(Point{t, v});
+      return;
+    }
+    points_[oldest_] = Point{t, v};
+    oldest_ = (oldest_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  /// Retained points, oldest first.
+  std::vector<Point> points() const {
+    std::vector<Point> out;
+    out.reserve(points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i)
+      out.push_back(points_[(oldest_ + i) % points_.size()]);
+    return out;
+  }
+
+  std::size_t size() const { return points_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Points evicted by the ring since construction.
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t oldest_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<Point> points_;
+};
+
+/// Named series, created on first touch. Iteration is name-sorted (std::map)
+/// so exports are deterministic.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(std::size_t capacity_per_series = 1024)
+      : capacity_(capacity_per_series) {}
+
+  TimeSeries& series(const std::string& name) {
+    auto it = store_.find(name);
+    if (it == store_.end()) it = store_.emplace(name, TimeSeries(capacity_)).first;
+    return it->second;
+  }
+
+  void add(const std::string& name, SimTime t, double v) { series(name).add(t, v); }
+
+  const std::map<std::string, TimeSeries>& all() const { return store_; }
+  bool empty() const { return store_.empty(); }
+  std::size_t capacity_per_series() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::map<std::string, TimeSeries> store_;
+};
+
+}  // namespace gpupipe::telemetry

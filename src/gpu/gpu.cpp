@@ -198,10 +198,11 @@ sim::TaskPtr Gpu::submit(Stream& s, sim::Engine& engine, SimTime duration, sim::
 
   if (trace_.enabled()) {
     if (s.lane_id_ == 0) s.lane_id_ = trace_.intern(s.name());
-    // The plan node is captured now, at submission: by the time the span is
-    // recorded (completion) the executor has moved on to other nodes.
+    // The plan node and job trace id are captured now, at submission: by the
+    // time the span is recorded (completion) the executor has moved on to
+    // other nodes and the scheduler to other jobs.
     task->set_span(trace_, kind, s.lane_id_, trace_.intern(label), bytes,
-                   trace_.plan_node());
+                   trace_.plan_node(), trace_.trace_id());
   }
 
   task->submit(ctx_->host_time);

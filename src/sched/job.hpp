@@ -11,6 +11,7 @@
 // decision is bit-reproducible.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -34,6 +35,10 @@ struct Job {
   /// (zero hints degrade the estimate to transfer time only).
   double flops_per_iter = 0.0;
   double bytes_per_iter = 0.0;
+  /// Trace id stamped into this job's flight-recorder events and device
+  /// spans (sim::Span::trace). -1 (the default) assigns the job id at
+  /// submit(); callers replaying external traces can pin their own ids.
+  std::int32_t trace_id = -1;
 };
 
 enum class JobState {
@@ -61,7 +66,8 @@ struct JobRecord {
   int id = -1;
   std::string name;
   JobState state = JobState::Pending;
-  int device = -1;  ///< placement; -1 until admitted
+  std::int32_t trace_id = -1;  ///< id joining recorder events and spans
+  int device = -1;             ///< placement; -1 until admitted
   int priority = 0;
   SimTime arrival = 0.0;
   SimTime enqueue_time = 0.0;  ///< entered the ready queue (backpressure delays this)

@@ -14,6 +14,7 @@
 // fleet, and rescanning it per pick() was the dispatch loop's hot spot.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -62,6 +63,12 @@ class JobQueue {
   bool full() const { return size() >= capacity_; }
   /// Items parked behind a retry gate (observability).
   std::size_t backoff_size() const { return backoff_.size(); }
+  /// Lifetime queue-event counters (observability): items moved back to the
+  /// eligible set by wake(), items parked by defer(), and the most items
+  /// ever parked at once.
+  std::uint64_t woken_total() const { return woken_total_; }
+  std::uint64_t defers_total() const { return defers_total_; }
+  std::size_t backoff_peak() const { return backoff_peak_; }
 
   /// Adds an item; false when the queue is full (backpressure). An item
   /// arriving with a retry gate already set parks directly on the backoff
@@ -69,6 +76,7 @@ class JobQueue {
   bool push(Item it) {
     if (full()) return false;
     (it.not_before > 0.0 ? backoff_ : eligible_).push_back(it);
+    backoff_peak_ = std::max(backoff_peak_, backoff_.size());
     return true;
   }
 
@@ -86,6 +94,7 @@ class JobQueue {
         ++i;
       }
     }
+    woken_total_ += woken;
     return woken;
   }
 
@@ -98,6 +107,8 @@ class JobQueue {
         it.not_before = t;
         eligible_.erase(eligible_.begin() + static_cast<std::ptrdiff_t>(i));
         backoff_.push_back(it);
+        ++defers_total_;
+        backoff_peak_ = std::max(backoff_peak_, backoff_.size());
         return;
       }
     }
@@ -153,6 +164,9 @@ class JobQueue {
 
   QueuePolicy policy_;
   std::size_t capacity_;
+  std::uint64_t woken_total_ = 0;
+  std::uint64_t defers_total_ = 0;
+  std::size_t backoff_peak_ = 0;
   std::vector<Item> eligible_;  // gate passed (or never gated); pick() scans these
   std::vector<Item> backoff_;   // parked until a wake() at not_before
 };

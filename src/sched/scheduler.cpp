@@ -48,6 +48,10 @@ int Scheduler::submit(Job job) {
   JobRecord r;
   r.id = id;
   r.name = job.name;
+  // The trace id joins this job's flight-recorder events with the spans its
+  // pipeline records on the device (sim::Span::trace). Deterministic by
+  // default: the submission index, unless the caller pinned one.
+  r.trace_id = job.trace_id >= 0 ? job.trace_id : static_cast<std::int32_t>(id);
   r.priority = job.priority;
   r.arrival = job.arrival;
   core::DryRunCost cost;
@@ -89,6 +93,8 @@ ScheduleReport Scheduler::run() {
     return a < b;
   });
 
+  if (sampling()) next_sample_ = t0_ + opts_.sample_every;
+
   while (!all_terminal()) {
     bool progress = true;
     while (progress) {
@@ -97,6 +103,9 @@ ScheduleReport Scheduler::run() {
       if (intake()) progress = true;
       if (dispatch()) progress = true;
     }
+    // Sample after the decision loop drained: the series then reflect the
+    // post-completion, post-dispatch state at the tick time.
+    maybe_sample();
     if (all_terminal()) break;
     advance();
   }
@@ -142,6 +151,7 @@ bool Scheduler::intake() {
       if (!stalled_[idx]) {
         stalled_[idx] = 1;
         ++backpressure_events_;
+        record_flight(telemetry::FlightEventKind::Backpressure, id);
         log_debug("sched: backpressure — job ", id, " (", jobs_[idx].name,
                   ") waits for a queue slot");
       }
@@ -155,6 +165,7 @@ bool Scheduler::intake() {
     ensure(queue_.push(it), "queue push failed after full() check");
     records_[idx].state = JobState::Queued;
     records_[idx].enqueue_time = host_now();
+    record_flight(telemetry::FlightEventKind::Enqueue, id);
     ++next_pending_;
     note_queue_depth();
     progress = true;
@@ -167,7 +178,10 @@ bool Scheduler::dispatch() {
   // One batched wakeup per dispatch round: every job whose retry gate has
   // passed re-enters the eligible set here, so the pick loop below never
   // rescans the backed-off tail.
-  queue_.wake(host_now());
+  const std::size_t woken = queue_.wake(host_now());
+  if (woken > 0)
+    record_flight(telemetry::FlightEventKind::QueueWake, -1,
+                  static_cast<std::int64_t>(woken));
   while (JobQueue::Item* it = queue_.pick(host_now())) {
     const int id = it->job;
     const std::size_t idx = static_cast<std::size_t>(id);
@@ -190,10 +204,11 @@ bool Scheduler::dispatch() {
     for (int dev = 0; dev < num_devices(); ++dev)
       if (!admission_.impossible(dev, jobs_[idx].spec)) fits_somewhere = true;
     if (!fits_somewhere) {
-      reject_job(id, "does not fit an idle device at chunk 1 / stream 1");
+      reject_job(id, telemetry::kRejectImpossible,
+                 "does not fit an idle device at chunk 1 / stream 1");
       progress = true;
     } else if (records_[idx].admission_attempts >= opts_.max_admission_attempts) {
-      reject_job(id, "admission retry budget exhausted");
+      reject_job(id, telemetry::kRejectRetryBudget, "admission retry budget exhausted");
       progress = true;
     } else {
       // Gate the job behind an exponential backoff; later (smaller) jobs may
@@ -203,6 +218,8 @@ bool Scheduler::dispatch() {
           opts_.backoff_max, opts_.backoff_initial * std::pow(opts_.backoff_factor, exp));
       queue_.defer(id, host_now() + delay);
       ++admission_retries_;
+      record_flight(telemetry::FlightEventKind::Backoff, id,
+                    records_[idx].admission_attempts, std::llround(delay * 1e9));
     }
   }
   return progress;
@@ -234,30 +251,41 @@ void Scheduler::start_job(int id, int dev, const AdmissionDecision& d) {
   a.device = dev;
   a.footprint = d.footprint;
   a.estimate = r.estimate;
-  a.pipeline = std::make_unique<core::Pipeline>(*devices_[static_cast<std::size_t>(dev)],
-                                                std::move(spec));
+  gpu::Gpu& device = *devices_[static_cast<std::size_t>(dev)];
+  // Publish the job's trace id for the whole submission window: every task
+  // the pipeline submits (and the completion events below) captures it, so
+  // the spans recorded at completion carry it even though other jobs'
+  // submissions interleave in between.
+  device.trace().set_trace_id(r.trace_id);
+  a.pipeline = std::make_unique<core::Pipeline>(device, std::move(spec));
   a.pipeline->enqueue(jobs_[idx].kernel);
   // Completion is observed through events on the job's own streams — a
   // device-wide synchronize here would stall every co-resident tenant.
   for (gpu::Stream* s : a.pipeline->streams())
-    a.events.push_back(devices_[static_cast<std::size_t>(dev)]->record_event(*s));
+    a.events.push_back(device.record_event(*s));
+  device.trace().set_trace_id(-1);
   if (std::isfinite(a.estimate)) outstanding_[static_cast<std::size_t>(dev)] += a.estimate;
   active_.push_back(std::move(a));
 
   if (opts_.placement == PlacementPolicy::RoundRobin)
     rr_cursor_ = (dev + 1) % num_devices();
   queue_.remove(id);
+  record_flight(telemetry::FlightEventKind::Admit, id,
+                static_cast<std::int64_t>(d.footprint), d.chunk_size);
+  if (d.shrunk)
+    record_flight(telemetry::FlightEventKind::Shrink, id, d.chunk_size, d.num_streams);
   log_debug("sched: job ", id, " (", jobs_[idx].name, ") -> dev", dev, ", chunk ",
             d.chunk_size, ", ", d.num_streams, " streams, ", to_mib(d.footprint), " MiB",
             d.shrunk ? " (shrunk)" : "");
 }
 
-void Scheduler::reject_job(int id, std::string reason) {
+void Scheduler::reject_job(int id, std::int64_t reason_code, std::string reason) {
   const std::size_t idx = static_cast<std::size_t>(id);
   queue_.remove(id);
   records_[idx].state = JobState::Rejected;
   records_[idx].reject_reason = std::move(reason);
   ++rejected_;
+  record_flight(telemetry::FlightEventKind::Reject, id, reason_code);
   log_debug("sched: job ", id, " (", jobs_[idx].name, ") rejected: ",
             records_[idx].reject_reason);
 }
@@ -278,9 +306,15 @@ void Scheduler::complete_job(Active& a) {
     outstanding_[static_cast<std::size_t>(a.device)] -= a.estimate;
   ++dev_completed_[static_cast<std::size_t>(a.device)];
   ++completed_;
+  record_flight(telemetry::FlightEventKind::Complete, a.id,
+                std::llround(r.service() * 1e9));
+  if (opts_.watchdog) opts_.watchdog->observe_completion(host_now());
   if (jobs_[idx].deadline && finish > *jobs_[idx].deadline) {
     r.deadline_missed = true;
     ++deadline_misses_;
+    record_flight(telemetry::FlightEventKind::DeadlineMiss, a.id,
+                  std::llround((finish - *jobs_[idx].deadline) * 1e9));
+    if (opts_.watchdog) opts_.watchdog->observe_deadline_miss(finish);
   }
   log_debug("sched: job ", a.id, " (", jobs_[idx].name, ") completed at ", finish,
             "s (wait ", r.wait(), "s, service ", r.service(), "s)");
@@ -315,12 +349,15 @@ void Scheduler::advance() {
     // a rejection, which needs no time) can unblock it.
     if (t > host_now()) next_arrival = t;
   }
-  const SimTime bound = std::min(next_arrival, queue_.next_retry(host_now()));
+  const SimTime wake = std::min(next_arrival, queue_.next_retry(host_now()));
+  // Sampling ticks additionally bound advancement (after the stall check:
+  // a tick alone never represents pending work), so every sample is taken
+  // at exactly its nominal time, not wherever the next event landed.
   if (active_.empty()) {
-    ensure(std::isfinite(bound), "scheduler stalled: nothing running and no wake time");
-    advance_to(bound);
+    ensure(std::isfinite(wake), "scheduler stalled: nothing running and no wake time");
+    advance_to(std::min(wake, next_sample_));
   } else {
-    advance_until_completion_or(bound);
+    advance_until_completion_or(std::min(wake, next_sample_));
   }
 }
 
@@ -352,6 +389,54 @@ void Scheduler::note_queue_depth() {
   queue_depth_samples_.push_back(queue_.size());
 }
 
+// --- Live observability ---
+
+void Scheduler::record_flight(telemetry::FlightEventKind kind, int job, std::int64_t a,
+                              std::int64_t b) {
+  if (!opts_.recorder) return;
+  telemetry::FlightEvent ev;
+  ev.time = host_now();
+  ev.kind = kind;
+  ev.a = a;
+  ev.b = b;
+  if (job >= 0) {
+    const JobRecord& r = records_[static_cast<std::size_t>(job)];
+    ev.trace_id = r.trace_id;
+    ev.job = job;
+    ev.device = r.device;
+  }
+  opts_.recorder->record(ev);
+}
+
+void Scheduler::maybe_sample() {
+  while (next_sample_ <= host_now()) {
+    sample_at(next_sample_);
+    next_sample_ += opts_.sample_every;
+  }
+}
+
+void Scheduler::sample_at(SimTime t) {
+  const core::PlanCacheStats pc = core::PlanCache::instance().stats();
+  if (opts_.series) {
+    telemetry::TimeSeriesStore& s = *opts_.series;
+    s.add("sched.queue_depth", t, static_cast<double>(queue_.size()));
+    s.add("sched.active_jobs", t, static_cast<double>(active_.size()));
+    s.add("sched.completed", t, static_cast<double>(completed_));
+    s.add("plan_cache.hit_rate", t, pc.hit_rate());
+    const SimTime elapsed = t - t0_;
+    for (int dev = 0; dev < num_devices(); ++dev) {
+      const std::size_t di = static_cast<std::size_t>(dev);
+      const std::string dp = "sched.dev" + std::to_string(dev) + ".";
+      s.add(dp + "committed_bytes", t, static_cast<double>(admission_.committed(dev)));
+      const SimTime busy = devices_[di]->compute_busy_time() - busy0_[di];
+      s.add(dp + "utilization", t, elapsed > 0.0 ? busy / elapsed : 0.0);
+    }
+  }
+  if (opts_.watchdog)
+    opts_.watchdog->check(t, static_cast<int>(active_.size() + queue_.size()),
+                          pc.disk_corrupt);
+}
+
 // --- Telemetry ---
 
 void Scheduler::collect_metrics(telemetry::Registry& reg, const std::string& prefix) const {
@@ -365,6 +450,18 @@ void Scheduler::collect_metrics(telemetry::Registry& reg, const std::string& pre
   reg.counter(p + "deadline_misses").add(deadline_misses_);
   reg.gauge(p + "makespan_s").set(makespan_);
   reg.gauge(p + "queue_depth_peak").set(static_cast<double>(queue_depth_peak_));
+  reg.counter(p + "queue.wakes").add(static_cast<std::int64_t>(queue_.woken_total()));
+  reg.counter(p + "queue.defers").add(static_cast<std::int64_t>(queue_.defers_total()));
+  reg.gauge(p + "queue.backoff_peak").set(static_cast<double>(queue_.backoff_peak()));
+  if (opts_.recorder) {
+    reg.counter(p + "recorder.events")
+        .add(static_cast<std::int64_t>(opts_.recorder->total_recorded()));
+    reg.counter(p + "recorder.dropped")
+        .add(static_cast<std::int64_t>(opts_.recorder->dropped()));
+  }
+  if (opts_.watchdog)
+    reg.counter(p + "watchdog.trips")
+        .add(static_cast<std::int64_t>(opts_.watchdog->trips().size()));
 
   auto& wait = reg.histogram(p + "wait_s", time_bounds());
   auto& service = reg.histogram(p + "service_s", time_bounds());

@@ -29,12 +29,15 @@
 // completion. Ties everywhere break by submission order.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 #include "core/pipeline.hpp"
+#include "core/timeseries.hpp"
 #include "sched/admission.hpp"
 #include "sched/job.hpp"
 #include "sched/queue.hpp"
@@ -69,6 +72,24 @@ struct SchedulerOptions {
   SimTime backoff_max = 0.5;
   /// Rejection threshold: placement rounds before the scheduler gives up.
   int max_admission_attempts = 12;
+
+  /// Live observability hooks, all optional and caller-owned (must outlive
+  /// run()). With every hook null the control loop is byte-identical to an
+  /// unobserved run: recording never changes a scheduling decision.
+  /// Structured control-flow events (admission, shrink, reject, backoff,
+  /// placement, completion, deadline miss) land here with the job's trace
+  /// id.
+  telemetry::FlightRecorder* recorder = nullptr;
+  /// Stall / deadline-storm / disk-corruption anomaly detector; fed
+  /// completions and misses live, checked on the sampling cadence.
+  telemetry::Watchdog* watchdog = nullptr;
+  /// Periodic sampling sink (queue depth, committed bytes, utilization,
+  /// plan-cache hit rate over time).
+  telemetry::TimeSeriesStore* series = nullptr;
+  /// Sim-time cadence for `series`/`watchdog` sampling ticks (0 = off).
+  /// Ticks bound virtual-time advancement, so samples land at exact
+  /// multiples of the cadence and two runs' series are byte-identical.
+  SimTime sample_every = 0.0;
 };
 
 /// What one run() produced (virtual times; jobs in submission order).
@@ -133,13 +154,21 @@ class Scheduler {
   bool intake();
   bool dispatch();
   void start_job(int id, int dev, const AdmissionDecision& d);
-  void reject_job(int id, std::string reason);
+  void reject_job(int id, std::int64_t reason_code, std::string reason);
   void complete_job(Active& a);
   std::vector<int> placement_order() const;
   void advance();
   void advance_to(SimTime t);
   void advance_until_completion_or(SimTime bound);
   void note_queue_depth();
+  void record_flight(telemetry::FlightEventKind kind, int job, std::int64_t a = 0,
+                     std::int64_t b = 0);
+  void maybe_sample();
+  void sample_at(SimTime t);
+  bool sampling() const {
+    return opts_.sample_every > 0.0 &&
+           (opts_.series != nullptr || opts_.watchdog != nullptr);
+  }
 
   std::vector<gpu::Gpu*> devices_;
   std::shared_ptr<gpu::SharedContext> ctx_;
@@ -160,6 +189,7 @@ class Scheduler {
 
   bool ran_ = false;
   SimTime t0_ = 0.0;
+  SimTime next_sample_ = std::numeric_limits<SimTime>::infinity();
   SimTime makespan_ = 0.0;
   int completed_ = 0;
   int rejected_ = 0;

@@ -131,13 +131,14 @@ class Task {
   /// `trace` with the given pre-interned lane/label ids — the allocation-
   /// free replacement for an on_complete closure per traced operation.
   void set_span(Trace& trace, SpanKind kind, StringId lane, StringId label, Bytes bytes,
-                std::int64_t node) {
+                std::int64_t node, std::int32_t trace_id = -1) {
     trace_ = &trace;
     span_kind_ = kind;
     span_lane_ = lane;
     span_label_ = label;
     span_bytes_ = bytes;
     span_node_ = node;
+    span_trace_ = trace_id;
   }
 
   bool submitted() const { return submitted_; }
@@ -192,6 +193,7 @@ class Task {
   std::uint32_t complete_cb_;
   StringId span_lane_;
   StringId span_label_;
+  std::int32_t span_trace_;  // owning job's trace id (-1 outside a job)
   std::uint32_t succ_head_;  // edge-pool list of tasks waiting on us
   std::uint32_t succ_tail_;
   std::uint32_t refs_;
@@ -616,8 +618,8 @@ inline void Task::complete() {
     payload();
   }
   if (trace_) {
-    trace_->record(
-        Span{span_kind_, span_lane_, span_label_, start_, end_, span_bytes_, span_node_});
+    trace_->record(Span{span_kind_, span_lane_, span_label_, span_trace_, start_, end_,
+                        span_bytes_, span_node_});
   }
   if (complete_cb_ != kNone) {
     Callback cb = arena_->take_callback(complete_cb_);

@@ -8,7 +8,11 @@
 // replay produced them (-1 when the operation came from outside a plan):
 // the executor publishes the node it is issuing via set_plan_node() and the
 // runtime captures plan_node() at submission time, so per-node measured
-// costs can be joined back onto the plan (core/telemetry.hpp).
+// costs can be joined back onto the plan (core/telemetry.hpp). The same
+// ambient mechanism carries a per-job trace id (set_trace_id): the scheduler
+// publishes the id of the job whose pipeline it is enqueuing, so every span
+// of a multi-tenant serve run can be attributed back to one job and joined
+// with that job's flight-recorder events (common/flight_recorder.hpp).
 //
 // Spans are POD: lane and label are ids into the trace's intern table
 // (one table per Trace, shared by lanes and labels), so recording a span at
@@ -21,6 +25,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <initializer_list>
 #include <map>
 #include <ostream>
@@ -28,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/string_table.hpp"
 #include "common/units.hpp"
 
@@ -53,8 +59,9 @@ inline const char* to_string(SpanKind k) {
 /// the owning Trace's intern table (Trace::lane / Trace::label resolve them).
 struct Span {
   SpanKind kind = SpanKind::Other;
-  StringId lane = 0;   // engine or stream name (interned)
-  StringId label = 0;  // operation description (interned)
+  StringId lane = 0;        // engine or stream name (interned)
+  StringId label = 0;       // operation description (interned)
+  std::int32_t trace = -1;  // owning job's trace id, -1 outside a traced job
   SimTime start = 0.0;
   SimTime end = 0.0;
   Bytes bytes = 0;         // payload size for transfers, 0 otherwise
@@ -112,23 +119,41 @@ class Trace {
       spans_.push_back(s);
       return;
     }
+    if (strict_drops())
+      throw Error("trace span ring overflow: capacity " + std::to_string(cap_) +
+                  " exceeded with GPUPIPE_TRACE_STRICT=1 (raise "
+                  "set_span_capacity or disable strict mode)");
     spans_[oldest_] = s;
     oldest_ = (oldest_ + 1) % cap_;
     ++dropped_;
   }
 
   /// Convenience record interning the strings on the spot (tests, cold
-  /// paths).
+  /// paths). Stamps the ambient trace id like the runtime path does.
   void record(SpanKind kind, std::string_view lane, std::string_view label, SimTime start,
               SimTime end, Bytes bytes = 0, std::int64_t node = -1) {
     if (!enabled_) return;
-    record(Span{kind, intern(lane), intern(label), start, end, bytes, node});
+    record(Span{kind, intern(lane), intern(label), trace_id_, start, end, bytes, node});
   }
 
   /// The plan node currently being issued (stamped into spans the runtime
   /// records); -1 outside plan execution.
   void set_plan_node(std::int64_t id) { plan_node_ = id; }
   std::int64_t plan_node() const { return plan_node_; }
+
+  /// The trace id of the job whose work is currently being submitted
+  /// (stamped into spans like the plan node); -1 outside any job. The
+  /// scheduler sets this around pipeline construction + enqueue so a span
+  /// recorded at completion still carries the submitting job's id.
+  void set_trace_id(std::int32_t id) { trace_id_ = id; }
+  std::int32_t trace_id() const { return trace_id_; }
+
+  /// When strict-drop mode is on (GPUPIPE_TRACE_STRICT=1, or
+  /// set_strict_drops for tests), overflowing a capacity-bounded span ring
+  /// throws instead of silently evicting — CI bench jobs use it so
+  /// overlap-efficiency evidence cannot be quietly truncated. Process-wide.
+  static bool strict_drops() { return strict_state(); }
+  static void set_strict_drops(bool on) { strict_state() = on; }
 
   /// Retained spans in recording order (oldest first).
   const std::vector<Span>& spans() const {
@@ -231,7 +256,7 @@ class Trace {
          << to_string(s.kind) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
          << tids[strings_.lookup(s.lane)] << ",\"ts\":" << s.start * 1e6
          << ",\"dur\":" << s.duration() * 1e6;
-      if (s.bytes > 0 || s.node >= 0) {
+      if (s.bytes > 0 || s.node >= 0 || s.trace >= 0) {
         os << ",\"args\":{";
         bool first_arg = true;
         if (s.bytes > 0) {
@@ -241,6 +266,11 @@ class Trace {
         if (s.node >= 0) {
           if (!first_arg) os << ",";
           os << "\"plan_node\":" << s.node;
+          first_arg = false;
+        }
+        if (s.trace >= 0) {
+          if (!first_arg) os << ",";
+          os << "\"trace_id\":" << s.trace;
         }
         os << "}";
       }
@@ -270,11 +300,20 @@ class Trace {
     oldest_ = 0;
   }
 
+  static bool& strict_state() {
+    static bool strict = [] {
+      const char* env = std::getenv("GPUPIPE_TRACE_STRICT");
+      return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+    }();
+    return strict;
+  }
+
   bool enabled_ = true;
   std::size_t cap_ = 0;  // 0 = unbounded
   mutable std::size_t oldest_ = 0;
   std::uint64_t dropped_ = 0;
   std::int64_t plan_node_ = -1;
+  std::int32_t trace_id_ = -1;
   mutable std::vector<Span> spans_;
   StringTable strings_;
 };

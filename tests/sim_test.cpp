@@ -378,10 +378,10 @@ TEST(Trace, InternTableSurvivesClear) {
   Trace trace;
   const StringId lane = trace.intern("s0");
   const StringId label = trace.intern("k");
-  trace.record(Span{SpanKind::Kernel, lane, label, 0.0, 1.0, 0, -1});
+  trace.record(Span{SpanKind::Kernel, lane, label, -1, 0.0, 1.0, 0, -1});
   trace.clear();
   // Cached ids stay valid after clear (streams/tasks cache them).
-  trace.record(Span{SpanKind::Kernel, lane, label, 1.0, 2.0, 0, -1});
+  trace.record(Span{SpanKind::Kernel, lane, label, -1, 1.0, 2.0, 0, -1});
   ASSERT_EQ(trace.spans().size(), 1u);
   EXPECT_EQ(trace.lane(trace.spans()[0]), "s0");
   EXPECT_EQ(trace.label(trace.spans()[0]), "k");

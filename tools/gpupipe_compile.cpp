@@ -19,7 +19,7 @@
 // Usage:
 //   gpupipe_compile [mixfile] [--default-mix N] [--profile k40m|hd7970|xeonphi]
 //                   [--cap MIB] [--tune-jobs N] [--no-tune] [-o FILE]
-//                   [--cache-dir DIR] [--json]
+//                   [--cache-dir DIR] [--compact] [--json]
 //
 // --cap mirrors gpupipe_serve's admission cap so shapes are solved under
 // the same budget the fleet will use. --no-tune keeps each template's
@@ -27,6 +27,11 @@
 // computed artifact into a persistent plan-cache directory (the same tier
 // GPUPIPE_PLAN_CACHE_DIR enables in the serving process). -o defaults to
 // plan_bundle.gpb.
+//
+// --compact is a maintenance mode: instead of compiling, it garbage-
+// collects the --cache-dir directory — quarantined corpses, version-skewed
+// records, and orphaned temp files accumulate forever otherwise — and
+// prints a report. Current-format records are never touched.
 //
 // Exit status: 0 on success, 1 on bad usage or failure.
 #include <algorithm>
@@ -57,6 +62,7 @@ struct Options {
   bool tune = true;
   std::string output = "plan_bundle.gpb";
   std::string cache_dir;
+  bool compact = false;
   bool json = false;
 };
 
@@ -65,7 +71,7 @@ int usage() {
                "usage: gpupipe_compile [mixfile] [--default-mix N]\n"
                "                       [--profile k40m|hd7970|xeonphi] [--cap MIB]\n"
                "                       [--tune-jobs N] [--no-tune] [-o FILE]\n"
-               "                       [--cache-dir DIR] [--json]\n");
+               "                       [--cache-dir DIR] [--compact] [--json]\n");
   return 1;
 }
 
@@ -99,6 +105,7 @@ int main(int argc, char** argv) {
       else if (a == "--no-tune") opt.tune = false;
       else if (a == "-o") opt.output = next("-o");
       else if (a == "--cache-dir") opt.cache_dir = next("--cache-dir");
+      else if (a == "--compact") opt.compact = true;
       else if (a == "--json") opt.json = true;
       else if (a == "--help" || a == "-h") return usage();
       else if (!a.empty() && a[0] == '-') throw Error("unknown option '" + a + "'");
@@ -112,6 +119,36 @@ int main(int argc, char** argv) {
     core::PlanCache& cache = core::PlanCache::instance();
     if (!cache.enabled()) cache.set_capacity(core::PlanCache::kDefaultCapacity);
     if (!opt.cache_dir.empty()) cache.set_disk_dir(opt.cache_dir);
+
+    if (opt.compact) {
+      if (opt.cache_dir.empty()) throw Error("--compact requires --cache-dir DIR");
+      if (cache.disk_dir().empty())
+        throw Error("cache directory '" + opt.cache_dir + "' is unusable");
+      const auto rep = cache.compact_disk();
+      if (opt.json) {
+        std::printf("{\"cache_dir\":\"%s\",\"scanned\":%lld,\"kept\":%lld,"
+                    "\"removed_quarantined\":%lld,\"removed_stale\":%lld,"
+                    "\"removed_temp\":%lld,\"bytes_reclaimed\":%lld}\n",
+                    opt.cache_dir.c_str(), static_cast<long long>(rep.scanned),
+                    static_cast<long long>(rep.kept),
+                    static_cast<long long>(rep.removed_quarantined),
+                    static_cast<long long>(rep.removed_stale),
+                    static_cast<long long>(rep.removed_temp),
+                    static_cast<long long>(rep.bytes_reclaimed));
+      } else {
+        std::printf("gpupipe_compile: compacted %s\n", opt.cache_dir.c_str());
+        std::printf("  scanned %lld files, kept %lld\n",
+                    static_cast<long long>(rep.scanned),
+                    static_cast<long long>(rep.kept));
+        std::printf("  removed %lld quarantined, %lld stale, %lld temp "
+                    "(%lld bytes reclaimed)\n",
+                    static_cast<long long>(rep.removed_quarantined),
+                    static_cast<long long>(rep.removed_stale),
+                    static_cast<long long>(rep.removed_temp),
+                    static_cast<long long>(rep.bytes_reclaimed));
+      }
+      return 0;
+    }
 
     std::vector<sched::JobMixLine> mix;
     if (opt.mixfile.empty()) {

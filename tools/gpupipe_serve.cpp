@@ -12,6 +12,25 @@
 //                 [--placement least-loaded|round-robin] [--cap MIB]
 //                 [--queue-capacity N] [--plan-cache N] [--tune-jobs N]
 //                 [--bundle FILE] [--cache-dir DIR] [--no-solo] [--json]
+//                 [--record] [--record-capacity N] [--sample-every SEC]
+//                 [--export prom|jsonl] [--export-dir DIR]
+//                 [--watchdog-stall SEC] [--watchdog-storm N]
+//                 [--watchdog-window SEC] [--watchdog-disk-corrupt]
+//
+// Live observability: --record turns on the flight recorder (a bounded ring
+// of structured control-loop events — admission, shrink, reject, backoff,
+// placement, completion, deadline miss, plan-cache disk traffic — each
+// stamped with sim time and the job's trace id). --sample-every SEC
+// snapshots queue depth, committed bytes, per-device utilization, and the
+// plan-cache hit rate on that sim-time cadence. --export emits the state
+// after the run: `jsonl` writes serve_events.jsonl + serve_series.jsonl
+// (and implies --record), `prom` writes serve.prom (Prometheus text format
+// over the full metrics registry); both land in --export-dir (default
+// "."). Everything runs on virtual time, so two identical runs produce
+// byte-identical export files. The --watchdog-* thresholds arm an anomaly
+// detector checked on the sampling cadence (default 1 ms when armed
+// without --sample-every); a trip dumps the flight recorder to
+// serve_watchdog_dump.jsonl and reports on stderr.
 //
 // --plan-cache N sets the planning cache capacity (entries; 0 disables the
 // cache — useful for A/B-ing the serve hot path). --tune-jobs N runs a
@@ -49,6 +68,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/export.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 #include "core/autotune.hpp"
 #include "core/plan_cache.hpp"
@@ -75,6 +96,15 @@ struct Options {
   std::optional<int> tune_jobs;           ///< pre-submit autotune workers
   std::string bundle;                     ///< AOT plan bundle to preload
   std::string cache_dir;                  ///< persistent plan-cache tier
+  bool record = false;                    ///< flight recorder on
+  std::size_t record_capacity = 8192;
+  bool export_prom = false;
+  bool export_jsonl = false;
+  std::string export_dir = ".";
+  double watchdog_stall = 0.0;   ///< sim-seconds without progress (0 = off)
+  int watchdog_storm = 0;        ///< deadline misses per window (0 = off)
+  double watchdog_window = 0.05; ///< storm window, sim-seconds
+  bool watchdog_disk_corrupt = false;
 };
 
 int usage() {
@@ -85,29 +115,13 @@ int usage() {
                "                     [--placement least-loaded|round-robin]\n"
                "                     [--cap MIB] [--queue-capacity N] [--plan-cache N]\n"
                "                     [--tune-jobs N] [--bundle FILE] [--cache-dir DIR]\n"
-               "                     [--no-solo] [--json]\n");
+               "                     [--no-solo] [--json]\n"
+               "                     [--record] [--record-capacity N]\n"
+               "                     [--sample-every SEC] [--export prom|jsonl]\n"
+               "                     [--export-dir DIR] [--watchdog-stall SEC]\n"
+               "                     [--watchdog-storm N] [--watchdog-window SEC]\n"
+               "                     [--watchdog-disk-corrupt]\n");
   return 1;
-}
-
-/// Linear-interpolated quantile of a fixed-bucket histogram. The +inf tail
-/// bucket reports its lower bound (there is no upper edge to interpolate
-/// toward).
-double histogram_percentile(const telemetry::Histogram& h, double q) {
-  if (h.count() == 0) return 0.0;
-  const double rank = q * static_cast<double>(h.count());
-  double seen = 0.0;
-  for (std::size_t i = 0; i < h.buckets().size(); ++i) {
-    const double n = static_cast<double>(h.buckets()[i]);
-    if (seen + n < rank || n == 0.0) {
-      seen += n;
-      continue;
-    }
-    const double lo = i == 0 ? 0.0 : h.bounds()[i - 1];
-    if (i >= h.bounds().size()) return lo;
-    const double hi = h.bounds()[i];
-    return lo + (hi - lo) * ((rank - seen) / n);
-  }
-  return h.bounds().empty() ? 0.0 : h.bounds().back();
 }
 
 /// Solo baseline: each job alone on a fresh single-device machine with the
@@ -156,9 +170,8 @@ void print_human(const sched::ScheduleReport& rep, const std::vector<sched::Serv
     auto it = hist.find(name);
     if (it == hist.end()) continue;
     std::printf("%s: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n", name,
-                histogram_percentile(it->second, 0.50) * 1e3,
-                histogram_percentile(it->second, 0.95) * 1e3,
-                histogram_percentile(it->second, 0.99) * 1e3);
+                it->second.quantile(0.50) * 1e3, it->second.quantile(0.95) * 1e3,
+                it->second.quantile(0.99) * 1e3);
   }
   const core::PlanCacheStats pc = core::PlanCache::instance().stats();
   std::printf("plan cache: %lld hits, %lld misses (%.1f%% hit rate), %lld evictions, "
@@ -218,7 +231,7 @@ void print_json(const sched::ScheduleReport& rep, SimTime sum_solo,
     for (const auto& [q, tag] : {std::pair<double, const char*>{0.50, "p50"},
                                  std::pair<double, const char*>{0.95, "p95"},
                                  std::pair<double, const char*>{0.99, "p99"}})
-      os << ",\"" << key << "_" << tag << "_s\":" << histogram_percentile(it->second, q);
+      os << ",\"" << key << "_" << tag << "_s\":" << it->second.quantile(q);
   }
   os << "},\"metrics\":";
   reg.to_json(os);
@@ -270,6 +283,27 @@ int main(int argc, char** argv) {
         opt.bundle = next("--bundle");
       } else if (a == "--cache-dir") {
         opt.cache_dir = next("--cache-dir");
+      } else if (a == "--record") {
+        opt.record = true;
+      } else if (a == "--record-capacity") {
+        opt.record_capacity = static_cast<std::size_t>(next_int(a.c_str(), 1));
+      } else if (a == "--sample-every") {
+        opt.sched.sample_every = tools::parse_double(a.c_str(), next(a.c_str()), 0.0);
+      } else if (a == "--export") {
+        const std::string fmt = next("--export");
+        if (fmt == "prom") opt.export_prom = true;
+        else if (fmt == "jsonl") opt.export_jsonl = true;
+        else throw Error("unknown export format '" + fmt + "' (prom|jsonl)");
+      } else if (a == "--export-dir") {
+        opt.export_dir = next("--export-dir");
+      } else if (a == "--watchdog-stall") {
+        opt.watchdog_stall = tools::parse_double(a.c_str(), next(a.c_str()), 0.0);
+      } else if (a == "--watchdog-storm") {
+        opt.watchdog_storm = static_cast<int>(next_int(a.c_str(), 1));
+      } else if (a == "--watchdog-window") {
+        opt.watchdog_window = tools::parse_double(a.c_str(), next(a.c_str()), 0.0);
+      } else if (a == "--watchdog-disk-corrupt") {
+        opt.watchdog_disk_corrupt = true;
       } else if (a == "--no-solo") opt.solo = false;
       else if (a == "--json") opt.json = true;
       else if (a == "--help" || a == "-h") return usage();
@@ -278,6 +312,7 @@ int main(int argc, char** argv) {
     }
     if (opt.jobs > 0 && !opt.mixfile.empty())
       throw Error("--jobs generates its own mix; drop the mix file");
+    if (opt.export_jsonl) opt.record = true;  // the events file needs the ring
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gpupipe_serve: %s\n", e.what());
     return usage();
@@ -342,6 +377,46 @@ int main(int argc, char** argv) {
       devices.push_back(gpus.back().get());
     }
 
+    // Live observability plumbing. All three sinks are owned here and handed
+    // to the scheduler as raw pointers; they must be declared before the
+    // Scheduler so they outlive run().
+    telemetry::FlightRecorder recorder(opt.record_capacity);
+    telemetry::TimeSeriesStore series;
+    const bool watch = opt.watchdog_stall > 0.0 || opt.watchdog_storm > 0 ||
+                       opt.watchdog_disk_corrupt;
+    telemetry::WatchdogOptions wopt;
+    wopt.stall_timeout = opt.watchdog_stall;
+    wopt.deadline_storm_misses = opt.watchdog_storm;
+    wopt.deadline_window = opt.watchdog_window;
+    wopt.trip_on_disk_corrupt = opt.watchdog_disk_corrupt;
+    telemetry::Watchdog watchdog(wopt, opt.record ? &recorder : nullptr);
+    if (opt.record) {
+      opt.sched.recorder = &recorder;
+      // Disk-tier events (recorded from inside the plan cache) carry the
+      // shared context's virtual clock, like everything else in the dump.
+      recorder.set_clock([ctx] { return ctx->host_time; });
+      core::PlanCache::instance().set_recorder(&recorder);
+    }
+    if (opt.sched.sample_every > 0.0) opt.sched.series = &series;
+    if (watch) {
+      opt.sched.watchdog = &watchdog;
+      // The watchdog is checked at sampling points; arm a default cadence
+      // when the user asked for thresholds but not for series.
+      if (opt.sched.sample_every <= 0.0) opt.sched.sample_every = 0.001;
+      watchdog.on_trip = [&](const telemetry::WatchdogTrip& t) {
+        const std::string path = opt.export_dir + "/serve_watchdog_dump.jsonl";
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        if (os) telemetry::export_events_jsonl(os, recorder);
+        std::fprintf(stderr,
+                     "gpupipe_serve: watchdog trip: %s (value %lld) at t=%.6f s"
+                     "%s%s\n",
+                     telemetry::trip_reason(t.reason),
+                     static_cast<long long>(t.value), t.time,
+                     os ? "; flight recorder dumped to " : "",
+                     os ? path.c_str() : "");
+      };
+    }
+
     std::vector<sched::ServeJob> jobs;
     jobs.reserve(mix.size());
     sched::Scheduler scheduler(devices, opt.sched);
@@ -397,10 +472,39 @@ int main(int argc, char** argv) {
 
     telemetry::Registry reg;
     scheduler.collect_metrics(reg);
+    core::PlanCache::instance().collect_metrics(reg);
     if (opt.json)
       print_json(rep, sum_solo, reg, opt);
     else
       print_human(rep, jobs, sum_solo, reg, opt);
+    if (!opt.json && opt.record)
+      std::printf("flight recorder: %llu events (%zu retained, %llu dropped)%s\n",
+                  static_cast<unsigned long long>(recorder.total_recorded()),
+                  recorder.size(),
+                  static_cast<unsigned long long>(recorder.dropped()),
+                  watch && !watchdog.trips().empty() ? "  [watchdog tripped]" : "");
+
+    // Exports last, from the final state (deterministic: everything above
+    // ran on virtual time, so two identical runs write identical bytes).
+    auto write_export = [&](const std::string& name, auto&& emit) {
+      const std::string path = opt.export_dir + "/" + name;
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      if (!os) throw Error("cannot write export file '" + path + "'");
+      emit(os);
+      if (!opt.json) std::printf("wrote %s\n", path.c_str());
+    };
+    if (opt.export_jsonl) {
+      write_export("serve_events.jsonl", [&](std::ostream& os) {
+        telemetry::export_events_jsonl(os, recorder);
+      });
+      write_export("serve_series.jsonl", [&](std::ostream& os) {
+        telemetry::export_series_jsonl(os, series);
+      });
+    }
+    if (opt.export_prom)
+      write_export("serve.prom",
+                   [&](std::ostream& os) { telemetry::export_prometheus(os, reg); });
+    core::PlanCache::instance().set_recorder(nullptr);  // recorder dies with main
     return ok ? 0 : 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gpupipe_serve: %s\n", e.what());
