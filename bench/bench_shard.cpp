@@ -1,0 +1,143 @@
+// Elastic sharding bench: the default large-job mix, solo vs sharded.
+//
+// Three scenarios of one burst mix of large jobs on K40m machines:
+//   * best solo device — the whole mix on a single device (the baseline a
+//     sharded run must beat),
+//   * 2 devices, sharding off — plain multi-tenant placement,
+//   * 2 devices, sharding on — every job splits across both devices with
+//     P2P halo exchange, re-deciding weights at round boundaries.
+// The BENCH_shard.json artifact carries the makespans plus the derived
+// sharded_vs_solo ratio (CI floor: <= 0.85, i.e. sharding must beat the
+// best solo device by at least 15%) and the P2P halo byte count (CI floor:
+// > 0 — halos must actually travel device-to-device, not bounce through
+// the host).
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "common/metrics.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workloads.hpp"
+
+namespace gpupipe::bench {
+namespace {
+
+int mix_size() { return quick_mode() ? 4 : 6; }
+
+/// The default mix promoted to all-large with burst arrivals: the job
+/// population sharding exists for.
+std::vector<sched::JobMixLine> large_mix() {
+  auto mix = sched::default_job_mix(mix_size());
+  for (auto& l : mix) {
+    l.size = "large";
+    l.arrival = 0.0;
+    l.deadline.reset();
+  }
+  return mix;
+}
+
+struct Result {
+  sched::ScheduleReport report;
+  std::int64_t sharded_jobs = 0;
+  std::int64_t shard_rounds = 0;
+  double p2p_halo_bytes = 0.0;
+};
+
+Result run_once(int num_devices, bool sharded) {
+  auto ctx = gpu::make_shared_context();
+  std::vector<std::unique_ptr<gpu::Gpu>> gpus;
+  std::vector<gpu::Gpu*> devices;
+  for (int i = 0; i < num_devices; ++i) {
+    gpus.push_back(std::make_unique<gpu::Gpu>(gpu::nvidia_k40m(),
+                                              gpu::ExecMode::Functional, ctx));
+    quiet(*gpus.back());
+    devices.push_back(gpus.back().get());
+  }
+  sched::SchedulerOptions opts;
+  if (sharded) {
+    opts.shard_threshold = 1;  // every shardable job shards
+    opts.max_shards = num_devices;
+  }
+  sched::Scheduler scheduler(devices, opts);
+  const auto mix = large_mix();
+  std::vector<sched::ServeJob> jobs;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    jobs.push_back(sched::make_serve_job(mix[i], static_cast<int>(i)));
+    scheduler.submit(jobs.back().job);
+  }
+  Result r;
+  r.report = scheduler.run();
+  for (const auto& j : jobs)
+    if (!j.verify()) throw Error("bench_shard: job failed verification");
+  telemetry::Registry reg;
+  scheduler.collect_metrics(reg);
+  r.sharded_jobs = reg.counter("sched.sharded_jobs").value();
+  r.shard_rounds = reg.counter("sched.shard_rounds").value();
+  r.p2p_halo_bytes = static_cast<double>(reg.counter("sched.p2p_halo_bytes").value());
+  return r;
+}
+
+const Result& cached(int idx) {
+  static std::map<int, Result> cache;
+  auto it = cache.find(idx);
+  if (it == cache.end()) {
+    // 0: best solo device, 1: 2 devices unsharded, 2: 2 devices sharded.
+    it = cache.emplace(idx, run_once(idx == 0 ? 1 : 2, idx == 2)).first;
+  }
+  return it->second;
+}
+
+const char* kNames[] = {"best solo device", "2 devices unsharded", "2 devices sharded"};
+const char* kSlugs[] = {"solo", "unsharded", "sharded"};
+
+void register_all() {
+  for (int i = 0; i < 3; ++i) {
+    benchmark::RegisterBenchmark(
+        (std::string("shard/") + kSlugs[i]).c_str(),
+        [i](benchmark::State& st) {
+          const Result& r = cached(i);
+          for (auto _ : st) st.SetIterationTime(r.report.makespan);
+          st.counters["completed"] = r.report.completed;
+        })
+        ->UseManualTime()->Iterations(1);
+  }
+}
+
+void print_figure() {
+  std::printf("\nElastic sharding — %d large jobs, K40m\n", mix_size());
+  Table t({"configuration", "makespan (ms)", "sharded jobs", "rounds",
+           "p2p halo (KiB)", "completed"});
+  Artifact art("shard");
+  art.config("jobs", static_cast<double>(mix_size()));
+  art.config("profile", "k40m");
+  for (int i = 0; i < 3; ++i) {
+    const Result& r = cached(i);
+    t.add_row({kNames[i], Table::num(r.report.makespan * 1e3, 3),
+               Table::num(static_cast<double>(r.sharded_jobs), 0),
+               Table::num(static_cast<double>(r.shard_rounds), 0),
+               Table::num(r.p2p_halo_bytes / 1024.0, 1),
+               Table::num(r.report.completed, 0)});
+    const std::string p = std::string(kSlugs[i]) + ".";
+    art.metric(p + "makespan_s", r.report.makespan);
+    art.metric(p + "completed", r.report.completed);
+    art.metric(p + "sharded_jobs", static_cast<double>(r.sharded_jobs));
+    art.metric(p + "shard_rounds", static_cast<double>(r.shard_rounds));
+    art.metric(p + "p2p_halo_bytes", r.p2p_halo_bytes);
+  }
+  // CI floors: sharded <= 0.85x the best solo device, and the halo bytes
+  // must be genuinely device-to-device (> 0).
+  art.derived("sharded_vs_solo",
+              cached(2).report.makespan / cached(0).report.makespan);
+  art.derived("sharded_vs_unsharded",
+              cached(2).report.makespan / cached(1).report.makespan);
+  art.derived("p2p_halo_bytes", cached(2).p2p_halo_bytes);
+  t.print(std::cout);
+  art.write();
+}
+
+}  // namespace
+}  // namespace gpupipe::bench
+
+int main(int argc, char** argv) {
+  gpupipe::bench::register_all();
+  return gpupipe::bench::bench_main(argc, argv, gpupipe::bench::print_figure);
+}

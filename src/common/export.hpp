@@ -114,6 +114,15 @@ inline void export_events_jsonl(std::ostream& os, const FlightRecorder& rec) {
       case FlightEventKind::WatchdogTrip:
         os << ",\"reason\":\"" << trip_reason(ev.a) << "\",\"value\":" << ev.b;
         break;
+      case FlightEventKind::Shard:
+        os << ",\"devices\":" << ev.a << ",\"halo_bytes\":" << ev.b;
+        break;
+      case FlightEventKind::Reshard:
+        os << ",\"devices\":" << ev.a << ",\"remaining\":" << ev.b;
+        break;
+      case FlightEventKind::P2pXfer:
+        os << ",\"bytes\":" << ev.a << ",\"src\":" << ev.b;
+        break;
     }
     os << "}\n";
   }

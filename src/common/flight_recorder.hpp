@@ -48,6 +48,9 @@ enum class FlightEventKind : std::uint8_t {
   DiskHit,       // plan-cache memory miss served from disk; a = bytes read
   DiskCorrupt,   // plan-cache disk entry rejected and quarantined
   WatchdogTrip,  // a watchdog threshold fired; a = reason code
+  Shard,         // job split across devices; a = device bitmask, b = halo bytes
+  Reshard,       // shard set changed mid-job; a = new bitmask, b = remaining iters
+  P2pXfer,       // device-to-device halo round; a = bytes, b = source device
 };
 
 inline const char* to_string(FlightEventKind k) {
@@ -64,6 +67,9 @@ inline const char* to_string(FlightEventKind k) {
     case FlightEventKind::DiskHit: return "disk-hit";
     case FlightEventKind::DiskCorrupt: return "disk-corrupt";
     case FlightEventKind::WatchdogTrip: return "watchdog-trip";
+    case FlightEventKind::Shard: return "shard";
+    case FlightEventKind::Reshard: return "reshard";
+    case FlightEventKind::P2pXfer: return "p2p-xfer";
   }
   return "?";
 }

@@ -10,6 +10,16 @@
 //
 // Requirements: every Gpu must share one SharedContext (one host thread),
 // and the spec's schedule must be static (split-phase execution).
+//
+// This is STATIC partitioning: the weight vector is fixed before launch,
+// the device set never changes, and array windows that straddle a slice
+// boundary are re-uploaded from the host by both neighbours. The serving
+// path has a DYNAMIC counterpart — sched::ShardRun (sched/shard.hpp,
+// docs/sharding.md) — which re-partitions by live load at round
+// boundaries, tolerates device join/leave mid-job, and moves boundary
+// halos device-to-device via P2pSend/P2pRecv plan nodes instead of
+// bouncing them through the host. Prefer MultiPipeline for a one-shot
+// region on a fixed machine; the scheduler's sharding for serving.
 #pragma once
 
 #include <vector>

@@ -47,6 +47,11 @@ const BufferView& Pipeline::view_of(std::string_view name) const {
   return arrays_[it->second].ring->view();
 }
 
+const BufferView& Pipeline::array_view(std::size_t ai) const {
+  require(ai < arrays_.size(), "array_view: index out of range");
+  return arrays_[ai].ring->view();
+}
+
 // --- Construction / configuration ---
 
 std::int64_t Pipeline::ring_len_for(const ArraySpec& a, std::int64_t c, int s) {

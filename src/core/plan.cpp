@@ -142,6 +142,13 @@ ExecutionPlan PlanBuilder::pipeline(const PipelineSpec& spec, std::int64_t chunk
     st[ai].slot_drained.assign(static_cast<std::size_t>(plan.arrays[ai].ring_len), -1);
   }
 
+  // Shard halo wiring (empty for solo regions): which arrays receive part of
+  // their window device-to-device, and which push their first-window head to
+  // a neighbour shard.
+  std::vector<const ShardHalo*> halo_of(spec.arrays.size(), nullptr);
+  for (const ShardHalo& h : spec.halos)
+    halo_of[static_cast<std::size_t>(h.array)] = &h;
+
   auto add_node = [&plan](PlanNode n) {
     n.id = static_cast<int>(plan.nodes.size());
     plan.nodes.push_back(std::move(n));
@@ -189,25 +196,84 @@ ExecutionPlan PlanBuilder::pipeline(const PipelineSpec& spec, std::int64_t chunk
           sr.label = "reuse " + a.name + range_str(n_lo, w_hi);
           reuse_id = add_node(std::move(sr));
         }
-        PlanNode h;
-        h.op = PlanOp::H2D;
-        h.stream = stream;
-        h.array = static_cast<int>(ai);
-        h.chunk = counter;
-        h.begin = n_lo;
-        h.end = w_hi;
-        fill_segments_1d(h, a, ring);
-        if (reuse_id >= 0) h.deps.push_back(reuse_id);
-        h.label = "h2d " + a.name + range_str(n_lo, w_hi);
-        const int hid = add_node(std::move(h));
-        for (std::int64_t idx = n_lo; idx < w_hi; ++idx) as.copy_writer[idx] = hid;
-        chunk_h2d.push_back(hid);
+        // A shard's foreign tail [recv_lo, w_hi) lands via P2P from the
+        // neighbour that owns it; everything below recv_lo comes from the
+        // host as usual. Solo regions have no halo and take the first branch
+        // for the whole window.
+        const ShardHalo* hal = halo_of[ai];
+        const std::int64_t recv_lo =
+            hal && hal->recv_peer >= 0 ? std::clamp(hal->recv_lo, n_lo, w_hi) : w_hi;
+        auto emit_copy = [&](PlanOp op, std::int64_t c_lo, std::int64_t c_hi) {
+          PlanNode h;
+          h.op = op;
+          h.stream = stream;
+          h.array = static_cast<int>(ai);
+          h.chunk = counter;
+          h.begin = c_lo;
+          h.end = c_hi;
+          if (op == PlanOp::P2pRecv) h.peer = hal->recv_peer;
+          fill_segments_1d(h, a, ring);
+          if (reuse_id >= 0) h.deps.push_back(reuse_id);
+          h.label = (op == PlanOp::H2D ? "h2d " : "p2p-recv ") + a.name +
+                    range_str(c_lo, c_hi);
+          const int hid = add_node(std::move(h));
+          for (std::int64_t idx = c_lo; idx < c_hi; ++idx) as.copy_writer[idx] = hid;
+          chunk_h2d.push_back(hid);
+        };
+        if (n_lo < recv_lo) emit_copy(PlanOp::H2D, n_lo, recv_lo);
+        if (recv_lo < w_hi) emit_copy(PlanOp::P2pRecv, recv_lo, w_hi);
       }
     }
     if (!chunk_h2d.empty()) {
       plan.nodes[static_cast<std::size_t>(chunk_h2d.back())].records_event = true;
       for (int id : chunk_h2d)
         plan.nodes[static_cast<std::size_t>(id)].event_node = chunk_h2d.back();
+    }
+
+    // ---- halo push: forward the first window's head to the neighbour ----
+    // The overlap a neighbour's trailing windows need is exactly the head of
+    // this shard's own first window, so it is already on the device after the
+    // first chunk's upload — one P2P copy forwards it without touching the
+    // host. Registered as a reader of its slots so any later overwrite (ring
+    // wrap) orders after the push.
+    if (lo == from) {
+      for (std::size_t ai = 0; ai < spec.arrays.size(); ++ai) {
+        const ShardHalo* hal = halo_of[ai];
+        if (!hal || hal->send_peer < 0) continue;
+        const ArraySpec& a = spec.arrays[ai];
+        ensure(is_input(a.map), "shard halo send on a non-input array");
+        AState& as = st[ai];
+        const std::int64_t ring = plan.arrays[ai].ring_len;
+        const auto [w_lo, w_hi] = layout::window_of(a, lo, hi);
+        require(w_lo < hal->send_hi && hal->send_hi <= w_hi,
+                "array '" + a.name + "': shard halo send range must sit inside the "
+                "first chunk's window");
+        PlanNode p;
+        p.op = PlanOp::P2pSend;
+        p.stream = stream;
+        p.array = static_cast<int>(ai);
+        p.chunk = counter;
+        p.begin = w_lo;
+        p.end = hal->send_hi;
+        p.peer = hal->send_peer;
+        fill_segments_1d(p, a, ring);
+        for (std::int64_t idx = p.begin; idx < p.end; ++idx) {
+          auto it = as.copy_writer.find(idx);
+          ensure(it != as.copy_writer.end(), "halo send slice was never scheduled for copy");
+          push_dep(p.deps, it->second);
+        }
+        p.records_event = true;
+        p.label = "p2p-send " + a.name + range_str(p.begin, p.end) + "->s" +
+                  std::to_string(p.peer);
+        const std::int64_t s_lo = p.begin;
+        const std::int64_t s_hi = p.end;
+        const int pid = add_node(std::move(p));
+        plan.nodes[static_cast<std::size_t>(pid)].event_node = pid;
+        for (std::int64_t idx = s_lo; idx < s_hi; ++idx) {
+          auto& readers = as.slot_readers[static_cast<std::size_t>(idx % ring)];
+          if (readers.empty() || readers.back() != pid) readers.push_back(pid);
+        }
+      }
     }
 
     // ---- kernel ----
@@ -320,6 +386,66 @@ std::vector<ExecutionPlan> PlanBuilder::multi(const MultiSpec& ms) {
     plans.push_back(std::move(p));
   }
   return plans;
+}
+
+// --- Shard decomposition ---
+
+std::vector<ShardSlice> shard_pipeline_specs(const PipelineSpec& spec,
+                                             const std::vector<double>& weights) {
+  spec.validate();
+  require(spec.schedule == ScheduleKind::Static, "sharding requires the static schedule");
+  require(spec.halos.empty(), "cannot re-shard an already-sharded sub-spec");
+  for (const auto& a : spec.arrays)
+    require(a.split.dim == 0 && !a.split.window_fn,
+            "array '" + a.name + "': sharding needs dim-0 affine splits");
+  const auto parts =
+      layout::partition_weighted(spec.iterations(), weights, spec.chunk_size);
+
+  std::vector<ShardSlice> out;
+  std::int64_t begin = spec.loop_begin;
+  for (std::size_t d = 0; d < parts.size(); ++d) {
+    if (parts[d] <= 0) continue;
+    ShardSlice s;
+    s.shard = static_cast<int>(out.size());
+    s.begin = begin;
+    s.end = begin + parts[d];
+    begin = s.end;
+    s.spec = spec;
+    s.spec.loop_begin = s.begin;
+    s.spec.loop_end = s.end;
+    out.push_back(std::move(s));
+  }
+
+  // Wire neighbour halos: where an input window overhangs its stride, shard
+  // s's trailing windows reach `overhang` indices past the boundary into
+  // territory shard s+1 uploads as the head of its own first window — so
+  // s+1 pushes that head device-to-device and s never asks the host for it.
+  auto halo_entry = [](ShardSlice& s, int ai) -> ShardHalo& {
+    for (ShardHalo& h : s.spec.halos)
+      if (h.array == ai) return h;
+    ShardHalo h;
+    h.array = ai;
+    s.spec.halos.push_back(h);
+    return s.spec.halos.back();
+  };
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    ShardSlice& left = out[i];
+    ShardSlice& right = out[i + 1];
+    for (std::size_t ai = 0; ai < spec.arrays.size(); ++ai) {
+      const ArraySpec& a = spec.arrays[ai];
+      if (!is_input(a.map)) continue;
+      const std::int64_t overhang = layout::halo(a.split.window, a.split.start.scale);
+      if (overhang <= 0) continue;
+      const std::int64_t boundary = a.split.start(right.begin);
+      ShardHalo& recv = halo_entry(left, static_cast<int>(ai));
+      recv.recv_lo = boundary;
+      recv.recv_peer = right.shard;
+      ShardHalo& send = halo_entry(right, static_cast<int>(ai));
+      send.send_hi = boundary + overhang;
+      send.send_peer = left.shard;
+    }
+  }
+  return out;
 }
 
 // --- PlanBuilder: 2-D tiles ---
@@ -638,6 +764,16 @@ void ExecutionPlan::validate() const {
           }
         }
         break;
+      case PlanOp::P2pSend:
+        // Reads its own ring slots; the peer-side staging write is the
+        // exchange's business (the machine-wide tracker covers it at run
+        // time — static validation is per-plan).
+        add_segments(false);
+        break;
+      case PlanOp::P2pRecv:
+        // Lands peer data into its own ring slots, just like an H2D.
+        add_segments(true);
+        break;
       case PlanOp::SlotReuse:
       case PlanOp::Barrier:
         break;  // ordering-only nodes
@@ -669,6 +805,12 @@ void ExecutionPlan::to_dot(std::ostream& os) const {
           break;
         case PlanOp::Kernel:
           os << ", style=filled, fillcolor=khaki";
+          break;
+        case PlanOp::P2pSend:
+          os << ", style=filled, fillcolor=orchid";
+          break;
+        case PlanOp::P2pRecv:
+          os << ", style=filled, fillcolor=lightsalmon";
           break;
         case PlanOp::SlotReuse:
         case PlanOp::Barrier:
@@ -756,6 +898,18 @@ void PlanExecutor::enqueue(const ExecutionPlan& plan, const PlanKernelMaker& mak
         if (stats_) {
           ++stats_->kernels;
           ++stats_->chunks;
+        }
+        break;
+      }
+      case PlanOp::P2pSend:
+      case PlanOp::P2pRecv: {
+        require(exchange_ != nullptr,
+                "plan contains P2P halo nodes but no exchange is bound "
+                "(PlanExecutor::set_exchange)");
+        exchange_->issue(gpu_, s, n);
+        if (stats_) {
+          ++stats_->p2p_copies;
+          if (n.op == PlanOp::P2pSend) stats_->p2p_bytes += n.bytes;
         }
         break;
       }
@@ -881,6 +1035,23 @@ DryRunResult dry_run(const ExecutionPlan& plan, const gpu::DeviceProfile& profil
           dur += cost.seconds_per_iter * iters;
         }
         submit(n.stream, compute, dur, sim::SpanKind::Kernel, n.label, kernel_bytes, n.id);
+        break;
+      }
+      case PlanOp::P2pSend:
+      case PlanOp::P2pRecv: {
+        // Mirrors Gpu::memcpy_p2p_async / memcpy_d2d_async: both ride the
+        // copy engine; the send crosses the bus at PCIe speed, the landing
+        // is a local device-to-device move at memory bandwidth.
+        const bool send = n.op == PlanOp::P2pSend;
+        for (const PlanSegment& seg : n.segments) {
+          const Bytes total = seg.bytes();
+          const double bw = send ? profile.pcie_bandwidth : profile.mem_bandwidth;
+          const SimTime dur =
+              profile.copy_setup_latency + static_cast<double>(total) / bw;
+          submit(n.stream, h2d, dur, sim::SpanKind::D2D,
+                 std::string(send ? "p2p" : "d2d") + "[" + std::to_string(total) + "B]",
+                 total, n.id);
+        }
         break;
       }
       case PlanOp::SlotReuse:

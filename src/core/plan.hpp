@@ -47,6 +47,8 @@ enum class PlanOp {
   D2H,       ///< device->host transfer of a split-index range
   SlotReuse, ///< waits guarding a ring-slot overwrite (no device work)
   Barrier,   ///< cross-stream join (tile band transition; no device work)
+  P2pSend,   ///< device->peer-device halo push of this plan's ring data
+  P2pRecv,   ///< peer-device->ring halo landing (replaces a host upload)
 };
 
 inline const char* to_string(PlanOp op) {
@@ -56,6 +58,8 @@ inline const char* to_string(PlanOp op) {
     case PlanOp::D2H: return "D2H";
     case PlanOp::SlotReuse: return "SlotReuse";
     case PlanOp::Barrier: return "Barrier";
+    case PlanOp::P2pSend: return "P2pSend";
+    case PlanOp::P2pRecv: return "P2pRecv";
   }
   return "?";
 }
@@ -116,6 +120,9 @@ struct PlanNode {
   /// (a chunk's copies all share the last copy's event); -1 for nodes with
   /// no device work (SlotReuse/Barrier).
   int event_node = -1;
+  /// P2pSend/P2pRecv: the neighbouring shard on the other end of the halo
+  /// link (a shard index, not a device id — the exchange resolves it).
+  int peer = -1;
   std::string label;
 };
 
@@ -140,6 +147,8 @@ struct PipelineStats {
   std::int64_t kernels = 0;
   std::int64_t events = 0;
   std::int64_t stream_waits = 0;
+  std::int64_t p2p_copies = 0;  ///< P2pSend/P2pRecv nodes issued
+  Bytes p2p_bytes = 0;          ///< halo bytes pushed device-to-device
 };
 
 /// The complete op graph of one region execution. Nodes are listed in
@@ -225,6 +234,26 @@ class PlanBuilder {
   static std::vector<ExecutionPlan> multi(const MultiSpec& ms);
 };
 
+/// One shard of a multi-device decomposition: a contiguous slice
+/// [begin, end) of the split loop plus the sub-spec (shard halos wired)
+/// whose plan runs it on one device.
+struct ShardSlice {
+  int shard = 0;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  PipelineSpec spec;
+};
+
+/// Slices `spec`'s loop across shards by `weights` (granule = chunk_size;
+/// zero-weight / empty slices are dropped and shard indices renumbered) and
+/// wires ShardHalo entries between neighbours for every input array whose
+/// window overhangs its stride: the overhang of shard s's trailing windows
+/// lands via P2P from shard s+1 instead of a host upload, and shard s+1
+/// pushes the overlapping head of its own (host-uploaded) first window.
+/// Requires a static schedule and dim-0 affine splits throughout.
+std::vector<ShardSlice> shard_pipeline_specs(const PipelineSpec& spec,
+                                             const std::vector<double>& weights);
+
 /// Mirrors Pipeline's memory-limit solving without allocating anything:
 /// shrinks chunk_size (then num_streams) until the predicted ring
 /// footprints fit `limit`. Throws gpu::OomError when even (1, 1) does not.
@@ -289,6 +318,19 @@ class RingBufferBinding final : public PlanArrayBinding {
 /// arrays' memory effects and the default name itself).
 using PlanKernelMaker = std::function<gpu::KernelDesc(const PlanNode&)>;
 
+/// Issues the device work of P2pSend/P2pRecv nodes. The executor cannot do
+/// this itself — a halo link crosses plans (and devices), so the sharding
+/// runtime (src/sched/shard.*) binds an exchange that knows both ends'
+/// buffers and the staging area between them. Executing a plan containing
+/// P2P nodes without an exchange bound is an error.
+class PlanExchange {
+ public:
+  virtual ~PlanExchange() = default;
+  /// Called in enqueue order on the node's own stream; must issue the
+  /// copies asynchronously (stream-ordered) like any other plan node.
+  virtual void issue(gpu::Gpu& g, gpu::Stream& s, const PlanNode& n) = 0;
+};
+
 /// Replays an ExecutionPlan against a Gpu: issues transfers through the
 /// array bindings, records/waits events exactly as the node graph
 /// prescribes, and accumulates PipelineStats. One executor instance is
@@ -300,6 +342,10 @@ class PlanExecutor {
   /// Binds the stream set and per-array buffers the next enqueue() uses
   /// (plan array/stream indices index into these vectors).
   void bind(std::vector<gpu::Stream*> streams, std::vector<PlanArrayBinding*> arrays);
+
+  /// Binds the halo exchange P2pSend/P2pRecv nodes dispatch to (nullptr to
+  /// unbind). The exchange must outlive every enqueue() that uses it.
+  void set_exchange(PlanExchange* exchange) { exchange_ = exchange; }
 
   /// Issues every node of `plan` without blocking.
   void enqueue(const ExecutionPlan& plan, const PlanKernelMaker& make_kernel);
@@ -318,6 +364,7 @@ class PlanExecutor {
 
   gpu::Gpu& gpu_;
   PipelineStats* stats_;
+  PlanExchange* exchange_ = nullptr;
   std::vector<gpu::Stream*> streams_;
   std::vector<PlanArrayBinding*> arrays_;
   std::vector<gpu::EventPtr> events_;  // indexed by node id

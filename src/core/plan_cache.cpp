@@ -218,6 +218,17 @@ std::string PlanCache::fingerprint(const gpu::Gpu& g, const PipelineSpec& spec,
     append_i64(key, a.split.window);
     append_i64(key, g.is_pinned(a.host) ? 1 : 0);
   }
+  // Shard halo wiring changes the emitted nodes (P2pSend/P2pRecv replace
+  // host uploads), so each shard of a decomposition gets its own honest
+  // fingerprint — and never collides with the solo plan of the same range.
+  for (const auto& h : spec.halos) {
+    key += "halo|";
+    append_i64(key, h.array);
+    append_i64(key, h.recv_lo);
+    append_i64(key, h.recv_peer);
+    append_i64(key, h.send_hi);
+    append_i64(key, h.send_peer);
+  }
   return key;
 }
 

@@ -143,7 +143,11 @@ PassStats halo_reuse_pass(ExecutionPlan& plan) {
         break;
       }
 
-      case PlanOp::H2D: {
+      case PlanOp::H2D:
+      case PlanOp::P2pRecv: {
+        // A P2pRecv is an upload whose bytes come from a peer device instead
+        // of the host; residency, slot-reuse, and event-group mechanics are
+        // identical, so repeated foreign windows elide to the first landing.
         CellState& cs = st[ai];
         const auto [r_lo, r_hi] = row_range(n.row_begin, n.row_end);
         // A column is needed unless it already holds the same host data
@@ -227,7 +231,8 @@ PassStats halo_reuse_pass(ExecutionPlan& plan) {
           ++stats.nodes_changed;
           stats.bytes_saved += n.bytes - h.bytes;
           stats.bytes_saved_by_array[ai].second += n.bytes - h.bytes;
-          h.label = "h2d " + plan.arrays[ai].name + range_str(n_lo, n_hi);
+          h.label = (n.op == PlanOp::H2D ? "h2d " : "p2p-recv ") +
+                    plan.arrays[ai].name + range_str(n_lo, n_hi);
         }
         h.records_event = false;  // groups re-elect their recorder below
         h.event_node = -1;
@@ -281,6 +286,29 @@ PassStats halo_reuse_pass(ExecutionPlan& plan) {
             if (rd.empty() || rd.back() != kid) rd.push_back(kid);
             if (acc.write) acs.res_col[cell] = -1;
           }
+        }
+        break;
+      }
+
+      case PlanOp::P2pSend: {
+        // Re-derive the send's copy dependencies from the per-cell producer
+        // (halo reuse may have merged the upload it originally depended on)
+        // and re-register it as a reader so later overwrites wait for it.
+        CellState& cs = st[ai];
+        PlanNode p = n;
+        p.deps.clear();
+        for (std::int64_t c = n.begin; c < n.end; ++c) {
+          const std::size_t cell = cell_of(c);
+          ensure(cs.res_col[cell] == c && cs.producer[cell] >= 0,
+                 "plan_opt: halo send slice is not resident");
+          push_dep(p.deps, cs.producer[cell]);
+        }
+        const int pid = emit(std::move(p), n.id);
+        out[static_cast<std::size_t>(pid)].records_event = true;
+        out[static_cast<std::size_t>(pid)].event_node = pid;
+        for (std::int64_t c = n.begin; c < n.end; ++c) {
+          auto& rd = cs.readers[cell_of(c)];
+          if (rd.empty() || rd.back() != pid) rd.push_back(pid);
         }
         break;
       }
@@ -341,7 +369,11 @@ PassStats coalesce_pass(ExecutionPlan& plan) {
   stats.pass = "coalesce";
   for (const auto& a : plan.arrays) stats.bytes_saved_by_array.emplace_back(a.name, 0);
   for (PlanNode& n : plan.nodes) {
-    if (!is_transfer(n.op) || n.segments.size() < 2) continue;
+    // P2P halo nodes carry ring segments like any transfer; merging their
+    // wrap pieces merges the exchange's copies the same way.
+    const bool coalescable = is_transfer(n.op) || n.op == PlanOp::P2pSend ||
+                             n.op == PlanOp::P2pRecv;
+    if (!coalescable || n.segments.size() < 2) continue;
     std::vector<PlanSegment> merged;
     merged.reserve(n.segments.size());
     for (const PlanSegment& seg : n.segments) {

@@ -177,6 +177,7 @@ void write_plan(ByteWriter& w, const ExecutionPlan& p) {
     w.u64(n.bytes);
     w.u8(n.records_event ? 1 : 0);
     w.i64(n.event_node);
+    w.i64(n.peer);
     w.str(n.label);
   }
 }
@@ -198,12 +199,12 @@ void read_plan(ByteReader& r, ExecutionPlan& p) {
     a.pinned = r.u8() != 0;
     if (!r.ok()) return;
   }
-  const std::uint64_t num_nodes = r.count(8 * 9 + 4);
+  const std::uint64_t num_nodes = r.count(8 * 10 + 4);
   p.nodes.resize(static_cast<std::size_t>(num_nodes));
   for (PlanNode& n : p.nodes) {
     n.id = static_cast<int>(r.i64());
     const std::uint32_t op = r.u32();
-    if (op > static_cast<std::uint32_t>(PlanOp::Barrier)) r.fail("invalid PlanOp");
+    if (op > static_cast<std::uint32_t>(PlanOp::P2pRecv)) r.fail("invalid PlanOp");
     n.op = static_cast<PlanOp>(op);
     n.stream = static_cast<int>(r.i64());
     n.array = static_cast<int>(r.i64());
@@ -243,6 +244,7 @@ void read_plan(ByteReader& r, ExecutionPlan& p) {
     n.bytes = r.u64();
     n.records_event = r.u8() != 0;
     n.event_node = static_cast<int>(r.i64());
+    n.peer = static_cast<int>(r.i64());
     n.label = r.str();
     if (!r.ok()) return;
   }

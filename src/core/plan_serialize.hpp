@@ -54,7 +54,8 @@ inline constexpr std::uint32_t kPlanArtifactMagic = 0x45435047u;
 inline constexpr std::uint32_t kPlanBundleMagic = 0x4e425047u;
 /// Bumped on any wire-format change; readers reject other versions (skew is
 /// a miss, not an error — a new binary simply recomputes and rewrites).
-inline constexpr std::uint32_t kPlanFormatVersion = 1;
+/// v2: PlanNode grew the `peer` shard field (P2pSend/P2pRecv halo nodes).
+inline constexpr std::uint32_t kPlanFormatVersion = 2;
 
 /// What one artifact carries. Values are part of the wire format.
 enum class ArtifactKind : std::uint32_t {

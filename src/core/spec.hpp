@@ -141,6 +141,22 @@ struct ArraySpec {
   }
 };
 
+/// Halo wiring of one array of a sharded sub-region (multi-device
+/// decomposition, src/sched/shard.*). A shard's plan normally uploads every
+/// split index its windows touch from the host; a ShardHalo redirects part
+/// of that traffic to device-to-device exchange with a neighbouring shard:
+/// indices >= `recv_lo` arrive as P2pRecv nodes fed by shard `recv_peer`
+/// (which owns them), and the first `send_hi - first_window_lo` indices of
+/// this shard's own range are additionally P2pSent to shard `send_peer`,
+/// whose trailing windows overlap them. Either direction may be absent (-1).
+struct ShardHalo {
+  int array = -1;              ///< index into PipelineSpec::arrays
+  std::int64_t recv_lo = -1;   ///< first split index received via P2P
+  int recv_peer = -1;          ///< shard supplying [recv_lo, window end)
+  std::int64_t send_hi = -1;   ///< one past the last split index sent via P2P
+  int send_peer = -1;          ///< shard consuming [first window lo, send_hi)
+};
+
 /// The full pipeline region description.
 struct PipelineSpec {
   ScheduleKind schedule = ScheduleKind::Static;
@@ -159,6 +175,9 @@ struct PipelineSpec {
   std::int64_t loop_begin = 0;
   std::int64_t loop_end = 0;
   std::vector<ArraySpec> arrays;
+  /// Non-empty only for sharded sub-regions: per-array P2P halo wiring
+  /// (shard_pipeline_specs fills this; empty means no cross-device traffic).
+  std::vector<ShardHalo> halos;
 
   void validate() const {
     require(chunk_size >= 1, "chunk_size must be >= 1");
@@ -168,6 +187,19 @@ struct PipelineSpec {
     require(!arrays.empty(), "pipeline needs at least one pipeline_map clause");
     for (const auto& a : arrays) a.validate();
     if (mem_limit) require(*mem_limit > 0, "mem_limit must be positive");
+    for (const auto& h : halos) {
+      require(h.array >= 0 && h.array < static_cast<int>(arrays.size()),
+              "shard halo names an array index outside the spec");
+      const ArraySpec& a = arrays[static_cast<std::size_t>(h.array)];
+      require(a.split.dim == 0 && !a.split.window_fn,
+              "array '" + a.name + "': shard halos need a dim-0 affine split");
+      require(h.recv_peer >= 0 || h.send_peer >= 0,
+              "array '" + a.name + "': shard halo has neither direction");
+      if (h.recv_peer >= 0)
+        require(h.recv_lo >= 0, "array '" + a.name + "': halo recv_lo must be set");
+      if (h.send_peer >= 0)
+        require(h.send_hi >= 0, "array '" + a.name + "': halo send_hi must be set");
+    }
   }
 
   std::int64_t iterations() const { return loop_end - loop_begin; }

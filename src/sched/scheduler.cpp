@@ -34,8 +34,16 @@ Scheduler::Scheduler(std::vector<gpu::Gpu*> devices, SchedulerOptions opts)
             "scheduler devices must share one SharedContext (one host thread)");
   require(opts_.backoff_factor >= 1.0, "backoff factor must be >= 1");
   require(opts_.max_admission_attempts >= 1, "max admission attempts must be >= 1");
+  require(opts_.max_shards >= 1, "max_shards must be >= 1");
   outstanding_.assign(devices_.size(), 0.0);
+  dev_available_.assign(devices_.size(), 1);
   dev_completed_.assign(devices_.size(), 0);
+  dev_events_ = opts_.device_events;
+  std::stable_sort(dev_events_.begin(), dev_events_.end(),
+                   [](const DeviceEvent& a, const DeviceEvent& b) { return a.time < b.time; });
+  for (const DeviceEvent& e : dev_events_)
+    require(e.device >= 0 && e.device < num_devices(),
+            "device event names a device outside the machine");
 }
 
 int Scheduler::submit(Job job) {
@@ -99,6 +107,7 @@ ScheduleReport Scheduler::run() {
     bool progress = true;
     while (progress) {
       progress = false;
+      if (process_device_events()) progress = true;
       if (poll_completions()) progress = true;
       if (intake()) progress = true;
       if (dispatch()) progress = true;
@@ -130,15 +139,65 @@ ScheduleReport Scheduler::run() {
 bool Scheduler::poll_completions() {
   bool progress = false;
   for (std::size_t i = 0; i < active_.size();) {
-    if (active_[i].done()) {
-      complete_job(active_[i]);
-      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
-      progress = true;
-    } else {
+    Active& a = active_[i];
+    if (a.shard && !a.shard->live() && !a.shard->finished()) {
+      // Stalled at a round boundary (no device could take a shard when the
+      // last round drained) — retry now that the picture may have changed.
+      if (launch_shard_round(a)) {
+        ++shard_rounds_;
+        record_flight(telemetry::FlightEventKind::Reshard, a.id,
+                      a.shard->device_mask(), a.shard->remaining());
+        progress = true;
+      }
       ++i;
+      continue;
     }
+    if (!a.done()) {
+      ++i;
+      continue;
+    }
+    if (a.shard) {
+      a.shard->finish_round();
+      progress = true;
+      if (!a.shard->finished()) {
+        // Round boundary: re-partition the remaining iterations over the
+        // devices available *now* — the elastic reshard point. A failed
+        // launch (e.g. every device left) keeps the job active; it retries
+        // once a device event or completion changes the picture.
+        if (launch_shard_round(a)) {
+          ++shard_rounds_;
+          record_flight(telemetry::FlightEventKind::Reshard, a.id,
+                        a.shard->device_mask(), a.shard->remaining());
+          progress = true;
+        }
+        ++i;
+        continue;
+      }
+    }
+    complete_job(a);
+    active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    progress = true;
   }
   return progress;
+}
+
+bool Scheduler::process_device_events() {
+  bool progress = false;
+  while (next_dev_event_ < dev_events_.size() &&
+         dev_events_[next_dev_event_].time <= host_now()) {
+    const DeviceEvent& e = dev_events_[next_dev_event_++];
+    dev_available_[static_cast<std::size_t>(e.device)] = e.join ? 1 : 0;
+    log_debug("sched: dev", e.device, e.join ? " joined" : " left", " at ", e.time, "s");
+    progress = true;
+  }
+  return progress;
+}
+
+std::vector<int> Scheduler::available_devices() const {
+  std::vector<int> out;
+  for (int d = 0; d < num_devices(); ++d)
+    if (dev_available_[static_cast<std::size_t>(d)]) out.push_back(d);
+  return out;
 }
 
 bool Scheduler::intake() {
@@ -187,13 +246,15 @@ bool Scheduler::dispatch() {
     const std::size_t idx = static_cast<std::size_t>(id);
     ++records_[idx].admission_attempts;
 
-    bool started = false;
-    for (int dev : placement_order()) {
-      const AdmissionDecision d = admission_.try_admit(dev, jobs_[idx].spec);
-      if (!d.admitted) continue;
-      start_job(id, dev, d);
-      started = true;
-      break;
+    bool started = shard_eligible(id) && try_start_sharded(id);
+    if (!started) {
+      for (int dev : placement_order()) {
+        const AdmissionDecision d = admission_.try_admit(dev, jobs_[idx].spec);
+        if (!d.admitted) continue;
+        start_job(id, dev, d);
+        started = true;
+        break;
+      }
     }
     if (started) {
       progress = true;
@@ -223,6 +284,108 @@ bool Scheduler::dispatch() {
     }
   }
   return progress;
+}
+
+bool Scheduler::shard_eligible(int id) const {
+  if (opts_.shard_threshold == 0) return false;
+  const Job& job = jobs_[static_cast<std::size_t>(id)];
+  if (!shardable(job.spec)) return false;
+  int avail = 0;
+  for (char c : dev_available_) avail += c;
+  if (avail < 2) return false;
+  // Size gate on the *requested* shape: what the job would ring-buffer on
+  // one device if admission never shrank it.
+  const Bytes fp = core::predicted_pipeline_footprint(
+      *devices_[0], job.spec, job.spec.chunk_size, job.spec.num_streams);
+  return fp >= opts_.shard_threshold;
+}
+
+bool Scheduler::launch_shard_round(Active& a) {
+  const std::vector<int> devs = available_devices();
+  if (devs.empty()) return false;
+  const Job& job = jobs_[static_cast<std::size_t>(a.id)];
+  core::DryRunCost cost;
+  cost.flops_per_iter = job.flops_per_iter;
+  cost.bytes_per_iter = job.bytes_per_iter;
+  // Per-device solo estimates feed the load-aware weights; the plan cache
+  // memoizes them per profile, so repeated rounds and same-profile devices
+  // pay once.
+  std::vector<SimTime> est(devices_.size(), kInf);
+  for (int d : devs) {
+    const std::size_t di = static_cast<std::size_t>(d);
+    try {
+      est[di] = core::estimate_pipeline_runtime(*devices_[di], job.spec, cost,
+                                                admission_.cap(d));
+    } catch (const gpu::OomError&) {
+    }
+  }
+  return a.shard->start_round(devs, shard_weights(devs, est, outstanding_));
+}
+
+bool Scheduler::try_start_sharded(int id) {
+  const std::size_t idx = static_cast<std::size_t>(id);
+  JobRecord& r = records_[idx];
+
+  Active a;
+  a.id = id;
+  a.estimate = r.estimate;
+  ShardRunOptions so;
+  so.max_shards = opts_.max_shards;
+  so.reshard_interval = opts_.reshard_interval;
+  so.trace_id = r.trace_id;
+  if (opts_.recorder) {
+    so.flight = [this, id](telemetry::FlightEventKind k, std::int64_t pa,
+                           std::int64_t pb, int device) {
+      telemetry::FlightEvent ev;
+      ev.time = host_now();
+      ev.kind = k;
+      ev.trace_id = records_[static_cast<std::size_t>(id)].trace_id;
+      ev.job = id;
+      ev.device = device;
+      ev.a = pa;
+      ev.b = pb;
+      opts_.recorder->record(ev);
+    };
+  }
+  a.shard = std::make_unique<ShardRun>(jobs_[idx], devices_, admission_, std::move(so));
+  if (!launch_shard_round(a)) return false;
+  ++sharded_jobs_;
+  ++shard_rounds_;
+
+  r.state = JobState::Running;
+  r.device = a.shard->first_device();
+  r.start = host_now();
+  r.footprint = a.shard->round_footprint();
+  r.chunk_size = a.shard->first_chunk_size();
+  r.num_streams = a.shard->first_num_streams();
+  r.shrunk = a.shard->shrunk();
+  if (r.shrunk) ++admission_shrinks_;
+  a.device = r.device;
+  a.footprint = r.footprint;
+
+  // Spread the solo estimate over the first round's devices for the
+  // least-loaded bookkeeping (held until completion; later rounds may use
+  // other devices, but re-attributing mid-job would make placement depend
+  // on reshard timing).
+  if (std::isfinite(a.estimate) && a.shard->num_shards() > 0) {
+    const SimTime share = a.estimate / a.shard->num_shards();
+    for (int d : a.shard->shard_devices()) {
+      outstanding_[static_cast<std::size_t>(d)] += share;
+      a.shares.emplace_back(d, share);
+    }
+  }
+
+  queue_.remove(id);
+  record_flight(telemetry::FlightEventKind::Admit, id,
+                static_cast<std::int64_t>(r.footprint), r.chunk_size);
+  if (r.shrunk)
+    record_flight(telemetry::FlightEventKind::Shrink, id, r.chunk_size, r.num_streams);
+  record_flight(telemetry::FlightEventKind::Shard, id, a.shard->device_mask(),
+                static_cast<std::int64_t>(a.shard->round_p2p_bytes()));
+  log_debug("sched: job ", id, " (", jobs_[idx].name, ") sharded over ",
+            a.shard->num_shards(), " devices, ", to_mib(r.footprint), " MiB total");
+  active_.push_back(std::move(a));
+  return true;
 }
 
 void Scheduler::start_job(int id, int dev, const AdmissionDecision& d) {
@@ -294,16 +457,28 @@ void Scheduler::complete_job(Active& a) {
   const std::size_t idx = static_cast<std::size_t>(a.id);
   JobRecord& r = records_[idx];
   SimTime finish = 0.0;
-  for (const auto& ev : a.events) finish = std::max(finish, ev->timestamp());
+  if (a.shard) {
+    // Rounds already drained and released their admission commits; fold the
+    // run's transfer totals into the scheduler counters.
+    finish = a.shard->finish_time();
+    p2p_halo_bytes_ += a.shard->p2p_bytes();
+    a.shard.reset();
+  } else {
+    for (const auto& ev : a.events) finish = std::max(finish, ev->timestamp());
+    // All events already fired, so the drain is bookkeeping; destroying the
+    // pipeline releases its ring buffers and streams (per-stream sync only).
+    a.pipeline->wait();
+    a.pipeline.reset();
+    admission_.release(a.device, a.footprint);
+  }
   r.finish = finish;
   r.state = JobState::Completed;
-  // All events already fired, so the drain is bookkeeping; destroying the
-  // pipeline releases its ring buffers and streams (per-stream sync only).
-  a.pipeline->wait();
-  a.pipeline.reset();
-  admission_.release(a.device, a.footprint);
-  if (std::isfinite(a.estimate))
+  if (!a.shares.empty()) {
+    for (const auto& [d, share] : a.shares)
+      outstanding_[static_cast<std::size_t>(d)] -= share;
+  } else if (std::isfinite(a.estimate)) {
     outstanding_[static_cast<std::size_t>(a.device)] -= a.estimate;
+  }
   ++dev_completed_[static_cast<std::size_t>(a.device)];
   ++completed_;
   record_flight(telemetry::FlightEventKind::Complete, a.id,
@@ -321,6 +496,8 @@ void Scheduler::complete_job(Active& a) {
 }
 
 std::vector<int> Scheduler::placement_order() const {
+  // Only the currently-available devices are candidates; with no
+  // DeviceEvents configured this is every device, as before.
   std::vector<int> order(devices_.size());
   for (std::size_t i = 0; i < devices_.size(); ++i) order[i] = static_cast<int>(i);
   if (opts_.placement == PlacementPolicy::RoundRobin) {
@@ -335,6 +512,9 @@ std::vector<int> Scheduler::placement_order() const {
       return a < b;
     });
   }
+  std::erase_if(order, [this](int d) {
+    return !dev_available_[static_cast<std::size_t>(d)];
+  });
   return order;
 }
 
@@ -349,7 +529,13 @@ void Scheduler::advance() {
     // a rejection, which needs no time) can unblock it.
     if (t > host_now()) next_arrival = t;
   }
-  const SimTime wake = std::min(next_arrival, queue_.next_retry(host_now()));
+  SimTime next_dev = kInf;
+  if (next_dev_event_ < dev_events_.size()) {
+    const SimTime t = dev_events_[next_dev_event_].time;
+    if (t > host_now()) next_dev = t;
+  }
+  const SimTime wake =
+      std::min({next_arrival, queue_.next_retry(host_now()), next_dev});
   // Sampling ticks additionally bound advancement (after the stall check:
   // a tick alone never represents pending work), so every sample is taken
   // at exactly its nominal time, not wherever the next event landed.
@@ -448,6 +634,13 @@ void Scheduler::collect_metrics(telemetry::Registry& reg, const std::string& pre
   reg.counter(p + "admission_retries").add(admission_retries_);
   reg.counter(p + "admission_shrinks").add(admission_shrinks_);
   reg.counter(p + "deadline_misses").add(deadline_misses_);
+  if (opts_.shard_threshold > 0) {
+    // Gated on the feature so runs without sharding keep their exact
+    // metric set (and golden exports) unchanged.
+    reg.counter(p + "sharded_jobs").add(sharded_jobs_);
+    reg.counter(p + "shard_rounds").add(shard_rounds_);
+    reg.counter(p + "p2p_halo_bytes").add(static_cast<std::int64_t>(p2p_halo_bytes_));
+  }
   reg.gauge(p + "makespan_s").set(makespan_);
   reg.gauge(p + "queue_depth_peak").set(static_cast<double>(queue_depth_peak_));
   reg.counter(p + "queue.wakes").add(static_cast<std::int64_t>(queue_.woken_total()));

@@ -41,6 +41,7 @@
 #include "sched/admission.hpp"
 #include "sched/job.hpp"
 #include "sched/queue.hpp"
+#include "sched/shard.hpp"
 
 namespace gpupipe::sched {
 
@@ -58,6 +59,17 @@ inline const char* to_string(PlacementPolicy p) {
   return "?";
 }
 
+/// One scripted elastic capacity change: a device joins or leaves the
+/// schedulable set at `time` (virtual). A leaving device drains what it
+/// already runs — in-flight solo jobs and the current shard round finish —
+/// but receives nothing new; sharded jobs re-partition their remaining
+/// iterations at the next round boundary.
+struct DeviceEvent {
+  SimTime time = 0.0;
+  int device = 0;
+  bool join = false;  ///< false = leave
+};
+
 struct SchedulerOptions {
   QueuePolicy queue_policy = QueuePolicy::Fifo;
   PlacementPolicy placement = PlacementPolicy::LeastLoaded;
@@ -72,6 +84,20 @@ struct SchedulerOptions {
   SimTime backoff_max = 0.5;
   /// Rejection threshold: placement rounds before the scheduler gives up.
   int max_admission_attempts = 12;
+
+  /// Elastic sharding (sched/shard.hpp): a queued job whose predicted solo
+  /// ring footprint reaches this threshold is split across the available
+  /// devices with P2P halo exchange instead of running on one. 0 = off.
+  Bytes shard_threshold = 0;
+  /// Devices one sharded job may span per round.
+  int max_shards = 4;
+  /// Loop iterations per shard round; round boundaries are where an
+  /// elastic reshard (device join/leave, load shift) takes effect.
+  /// 0 = one round per job (no mid-job resharding).
+  std::int64_t reshard_interval = 0;
+  /// Scripted device join/leave times (applied in time order; ties by
+  /// position). Empty = the device set is fixed for the whole run.
+  std::vector<DeviceEvent> device_events;
 
   /// Live observability hooks, all optional and caller-owned (must outlive
   /// run()). With every hook null the control loop is byte-identical to an
@@ -137,8 +163,16 @@ class Scheduler {
     Bytes footprint = 0;
     SimTime estimate = 0.0;
     std::unique_ptr<core::Pipeline> pipeline;
+    std::unique_ptr<ShardRun> shard;  ///< multi-device path (pipeline null)
+    /// Estimated-seconds load added per device at start (removed on
+    /// completion) — one entry for solo jobs, one per shard otherwise.
+    std::vector<std::pair<int, SimTime>> shares;
     std::vector<gpu::EventPtr> events;  ///< one per pipeline stream
     bool done() const {
+      // A stalled sharded job (round-boundary wait for capacity) is not
+      // done: reporting done would spin the control loop without letting
+      // time advance to the device event that unblocks it.
+      if (shard) return shard->live() && shard->round_done();
       for (const auto& ev : events)
         if (!ev->complete()) return false;
       return true;
@@ -153,6 +187,18 @@ class Scheduler {
   bool poll_completions();
   bool intake();
   bool dispatch();
+  /// Applies scripted DeviceEvents whose time has passed.
+  bool process_device_events();
+  /// Indices of devices currently in the schedulable set.
+  std::vector<int> available_devices() const;
+  /// Whether `id` qualifies for the sharded path right now.
+  bool shard_eligible(int id) const;
+  /// Tries to start `id` sharded across >= 2 available devices; false
+  /// leaves the job queued for the solo path.
+  bool try_start_sharded(int id);
+  /// (Re)starts the next round of an active sharded job with fresh devices
+  /// and weights; false when no device can take a shard right now.
+  bool launch_shard_round(Active& a);
   void start_job(int id, int dev, const AdmissionDecision& d);
   void reject_job(int id, std::int64_t reason_code, std::string reason);
   void complete_job(Active& a);
@@ -183,6 +229,9 @@ class Scheduler {
   std::size_t next_pending_ = 0;
   std::vector<Active> active_;
   std::vector<SimTime> outstanding_;  ///< estimated seconds running per device
+  std::vector<char> dev_available_;   ///< elastic membership (DeviceEvents)
+  std::vector<DeviceEvent> dev_events_;  ///< sorted by (time, position)
+  std::size_t next_dev_event_ = 0;
   std::vector<std::int64_t> dev_completed_;
   std::vector<SimTime> busy0_;  ///< compute busy time at run() start
   int rr_cursor_ = 0;
@@ -197,6 +246,9 @@ class Scheduler {
   std::int64_t admission_retries_ = 0;
   std::int64_t admission_shrinks_ = 0;
   std::int64_t deadline_misses_ = 0;
+  std::int64_t sharded_jobs_ = 0;
+  std::int64_t shard_rounds_ = 0;
+  Bytes p2p_halo_bytes_ = 0;
   std::size_t queue_depth_peak_ = 0;
   std::vector<std::size_t> queue_depth_samples_;
 };

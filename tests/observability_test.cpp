@@ -219,6 +219,9 @@ TEST(ExporterTest, EventsJsonlGoldenBytes) {
   rec.record(event(FlightEventKind::Admit, 1.0, 7, 7, 0, 1024, 16));
   rec.record(event(FlightEventKind::Reject, 2.0, 9, 9, -1, telemetry::kRejectRetryBudget));
   rec.record(event(FlightEventKind::WatchdogTrip, 3.0, -1, -1, -1, telemetry::kTripStall, 5));
+  rec.record(event(FlightEventKind::Shard, 4.0, 7, 7, 0, 3, 4096));
+  rec.record(event(FlightEventKind::Reshard, 5.0, 7, 7, 0, 1, 128));
+  rec.record(event(FlightEventKind::P2pXfer, 6.0, 7, 7, 0, 2048, 1));
   std::ostringstream os;
   telemetry::export_events_jsonl(os, rec);
   EXPECT_EQ(os.str(),
@@ -227,7 +230,13 @@ TEST(ExporterTest, EventsJsonlGoldenBytes) {
             "\"footprint\":1024,\"chunk\":16}\n"
             "{\"t\":2,\"event\":\"reject\",\"trace\":9,\"job\":9,"
             "\"reason\":\"retry-budget\"}\n"
-            "{\"t\":3,\"event\":\"watchdog-trip\",\"reason\":\"stall\",\"value\":5}\n");
+            "{\"t\":3,\"event\":\"watchdog-trip\",\"reason\":\"stall\",\"value\":5}\n"
+            "{\"t\":4,\"event\":\"shard\",\"trace\":7,\"job\":7,\"dev\":0,"
+            "\"devices\":3,\"halo_bytes\":4096}\n"
+            "{\"t\":5,\"event\":\"reshard\",\"trace\":7,\"job\":7,\"dev\":0,"
+            "\"devices\":1,\"remaining\":128}\n"
+            "{\"t\":6,\"event\":\"p2p-xfer\",\"trace\":7,\"job\":7,\"dev\":0,"
+            "\"bytes\":2048,\"src\":1}\n");
 }
 
 TEST(ExporterTest, SeriesJsonlGoldenBytes) {

@@ -27,7 +27,14 @@
 // Usage: gpupipe_plan region.pipe -D nz=64 -D ny=32 -D nx=32
 //            [--dot | --trace | --summary | --metrics | --annotate | --tune]
 //            [--profile k40m|hd7970|xeonphi] [--json] [--tune-jobs N]
+//            [--shards N] [--shard-index I]
 //            [--flops-per-iter F] [--bytes-per-iter B] [-o out]
+//
+// --shards N partitions the region's loop into N equal-weight shards
+// (core::shard_pipeline_specs — the same slicing the elastic scheduler
+// performs) and inspects shard --shard-index I (default 0) instead of the
+// whole region, so the P2pSend/P2pRecv halo-exchange nodes a sharded run
+// would execute are visible in --dot / --summary / --trace.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -196,6 +203,7 @@ int usage(int code) {
                "           [--dot | --trace | --summary | --metrics | --annotate | "
                "--tune]\n"
                "           [--opt | --opt=N | --no-opt] [--json] [--tune-jobs N]\n"
+               "           [--shards N] [--shard-index I]\n"
                "           [--profile k40m|hd7970|xeonphi]\n"
                "           [--flops-per-iter F] [--bytes-per-iter B] [-o out]\n");
   return code;
@@ -300,6 +308,8 @@ int main(int argc, char** argv) {
   std::string input_path, output_path, mode = "--summary";
   int opt_override = -1;  // -1 = use the directive's pipeline_opt level
   int tune_jobs = 1;
+  int shards = 0;       // 0 = inspect the whole region unsharded
+  int shard_index = 0;  // which shard's plan to dump with --shards
   bool json = false;
   gpupipe::dsl::Env env;
   gpupipe::gpu::DeviceProfile profile = gpupipe::gpu::nvidia_k40m();
@@ -320,6 +330,11 @@ int main(int argc, char** argv) {
         json = true;
       } else if (arg == "--tune-jobs" && i + 1 < argc) {
         tune_jobs = static_cast<int>(gpupipe::tools::parse_int("--tune-jobs", argv[++i], 0));
+      } else if (arg == "--shards" && i + 1 < argc) {
+        shards = static_cast<int>(gpupipe::tools::parse_int("--shards", argv[++i], 1, 64));
+      } else if (arg == "--shard-index" && i + 1 < argc) {
+        shard_index =
+            static_cast<int>(gpupipe::tools::parse_int("--shard-index", argv[++i], 0));
       } else if (arg == "--opt") {
         opt_override = 1;
       } else if (arg.rfind("--opt=", 0) == 0) {
@@ -376,6 +391,21 @@ int main(int argc, char** argv) {
     gpupipe::core::PipelineSpec spec =
         gpupipe::dsl::compile(in.directive, in.loop_var, begin, end, arrays, env);
     if (opt_override >= 0) spec.opt_level = opt_override;
+
+    // --shards: slice the loop like the elastic scheduler would and inspect
+    // one shard's sub-plan (with its P2P halo-exchange nodes) instead. The
+    // executing modes need a live peer wired up, so only the pure-arithmetic
+    // inspections support it.
+    if (shards > 0 && (mode == "--metrics" || mode == "--annotate" || mode == "--tune"))
+      throw Error("--shards supports --summary, --dot, and --trace only");
+    if (shards > 0) {
+      const auto slices = gpupipe::core::shard_pipeline_specs(
+          spec, std::vector<double>(static_cast<std::size_t>(shards), 1.0));
+      if (shard_index >= static_cast<int>(slices.size()))
+        throw Error("--shard-index " + std::to_string(shard_index) + " out of range (" +
+                    std::to_string(slices.size()) + " shards after partitioning)");
+      spec = slices[static_cast<std::size_t>(shard_index)].spec;
+    }
 
     // Build naive, then optimize explicitly so the pass statistics are
     // available for the summary.

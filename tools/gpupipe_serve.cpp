@@ -7,8 +7,10 @@
 // `sched.` telemetry histograms.
 //
 // Usage:
-//   gpupipe_serve [mixfile] [--default-mix N] [--jobs N] [--devices N]
+//   gpupipe_serve [mixfile] [--default-mix N] [--jobs N] [--devices N|list]
 //                 [--profile k40m|hd7970|xeonphi] [--policy fifo|priority|sjf]
+//                 [--shard-threshold MIB] [--max-shards N]
+//                 [--reshard-interval ITERS]
 //                 [--placement least-loaded|round-robin] [--cap MIB]
 //                 [--queue-capacity N] [--plan-cache N] [--tune-jobs N]
 //                 [--bundle FILE] [--cache-dir DIR] [--no-solo] [--json]
@@ -45,6 +47,16 @@
 // cache's persistent on-disk tier (same as GPUPIPE_PLAN_CACHE_DIR): misses
 // fall through memory -> disk -> compute and computed plans are written
 // back for the next process.
+//
+// --devices takes either a count N (N copies of --profile) or a
+// comma-separated profile list ("k40m,k40m,hd7970") for a heterogeneous
+// machine. --shard-threshold MIB arms elastic sharding: a job whose
+// predicted solo ring footprint reaches the threshold is partitioned across
+// the devices with P2P halo exchange (sched/shard.hpp); --max-shards caps
+// the devices per job and --reshard-interval sets the loop iterations per
+// round (0 = one round, no mid-job resharding). The solo baseline always
+// uses --profile, so heterogeneous speedup numbers are relative to that
+// reference device.
 //
 // --jobs N generates a synthetic N-tenant mix (no mix file needed) and runs
 // it on modeled-mode devices: jobs carry no host arrays, so tenant counts in
@@ -88,6 +100,9 @@ struct Options {
   int default_mix = 10;
   int jobs = 0;  ///< >0: synthetic modeled-mode mix of N tenants
   int devices = 2;
+  std::string devices_spec = "2";  ///< raw --devices value (count or list)
+  std::vector<gpu::DeviceProfile> machine;  ///< resolved per-device profiles
+  std::string machine_desc;                 ///< what to print for the machine
   std::string profile = "k40m";
   sched::SchedulerOptions sched;
   bool solo = true;
@@ -109,8 +124,11 @@ struct Options {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gpupipe_serve [mixfile] [--default-mix N] [--jobs N] [--devices N]\n"
+               "usage: gpupipe_serve [mixfile] [--default-mix N] [--jobs N]\n"
+               "                     [--devices N | k40m,hd7970,...]\n"
                "                     [--profile k40m|hd7970|xeonphi]\n"
+               "                     [--shard-threshold MIB] [--max-shards N]\n"
+               "                     [--reshard-interval ITERS]\n"
                "                     [--policy fifo|priority|sjf]\n"
                "                     [--placement least-loaded|round-robin]\n"
                "                     [--cap MIB] [--queue-capacity N] [--plan-cache N]\n"
@@ -140,7 +158,7 @@ SimTime solo_runtime(const sched::JobMixLine& line, int index,
 void print_human(const sched::ScheduleReport& rep, const std::vector<sched::ServeJob>& jobs,
                  SimTime sum_solo, const telemetry::Registry& reg, const Options& opt) {
   std::printf("gpupipe_serve: %zu jobs, %d x %s, policy %s, placement %s\n",
-              jobs.size(), opt.devices, opt.profile.c_str(),
+              jobs.size(), opt.devices, opt.machine_desc.c_str(),
               to_string(opt.sched.queue_policy), to_string(opt.sched.placement));
   std::printf("%-20s %-9s %3s %8s %8s %8s %8s %6s\n", "job", "state", "dev",
               "arrive", "wait_ms", "serve_ms", "turn_ms", "shape");
@@ -258,8 +276,15 @@ int main(int argc, char** argv) {
       };
       if (a == "--default-mix") opt.default_mix = static_cast<int>(next_int(a.c_str(), 1));
       else if (a == "--jobs") opt.jobs = static_cast<int>(next_int(a.c_str(), 1));
-      else if (a == "--devices") opt.devices = static_cast<int>(next_int(a.c_str(), 1));
+      else if (a == "--devices") opt.devices_spec = next("--devices");
       else if (a == "--profile") opt.profile = next("--profile");
+      else if (a == "--shard-threshold") {
+        opt.sched.shard_threshold = static_cast<Bytes>(next_int(a.c_str(), 1)) * MiB;
+      } else if (a == "--max-shards") {
+        opt.sched.max_shards = static_cast<int>(next_int(a.c_str(), 1));
+      } else if (a == "--reshard-interval") {
+        opt.sched.reshard_interval = next_int(a.c_str(), 0);
+      }
       else if (a == "--policy") {
         const std::string p = next("--policy");
         if (p == "fifo") opt.sched.queue_policy = sched::QueuePolicy::Fifo;
@@ -313,6 +338,13 @@ int main(int argc, char** argv) {
     if (opt.jobs > 0 && !opt.mixfile.empty())
       throw Error("--jobs generates its own mix; drop the mix file");
     if (opt.export_jsonl) opt.record = true;  // the events file needs the ring
+    // Resolve --devices last: a count expands to copies of --profile
+    // regardless of flag order; a name list builds a heterogeneous machine.
+    opt.machine = tools::parse_device_list("--devices", opt.devices_spec, opt.profile);
+    opt.devices = static_cast<int>(opt.machine.size());
+    opt.machine_desc = opt.devices_spec.find(',') == std::string::npos
+                           ? opt.profile
+                           : opt.devices_spec;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gpupipe_serve: %s\n", e.what());
     return usage();
@@ -373,7 +405,8 @@ int main(int argc, char** argv) {
     std::vector<std::unique_ptr<gpu::Gpu>> gpus;
     std::vector<gpu::Gpu*> devices;
     for (int i = 0; i < opt.devices; ++i) {
-      gpus.push_back(std::make_unique<gpu::Gpu>(profile, mode, ctx));
+      gpus.push_back(std::make_unique<gpu::Gpu>(opt.machine[static_cast<std::size_t>(i)],
+                                                mode, ctx));
       devices.push_back(gpus.back().get());
     }
 

@@ -9,10 +9,12 @@
 // string instead of an uncaught-exception abort.
 #pragma once
 
+#include <cctype>
 #include <charconv>
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "gpu/device_profile.hpp"
@@ -59,6 +61,43 @@ inline gpu::DeviceProfile profile_by_name(const std::string& name) {
   if (name == "hd7970") return gpu::amd_hd7970();
   if (name == "xeonphi") return gpu::intel_xeonphi();
   throw Error("unknown device profile '" + name + "' (k40m|hd7970|xeonphi)");
+}
+
+/// Parses a --devices spec into per-device profiles. Two forms:
+///   * an integer count N — N homogeneous copies of `default_profile`
+///     (strict: "2x" is rejected like any other malformed integer),
+///   * a comma-separated profile-name list ("k40m,k40m,hd7970") — a
+///     heterogeneous machine, one device per entry, in order.
+/// Empty entries and unknown names fail with a one-line Error naming the
+/// flag, so drivers report usage instead of building a half-parsed machine.
+inline std::vector<gpu::DeviceProfile> parse_device_list(
+    const std::string& flag, const std::string& value,
+    const std::string& default_profile) {
+  if (value.empty()) throw Error(flag + " needs a device count or profile list");
+  if (value.find(',') == std::string::npos &&
+      (std::isdigit(static_cast<unsigned char>(value[0])) != 0 || value[0] == '-' ||
+       value[0] == '+')) {
+    const std::int64_t n = parse_int(flag, value, 1, 64);
+    return std::vector<gpu::DeviceProfile>(static_cast<std::size_t>(n),
+                                           profile_by_name(default_profile));
+  }
+  std::vector<gpu::DeviceProfile> out;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t comma = value.find(',', pos);
+    const std::string name =
+        comma == std::string::npos ? value.substr(pos) : value.substr(pos, comma - pos);
+    if (name.empty())
+      throw Error(flag + " has an empty entry in '" + value + "'");
+    try {
+      out.push_back(profile_by_name(name));
+    } catch (const Error& e) {
+      throw Error(flag + ": " + e.what());
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace gpupipe::tools
