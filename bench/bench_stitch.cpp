@@ -1,0 +1,132 @@
+// Plan-stitching bench: a lineage chain mix, plain vs stitched.
+//
+// Two scenarios of the same chain mix (N chains of 3 pointwise stages each,
+// stream/compute alternating) on a 2-device K40m machine:
+//   * stitching off — every stage round-trips its arrays through the host,
+//   * stitching on — each stage's input is consumed device-resident from its
+//     producer's handoff staging, skipping the producer's D2H tail and the
+//     consumer's H2D head for the lineage arrays.
+// The BENCH_stitch.json artifact carries total H2D/D2H traffic for both runs
+// plus the derived stitched_vs_unstitched_h2d ratio (CI floor: <= 0.8, i.e.
+// stitching must cut end-to-end H2D bytes by at least 20%), a checksum_match
+// flag (CI floor: == 1 — chain-tail outputs must be bit-identical to the
+// unstitched run), and the stitched job count (CI floor: > 0).
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workloads.hpp"
+
+namespace gpupipe::bench {
+namespace {
+
+int num_chains() { return quick_mode() ? 2 : 4; }
+constexpr int kStages = 3;
+
+struct Result {
+  sched::ScheduleReport report;
+  Bytes h2d_bytes = 0;
+  Bytes d2h_bytes = 0;
+  double checksum = 0.0;  ///< order-weighted digest of every chain tail
+};
+
+Result run_once(bool stitched) {
+  auto ctx = gpu::make_shared_context();
+  std::vector<std::unique_ptr<gpu::Gpu>> gpus;
+  std::vector<gpu::Gpu*> devices;
+  for (int i = 0; i < 2; ++i) {
+    gpus.push_back(std::make_unique<gpu::Gpu>(gpu::nvidia_k40m(),
+                                              gpu::ExecMode::Functional, ctx));
+    quiet(*gpus.back());
+    devices.push_back(gpus.back().get());
+  }
+  sched::SchedulerOptions opts;
+  opts.stitching = stitched;
+  sched::Scheduler scheduler(devices, opts);
+  std::vector<sched::ServeJob> jobs =
+      sched::make_chain_jobs(num_chains(), kStages, "medium", 0);
+  for (const auto& j : jobs) scheduler.submit(j.job);
+  Result r;
+  r.report = scheduler.run();
+  for (const auto& j : jobs)
+    if (!j.verify()) throw Error("bench_stitch: job failed verification");
+  r.h2d_bytes = scheduler.total_h2d_bytes();
+  r.d2h_bytes = scheduler.total_d2h_bytes();
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    r.checksum += jobs[i].output_checksum() * static_cast<double>(i + 1);
+  return r;
+}
+
+const Result& cached(int idx) {
+  static std::map<int, Result> cache;
+  auto it = cache.find(idx);
+  if (it == cache.end()) {
+    // 0: stitching off, 1: stitching on.
+    it = cache.emplace(idx, run_once(idx == 1)).first;
+  }
+  return it->second;
+}
+
+const char* kNames[] = {"2 devices unstitched", "2 devices stitched"};
+const char* kSlugs[] = {"unstitched", "stitched"};
+
+void register_all() {
+  for (int i = 0; i < 2; ++i) {
+    benchmark::RegisterBenchmark(
+        (std::string("stitch/") + kSlugs[i]).c_str(),
+        [i](benchmark::State& st) {
+          const Result& r = cached(i);
+          for (auto _ : st) st.SetIterationTime(r.report.makespan);
+          st.counters["completed"] = r.report.completed;
+        })
+        ->UseManualTime()->Iterations(1);
+  }
+}
+
+void print_figure() {
+  std::printf("\nPlan stitching — %d chains x %d stages, medium, K40m\n", num_chains(),
+              kStages);
+  Table t({"configuration", "makespan (ms)", "stitched jobs", "stitched (KiB)",
+           "h2d (KiB)", "d2h (KiB)", "completed"});
+  Artifact art("stitch");
+  art.config("chains", static_cast<double>(num_chains()));
+  art.config("stages", static_cast<double>(kStages));
+  art.config("profile", "k40m");
+  for (int i = 0; i < 2; ++i) {
+    const Result& r = cached(i);
+    t.add_row({kNames[i], Table::num(r.report.makespan * 1e3, 3),
+               Table::num(static_cast<double>(r.report.stitched_jobs), 0),
+               Table::num(static_cast<double>(r.report.stitched_bytes) / 1024.0, 1),
+               Table::num(static_cast<double>(r.h2d_bytes) / 1024.0, 1),
+               Table::num(static_cast<double>(r.d2h_bytes) / 1024.0, 1),
+               Table::num(r.report.completed, 0)});
+    const std::string p = std::string(kSlugs[i]) + ".";
+    art.metric(p + "makespan_s", r.report.makespan);
+    art.metric(p + "completed", r.report.completed);
+    art.metric(p + "stitched_jobs", static_cast<double>(r.report.stitched_jobs));
+    art.metric(p + "stitched_bytes", static_cast<double>(r.report.stitched_bytes));
+    art.metric(p + "h2d_bytes", static_cast<double>(r.h2d_bytes));
+    art.metric(p + "d2h_bytes", static_cast<double>(r.d2h_bytes));
+  }
+  // CI floors: stitching must save >= 20% of end-to-end H2D traffic, the
+  // chain-tail outputs must match the unstitched run bit for bit, and the
+  // stitched job count must be genuinely nonzero.
+  art.derived("stitched_vs_unstitched_h2d",
+              static_cast<double>(cached(1).h2d_bytes) /
+                  static_cast<double>(cached(0).h2d_bytes));
+  art.derived("stitched_vs_unstitched_d2h",
+              static_cast<double>(cached(1).d2h_bytes) /
+                  static_cast<double>(cached(0).d2h_bytes));
+  art.derived("checksum_match", cached(1).checksum == cached(0).checksum ? 1.0 : 0.0);
+  art.derived("stitched_jobs", static_cast<double>(cached(1).report.stitched_jobs));
+  t.print(std::cout);
+  art.write();
+}
+
+}  // namespace
+}  // namespace gpupipe::bench
+
+int main(int argc, char** argv) {
+  gpupipe::bench::register_all();
+  return gpupipe::bench::bench_main(argc, argv, gpupipe::bench::print_figure);
+}

@@ -123,6 +123,9 @@ inline void export_events_jsonl(std::ostream& os, const FlightRecorder& rec) {
       case FlightEventKind::P2pXfer:
         os << ",\"bytes\":" << ev.a << ",\"src\":" << ev.b;
         break;
+      case FlightEventKind::Stitch:
+        os << ",\"bytes\":" << ev.a << ",\"producer\":" << ev.b;
+        break;
     }
     os << "}\n";
   }

@@ -51,6 +51,7 @@ enum class FlightEventKind : std::uint8_t {
   Shard,         // job split across devices; a = device bitmask, b = halo bytes
   Reshard,       // shard set changed mid-job; a = new bitmask, b = remaining iters
   P2pXfer,       // device-to-device halo round; a = bytes, b = source device
+  Stitch,        // lineage handoff wired; a = staging bytes, b = producer job
 };
 
 inline const char* to_string(FlightEventKind k) {
@@ -70,17 +71,21 @@ inline const char* to_string(FlightEventKind k) {
     case FlightEventKind::Shard: return "shard";
     case FlightEventKind::Reshard: return "reshard";
     case FlightEventKind::P2pXfer: return "p2p-xfer";
+    case FlightEventKind::Stitch: return "stitch";
   }
   return "?";
 }
 
 /// Reject reason codes carried in FlightEvent::a.
 enum : std::int64_t {
-  kRejectImpossible = 0,  // cannot fit even at minimum shape
-  kRejectRetryBudget = 1  // admission attempts exhausted
+  kRejectImpossible = 0,   // cannot fit even at minimum shape
+  kRejectRetryBudget = 1,  // admission attempts exhausted
+  kRejectLineage = 2       // a lineage producer was rejected
 };
 inline const char* reject_reason(std::int64_t code) {
-  return code == kRejectImpossible ? "impossible" : "retry-budget";
+  if (code == kRejectImpossible) return "impossible";
+  if (code == kRejectLineage) return "lineage";
+  return "retry-budget";
 }
 
 /// Watchdog trip reason codes carried in FlightEvent::a.

@@ -138,7 +138,7 @@ ExecutionPlan Pipeline::build_plan(std::int64_t from, std::int64_t to,
   }
   ExecutionPlan plan =
       PlanBuilder::pipeline(spec_, chunk_size_, effective_streams(), from, to, state);
-  opt_report_ = optimize_plan(plan, spec_.opt_level);
+  opt_report_ = optimize_plan(plan, spec_.opt_level, &gpu_.profile());
   return plan;
 }
 

@@ -94,7 +94,7 @@ ExecutionPlan predicted_pipeline(const PipelineSpec& spec, const gpu::Gpu* g) {
   }
   ExecutionPlan plan = PlanBuilder::pipeline(spec, spec.chunk_size, spec.num_streams,
                                              spec.loop_begin, spec.loop_end, state);
-  optimize_plan(plan, spec.opt_level);
+  optimize_plan(plan, spec.opt_level, g ? &g->profile() : nullptr);
   return plan;
 }
 
@@ -123,6 +123,13 @@ ExecutionPlan PlanBuilder::pipeline(const PipelineSpec& spec, std::int64_t chunk
     info.ring_len = state.ring_lens[ai];
     info.unit_bytes = layout::unit_bytes(a);
     info.pinned = state.pinned.empty() ? true : state.pinned[ai];
+    // Handoff wiring rides along so the stitch pass (core/plan_opt.hpp) can
+    // rewrite this array's host transfers without the spec in hand.
+    for (const ArrayHandoff& h : spec.handoffs)
+      if (h.array == static_cast<int>(ai)) {
+        info.handoff_link = h.link;
+        info.handoff_out = h.produce;
+      }
     plan.arrays.push_back(std::move(info));
   }
 
@@ -395,6 +402,7 @@ std::vector<ShardSlice> shard_pipeline_specs(const PipelineSpec& spec,
   spec.validate();
   require(spec.schedule == ScheduleKind::Static, "sharding requires the static schedule");
   require(spec.halos.empty(), "cannot re-shard an already-sharded sub-spec");
+  require(spec.handoffs.empty(), "cannot shard a spec wired for device handoffs");
   for (const auto& a : spec.arrays)
     require(a.split.dim == 0 && !a.split.window_fn,
             "array '" + a.name + "': sharding needs dim-0 affine splits");
@@ -774,6 +782,12 @@ void ExecutionPlan::validate() const {
         // Lands peer data into its own ring slots, just like an H2D.
         add_segments(true);
         break;
+      case PlanOp::DeviceHandoff:
+        // Produce side reads its ring slots into staging (like a D2H);
+        // consume side lands staged data into its ring (like an H2D). The
+        // staging buffer itself belongs to the exchange, outside this plan.
+        add_segments(!arrays[static_cast<std::size_t>(n.array)].handoff_out);
+        break;
       case PlanOp::SlotReuse:
       case PlanOp::Barrier:
         break;  // ordering-only nodes
@@ -811,6 +825,9 @@ void ExecutionPlan::to_dot(std::ostream& os) const {
           break;
         case PlanOp::P2pRecv:
           os << ", style=filled, fillcolor=lightsalmon";
+          break;
+        case PlanOp::DeviceHandoff:
+          os << ", style=filled, fillcolor=gold";
           break;
         case PlanOp::SlotReuse:
         case PlanOp::Barrier:
@@ -910,6 +927,17 @@ void PlanExecutor::enqueue(const ExecutionPlan& plan, const PlanKernelMaker& mak
         if (stats_) {
           ++stats_->p2p_copies;
           if (n.op == PlanOp::P2pSend) stats_->p2p_bytes += n.bytes;
+        }
+        break;
+      }
+      case PlanOp::DeviceHandoff: {
+        require(exchange_ != nullptr,
+                "plan contains DeviceHandoff nodes but no exchange is bound "
+                "(PlanExecutor::set_exchange)");
+        exchange_->issue(gpu_, s, n);
+        if (stats_) {
+          ++stats_->handoff_copies;
+          stats_->handoff_bytes += n.bytes;
         }
         break;
       }
@@ -1051,6 +1079,19 @@ DryRunResult dry_run(const ExecutionPlan& plan, const gpu::DeviceProfile& profil
           submit(n.stream, h2d, dur, sim::SpanKind::D2D,
                  std::string(send ? "p2p" : "d2d") + "[" + std::to_string(total) + "B]",
                  total, n.id);
+        }
+        break;
+      }
+      case PlanOp::DeviceHandoff: {
+        // Both sides are local device-to-device moves between the ring and
+        // the staging buffer (memcpy_d2d_async at memory bandwidth) — the
+        // whole point of stitching is never crossing the PCIe bus.
+        for (const PlanSegment& seg : n.segments) {
+          const Bytes total = seg.bytes();
+          const SimTime dur = profile.copy_setup_latency +
+                              static_cast<double>(total) / profile.mem_bandwidth;
+          submit(n.stream, h2d, dur, sim::SpanKind::D2D,
+                 "handoff[" + std::to_string(total) + "B]", total, n.id);
         }
         break;
       }

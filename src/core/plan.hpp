@@ -49,6 +49,7 @@ enum class PlanOp {
   Barrier,   ///< cross-stream join (tile band transition; no device work)
   P2pSend,   ///< device->peer-device halo push of this plan's ring data
   P2pRecv,   ///< peer-device->ring halo landing (replaces a host upload)
+  DeviceHandoff, ///< device-resident inter-job handoff (replaces D2H/H2D)
 };
 
 inline const char* to_string(PlanOp op) {
@@ -60,6 +61,7 @@ inline const char* to_string(PlanOp op) {
     case PlanOp::Barrier: return "Barrier";
     case PlanOp::P2pSend: return "P2pSend";
     case PlanOp::P2pRecv: return "P2pRecv";
+    case PlanOp::DeviceHandoff: return "DeviceHandoff";
   }
   return "?";
 }
@@ -135,6 +137,12 @@ struct PlanArrayInfo {
   std::int64_t ring_rows = 1;  ///< buffer rows (tile plans; 1 for 1-D rings)
   Bytes unit_bytes = 0;        ///< bytes per split index
   bool pinned = true;          ///< host side pinned (transfer bandwidth)
+  /// Inter-job stitching wiring: >= 0 marks the array as flowing through a
+  /// device-resident handoff link instead of the host (see spec.hpp's
+  /// ArrayHandoff). The stitch pass rewrites this array's D2H tail
+  /// (handoff_out) or H2D head (!handoff_out) into DeviceHandoff nodes.
+  int handoff_link = -1;
+  bool handoff_out = false;    ///< true: produce side; false: consume side
 };
 
 /// Execution counters for one or more run() calls.
@@ -149,6 +157,8 @@ struct PipelineStats {
   std::int64_t stream_waits = 0;
   std::int64_t p2p_copies = 0;  ///< P2pSend/P2pRecv nodes issued
   Bytes p2p_bytes = 0;          ///< halo bytes pushed device-to-device
+  std::int64_t handoff_copies = 0;  ///< DeviceHandoff nodes issued
+  Bytes handoff_bytes = 0;          ///< bytes kept device-resident per side
 };
 
 /// The complete op graph of one region execution. Nodes are listed in
@@ -318,11 +328,12 @@ class RingBufferBinding final : public PlanArrayBinding {
 /// arrays' memory effects and the default name itself).
 using PlanKernelMaker = std::function<gpu::KernelDesc(const PlanNode&)>;
 
-/// Issues the device work of P2pSend/P2pRecv nodes. The executor cannot do
-/// this itself — a halo link crosses plans (and devices), so the sharding
-/// runtime (src/sched/shard.*) binds an exchange that knows both ends'
-/// buffers and the staging area between them. Executing a plan containing
-/// P2P nodes without an exchange bound is an error.
+/// Issues the device work of P2pSend/P2pRecv/DeviceHandoff nodes. The
+/// executor cannot do this itself — a halo or handoff link crosses plans
+/// (and possibly devices), so the sharding runtime (src/sched/shard.*) or
+/// the stitching runtime (src/sched/scheduler.*) binds an exchange that
+/// knows both ends' buffers and the staging area between them. Executing a
+/// plan containing such nodes without an exchange bound is an error.
 class PlanExchange {
  public:
   virtual ~PlanExchange() = default;

@@ -102,7 +102,7 @@ PlanCache::Compiled raw_compile(const gpu::Gpu& g, const PipelineSpec& spec) {
   ExecutionPlan plan = PlanBuilder::pipeline(spec, spec.chunk_size, spec.num_streams,
                                              spec.loop_begin, spec.loop_end, state);
   PlanCache::Compiled out;
-  out.report = optimize_plan(plan, spec.opt_level);
+  out.report = optimize_plan(plan, spec.opt_level, &g.profile());
   out.plan = std::make_shared<const ExecutionPlan>(std::move(plan));
   return out;
 }
@@ -228,6 +228,15 @@ std::string PlanCache::fingerprint(const gpu::Gpu& g, const PipelineSpec& spec,
     append_i64(key, h.recv_peer);
     append_i64(key, h.send_hi);
     append_i64(key, h.send_peer);
+  }
+  // Handoff wiring likewise reshapes the plan (DeviceHandoff replaces the
+  // host transfers), so a stitched lineage job never aliases its unstitched
+  // twin in the cache.
+  for (const auto& h : spec.handoffs) {
+    key += "handoff|";
+    append_i64(key, h.array);
+    append_i64(key, h.link);
+    append_i64(key, h.produce ? 1 : 0);
   }
   return key;
 }

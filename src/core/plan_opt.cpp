@@ -1,6 +1,7 @@
 #include "core/plan_opt.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 #include <utility>
 
@@ -123,7 +124,14 @@ PassStats halo_reuse_pass(ExecutionPlan& plan) {
     const std::int64_t ring_rows = n.array >= 0 ? plan.arrays[ai].ring_rows : 1;
     auto cell_of = [&](std::int64_t c) { return static_cast<std::size_t>(c % ring); };
 
-    switch (n.op) {
+    // A DeviceHandoff is an H2D whose bytes come from staging (consume
+    // side) or a D2H whose bytes go to staging (produce side); residency
+    // and event-group mechanics follow the effective direction.
+    PlanOp eff = n.op;
+    if (n.op == PlanOp::DeviceHandoff)
+      eff = plan.arrays[ai].handoff_out ? PlanOp::D2H : PlanOp::H2D;
+
+    switch (eff) {
       case PlanOp::SlotReuse:
         // Dropped and regenerated in front of each surviving H2D, scoped to
         // the cells its overwrite actually touches.
@@ -231,8 +239,10 @@ PassStats halo_reuse_pass(ExecutionPlan& plan) {
           ++stats.nodes_changed;
           stats.bytes_saved += n.bytes - h.bytes;
           stats.bytes_saved_by_array[ai].second += n.bytes - h.bytes;
-          h.label = (n.op == PlanOp::H2D ? "h2d " : "p2p-recv ") +
-                    plan.arrays[ai].name + range_str(n_lo, n_hi);
+          const char* what = n.op == PlanOp::H2D        ? "h2d "
+                             : n.op == PlanOp::P2pRecv ? "p2p-recv "
+                                                        : "handoff-in ";
+          h.label = what + plan.arrays[ai].name + range_str(n_lo, n_hi);
         }
         h.records_event = false;  // groups re-elect their recorder below
         h.event_node = -1;
@@ -332,6 +342,9 @@ PassStats halo_reuse_pass(ExecutionPlan& plan) {
         }
         break;
       }
+
+      case PlanOp::DeviceHandoff:
+        break;  // unreachable: mapped to the effective H2D/D2H above
     }
   }
 
@@ -369,10 +382,10 @@ PassStats coalesce_pass(ExecutionPlan& plan) {
   stats.pass = "coalesce";
   for (const auto& a : plan.arrays) stats.bytes_saved_by_array.emplace_back(a.name, 0);
   for (PlanNode& n : plan.nodes) {
-    // P2P halo nodes carry ring segments like any transfer; merging their
-    // wrap pieces merges the exchange's copies the same way.
+    // P2P halo and handoff nodes carry ring segments like any transfer;
+    // merging their wrap pieces merges the exchange's copies the same way.
     const bool coalescable = is_transfer(n.op) || n.op == PlanOp::P2pSend ||
-                             n.op == PlanOp::P2pRecv;
+                             n.op == PlanOp::P2pRecv || n.op == PlanOp::DeviceHandoff;
     if (!coalescable || n.segments.size() < 2) continue;
     std::vector<PlanSegment> merged;
     merged.reserve(n.segments.size());
@@ -475,19 +488,185 @@ PassStats rebalance_pass(ExecutionPlan& plan) {
   return stats;
 }
 
+// --- Pass 0: inter-job stitching ---
+//
+// A lowering, not an optimization: when the scheduler wired an array to a
+// handoff link (PlanArrayInfo::handoff_link), its host transfers must move
+// through the link's device-resident staging instead. Produce side: every
+// D2H of the array becomes a DeviceHandoff stash (ring -> staging); consume
+// side: every H2D becomes a DeviceHandoff landing (staging -> ring). Node
+// ids, deps, segments, and event groups are untouched — only the op, peer,
+// and label change — so the rewrite composes with every later pass.
+
+PassStats stitch_pass(ExecutionPlan& plan) {
+  PassStats stats;
+  stats.pass = "stitch";
+  for (const auto& a : plan.arrays) stats.bytes_saved_by_array.emplace_back(a.name, 0);
+  for (PlanNode& n : plan.nodes) {
+    if (n.array < 0) continue;
+    const std::size_t ai = static_cast<std::size_t>(n.array);
+    const PlanArrayInfo& info = plan.arrays[ai];
+    if (info.handoff_link < 0) continue;
+    if (n.op != (info.handoff_out ? PlanOp::D2H : PlanOp::H2D)) continue;
+    n.op = PlanOp::DeviceHandoff;
+    n.peer = info.handoff_link;
+    n.label = (info.handoff_out ? "handoff-out " : "handoff-in ") + info.name +
+              range_str(n.begin, n.end);
+    ++stats.nodes_changed;
+    stats.bytes_saved += n.bytes;
+    stats.bytes_saved_by_array[ai].second += n.bytes;
+  }
+  return stats;
+}
+
+// --- Pass 4: kernel fusion ---
+//
+// Two kernels A then B on the same stream merge into one launch when B's
+// iteration range continues A's, their declared accesses have the same
+// shape (same arrays, same write flags, same rows, contiguous or sliding
+// columns), and nothing that executes between them orders before B — i.e.
+// every dependency of B resolves to A or an earlier node. That last test is
+// the hazard guard: an intervening upload into B's input, or a drain B's
+// output slots wait on, shows up as a dependency with a later id and blocks
+// the merge (hand-merging anyway fails ExecutionPlan::validate()).
+
+PassStats fusion_pass(ExecutionPlan& plan) {
+  PassStats stats;
+  stats.pass = "fusion";
+  for (const auto& a : plan.arrays) stats.bytes_saved_by_array.emplace_back(a.name, 0);
+  for (const PlanNode& n : plan.nodes)
+    if (n.op == PlanOp::Barrier) return stats;  // band structure: keep
+
+  // Erased kernels redirect to their surviving absorber.
+  std::vector<int> merged_into(plan.nodes.size(), -1);
+  auto resolve = [&merged_into](int id) {
+    while (merged_into[static_cast<std::size_t>(id)] >= 0)
+      id = merged_into[static_cast<std::size_t>(id)];
+    return id;
+  };
+
+  std::vector<int> last_kernel(static_cast<std::size_t>(plan.num_streams), -1);
+  for (PlanNode& b : plan.nodes) {
+    if (b.op != PlanOp::Kernel) continue;
+    const std::size_t si = static_cast<std::size_t>(b.stream);
+    const int prev = last_kernel[si];
+    last_kernel[si] = b.id;
+    if (prev < 0 || b.tile_i >= 0) continue;  // tile kernels keep band shape
+    PlanNode& a = plan.nodes[static_cast<std::size_t>(prev)];
+    if (b.begin != a.end) continue;
+    if (b.accesses.size() != a.accesses.size()) continue;
+    bool ok = true;
+    for (std::size_t i = 0; ok && i < b.accesses.size(); ++i) {
+      const PlanAccess& pa = a.accesses[i];
+      const PlanAccess& pb = b.accesses[i];
+      // Same geometry: same array and direction, same rows, columns sliding
+      // forward without a gap (writes must not overlap), and the merged span
+      // staying inside the ring so no slot aliases two host indices.
+      ok = pb.array == pa.array && pb.write == pa.write && pb.row_lo == pa.row_lo &&
+           pb.row_hi == pa.row_hi && pb.lo >= pa.lo && pb.hi >= pa.hi && pb.lo <= pa.hi &&
+           (!pb.write || pb.lo == pa.hi) &&
+           pb.hi - pa.lo <= plan.arrays[static_cast<std::size_t>(pa.array)].ring_len;
+    }
+    if (!ok) continue;
+    for (int d : b.deps)
+      if (resolve(d) > a.id) {
+        ok = false;
+        break;
+      }
+    if (!ok) continue;
+
+    if (merged_into[static_cast<std::size_t>(a.id)] < 0 &&
+        a.label.find('+') == std::string::npos)
+      ++stats.nodes_changed;
+    a.end = b.end;
+    for (std::size_t i = 0; i < b.accesses.size(); ++i) a.accesses[i].hi = b.accesses[i].hi;
+    for (int d : b.deps) {
+      const int rd = resolve(d);
+      if (rd != a.id) push_dep(a.deps, rd);
+    }
+    a.flops += b.flops;
+    a.bytes += b.bytes;
+    a.label += "+" + b.label;
+    merged_into[static_cast<std::size_t>(b.id)] = a.id;
+    ++stats.nodes_removed;
+    last_kernel[si] = a.id;
+  }
+  if (stats.nodes_removed == 0) return stats;
+
+  // Compact: drop absorbed kernels, renumber, and remap every reference
+  // through the redirect chain.
+  std::vector<int> old2new(plan.nodes.size(), -1);
+  std::vector<PlanNode> out;
+  out.reserve(plan.nodes.size());
+  for (PlanNode& n : plan.nodes) {
+    if (merged_into[static_cast<std::size_t>(n.id)] >= 0) continue;
+    old2new[static_cast<std::size_t>(n.id)] = static_cast<int>(out.size());
+    out.push_back(std::move(n));
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    PlanNode& n = out[i];
+    n.id = static_cast<int>(i);
+    std::vector<int> deps;
+    for (int d : n.deps) push_dep(deps, old2new[static_cast<std::size_t>(resolve(d))]);
+    n.deps = std::move(deps);
+    if (n.event_node >= 0)
+      n.event_node = old2new[static_cast<std::size_t>(resolve(n.event_node))];
+  }
+  plan.nodes = std::move(out);
+  return stats;
+}
+
 }  // namespace
 
-OptReport optimize_plan(ExecutionPlan& plan, int opt_level) {
+OptReport optimize_plan(ExecutionPlan& plan, int opt_level,
+                        const gpu::DeviceProfile* profile, const DryRunCost& cost) {
   require(opt_level >= 0 && opt_level <= 2, "opt_level must be 0, 1, or 2");
   OptReport report;
   report.h2d_bytes_before = transfer_bytes(plan, PlanOp::H2D);
   report.d2h_bytes_before = transfer_bytes(plan, PlanOp::D2H);
   report.nodes_before = static_cast<std::int64_t>(plan.nodes.size());
-  if (opt_level >= 1) {
-    report.passes.push_back(halo_reuse_pass(plan));
-    report.passes.push_back(coalesce_pass(plan));
+
+  using Clock = std::chrono::steady_clock;
+  auto timed = [&report](PassStats s, Clock::time_point t0) {
+    s.elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    report.passes.push_back(std::move(s));
+  };
+
+  bool wired = false;
+  for (const auto& a : plan.arrays) wired = wired || a.handoff_link >= 0;
+  if (wired) {
+    const auto t0 = Clock::now();
+    PassStats s = stitch_pass(plan);
+    report.stitched_bytes = s.bytes_saved;
+    timed(std::move(s), t0);
   }
-  if (opt_level >= 2) report.passes.push_back(rebalance_pass(plan));
+  if (opt_level >= 1) {
+    auto t0 = Clock::now();
+    timed(halo_reuse_pass(plan), t0);
+    t0 = Clock::now();
+    timed(coalesce_pass(plan), t0);
+  }
+  if (opt_level >= 2) {
+    auto t0 = Clock::now();
+    timed(rebalance_pass(plan), t0);
+    // Fusion is cost-gated: erasing launch rounds is usually a win, but a
+    // fused kernel also delays the drains that used to overlap the next
+    // chunk's compute. With a profile in hand, a dry run arbitrates; the
+    // losing plan is thrown away.
+    t0 = Clock::now();
+    ExecutionPlan before = plan;
+    PassStats s = fusion_pass(plan);
+    if (s.nodes_removed > 0 && profile != nullptr &&
+        dry_run(plan, *profile, cost).makespan >
+            dry_run(before, *profile, cost).makespan) {
+      plan = std::move(before);
+      s.pass = "fusion(reverted)";
+      s.nodes_removed = 0;
+      s.nodes_changed = 0;
+    }
+    report.fused_kernels = s.nodes_removed;
+    timed(std::move(s), t0);
+  }
   report.h2d_bytes_after = transfer_bytes(plan, PlanOp::H2D);
   report.d2h_bytes_after = transfer_bytes(plan, PlanOp::D2H);
   report.nodes_after = static_cast<std::int64_t>(plan.nodes.size());

@@ -17,7 +17,19 @@
 //   3. stream rebalance (opt_level >= 2): greedily re-assigns transfer
 //      nodes (with their guarding SlotReuse nodes) to the least-loaded
 //      stream by byte cost. Not on by default: it reshapes the schedule
-//      beyond the paper's round-robin placement.
+//      beyond the paper's round-robin placement;
+//   4. kernel fusion (opt_level >= 2): merges adjacent same-stream kernel
+//      nodes with contiguous iteration ranges and compatible access shapes
+//      into one launch, when no intervening transfer or drain hazard orders
+//      between them. Cost-gated: when a device profile is supplied the pass
+//      keeps the fused plan only if a dry run predicts it faster (fusing
+//      can erase launch rounds but also delay drains past long kernels);
+//   0. inter-job stitching (any opt level, whenever the spec wired
+//      ArrayHandoff entries): rewrites the D2H tail (produce side) or H2D
+//      head (consume side) of handoff arrays into DeviceHandoff nodes, so
+//      lineage bytes stay device-resident instead of round-tripping the
+//      host. Runs first — it is a lowering of the scheduler's placement
+//      decision, not an optional optimization.
 //
 // Every pass preserves ExecutionPlan::validate() — the optimizer runs it
 // would be cheating to skip the guards the builder proved necessary.
@@ -40,6 +52,7 @@ struct PassStats {
   Bytes bytes_saved = 0;           ///< transfer bytes eliminated
   /// Per-array share of bytes_saved (plan array order, zero entries kept).
   std::vector<std::pair<std::string, Bytes>> bytes_saved_by_array;
+  double elapsed_s = 0.0;  ///< wall time optimize_plan spent in the pass
 };
 
 /// Before/after accounting of one optimize_plan call.
@@ -51,11 +64,22 @@ struct OptReport {
   Bytes d2h_bytes_after = 0;
   std::int64_t nodes_before = 0;
   std::int64_t nodes_after = 0;
+  /// Host transfer bytes the stitch pass turned into device-resident
+  /// handoffs (both directions; counted once per rewritten node).
+  Bytes stitched_bytes = 0;
+  /// Kernel launches erased by the fusion pass.
+  std::int64_t fused_kernels = 0;
 };
 
 /// Runs the passes enabled by `opt_level` (0 = none, 1 = halo-reuse +
-/// coalescing, 2 = + stream rebalance) over `plan` in place. Idempotent:
-/// re-optimizing an optimized plan changes nothing.
-OptReport optimize_plan(ExecutionPlan& plan, int opt_level);
+/// coalescing, 2 = + stream rebalance and kernel fusion) over `plan` in
+/// place, plus the stitch lowering at any level when the plan carries
+/// ArrayHandoff wiring. `profile`/`cost` (optional) let the fusion pass
+/// arbitrate with a cost-model dry run — without a profile fusion is gated
+/// on launch-overhead savings alone. Idempotent: re-optimizing an optimized
+/// plan changes nothing.
+OptReport optimize_plan(ExecutionPlan& plan, int opt_level,
+                        const gpu::DeviceProfile* profile = nullptr,
+                        const DryRunCost& cost = {});
 
 }  // namespace gpupipe::core

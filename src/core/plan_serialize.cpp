@@ -137,6 +137,8 @@ void write_plan(ByteWriter& w, const ExecutionPlan& p) {
     w.i64(a.ring_rows);
     w.u64(a.unit_bytes);
     w.u8(a.pinned ? 1 : 0);
+    w.i64(a.handoff_link);
+    w.u8(a.handoff_out ? 1 : 0);
   }
   w.u64(p.nodes.size());
   for (const PlanNode& n : p.nodes) {
@@ -186,7 +188,7 @@ void read_plan(ByteReader& r, ExecutionPlan& p) {
   p.num_streams = static_cast<int>(r.i64());
   p.chunk_size = r.i64();
   p.origin = r.str();
-  const std::uint64_t num_arrays = r.count(8 + 4 + 8 + 8 + 8 + 1);
+  const std::uint64_t num_arrays = r.count(8 + 4 + 8 + 8 + 8 + 1 + 8 + 1);
   p.arrays.resize(static_cast<std::size_t>(num_arrays));
   for (PlanArrayInfo& a : p.arrays) {
     a.name = r.str();
@@ -197,6 +199,8 @@ void read_plan(ByteReader& r, ExecutionPlan& p) {
     a.ring_rows = r.i64();
     a.unit_bytes = r.u64();
     a.pinned = r.u8() != 0;
+    a.handoff_link = static_cast<int>(r.i64());
+    a.handoff_out = r.u8() != 0;
     if (!r.ok()) return;
   }
   const std::uint64_t num_nodes = r.count(8 * 10 + 4);
@@ -204,7 +208,7 @@ void read_plan(ByteReader& r, ExecutionPlan& p) {
   for (PlanNode& n : p.nodes) {
     n.id = static_cast<int>(r.i64());
     const std::uint32_t op = r.u32();
-    if (op > static_cast<std::uint32_t>(PlanOp::P2pRecv)) r.fail("invalid PlanOp");
+    if (op > static_cast<std::uint32_t>(PlanOp::DeviceHandoff)) r.fail("invalid PlanOp");
     n.op = static_cast<PlanOp>(op);
     n.stream = static_cast<int>(r.i64());
     n.array = static_cast<int>(r.i64());
@@ -262,6 +266,7 @@ void write_report(ByteWriter& w, const OptReport& rep) {
       w.str(name);
       w.u64(bytes);
     }
+    w.f64(ps.elapsed_s);
   }
   w.u64(rep.h2d_bytes_before);
   w.u64(rep.h2d_bytes_after);
@@ -269,10 +274,12 @@ void write_report(ByteWriter& w, const OptReport& rep) {
   w.u64(rep.d2h_bytes_after);
   w.i64(rep.nodes_before);
   w.i64(rep.nodes_after);
+  w.u64(rep.stitched_bytes);
+  w.i64(rep.fused_kernels);
 }
 
 void read_report(ByteReader& r, OptReport& rep) {
-  const std::uint64_t num_passes = r.count(8 * 5);
+  const std::uint64_t num_passes = r.count(8 * 6);
   rep.passes.resize(static_cast<std::size_t>(num_passes));
   for (PassStats& ps : rep.passes) {
     ps.pass = r.str();
@@ -285,6 +292,7 @@ void read_report(ByteReader& r, OptReport& rep) {
       name = r.str();
       bytes = r.u64();
     }
+    ps.elapsed_s = r.f64();
     if (!r.ok()) return;
   }
   rep.h2d_bytes_before = r.u64();
@@ -293,6 +301,8 @@ void read_report(ByteReader& r, OptReport& rep) {
   rep.d2h_bytes_after = r.u64();
   rep.nodes_before = r.i64();
   rep.nodes_after = r.i64();
+  rep.stitched_bytes = r.u64();
+  rep.fused_kernels = r.i64();
 }
 
 void write_tune(ByteWriter& w, const TuneResult& t) {

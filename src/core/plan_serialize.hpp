@@ -55,7 +55,9 @@ inline constexpr std::uint32_t kPlanBundleMagic = 0x4e425047u;
 /// Bumped on any wire-format change; readers reject other versions (skew is
 /// a miss, not an error — a new binary simply recomputes and rewrites).
 /// v2: PlanNode grew the `peer` shard field (P2pSend/P2pRecv halo nodes).
-inline constexpr std::uint32_t kPlanFormatVersion = 2;
+/// v3: DeviceHandoff stitching — PlanArrayInfo grew handoff_link/handoff_out,
+///     PassStats grew elapsed_s, OptReport grew stitched_bytes/fused_kernels.
+inline constexpr std::uint32_t kPlanFormatVersion = 3;
 
 /// What one artifact carries. Values are part of the wire format.
 enum class ArtifactKind : std::uint32_t {

@@ -157,6 +157,20 @@ struct ShardHalo {
   int send_peer = -1;          ///< shard consuming [first window lo, send_hi)
 };
 
+/// Inter-job handoff wiring of one array (plan stitching, ROADMAP's
+/// "Inter-job plan stitching" item). When the scheduler places a lineage
+/// producer and consumer on the same device, it wires the producer's output
+/// array (produce = true) and the consumer's input array (produce = false)
+/// to the same handoff `link`: the stitch pass then rewrites the producer's
+/// D2H tail and the consumer's H2D head for that array into DeviceHandoff
+/// nodes, and a bound PlanExchange moves the bytes through device-resident
+/// staging instead of the host.
+struct ArrayHandoff {
+  int array = -1;        ///< index into PipelineSpec::arrays
+  int link = -1;         ///< handoff link id the exchange resolves
+  bool produce = false;  ///< true: stash to staging; false: land from it
+};
+
 /// The full pipeline region description.
 struct PipelineSpec {
   ScheduleKind schedule = ScheduleKind::Static;
@@ -178,6 +192,10 @@ struct PipelineSpec {
   /// Non-empty only for sharded sub-regions: per-array P2P halo wiring
   /// (shard_pipeline_specs fills this; empty means no cross-device traffic).
   std::vector<ShardHalo> halos;
+  /// Non-empty only for stitched lineage jobs: per-array device-resident
+  /// handoff wiring (the scheduler fills this; empty means every mapped
+  /// array round-trips through the host as usual).
+  std::vector<ArrayHandoff> handoffs;
 
   void validate() const {
     require(chunk_size >= 1, "chunk_size must be >= 1");
@@ -199,6 +217,20 @@ struct PipelineSpec {
         require(h.recv_lo >= 0, "array '" + a.name + "': halo recv_lo must be set");
       if (h.send_peer >= 0)
         require(h.send_hi >= 0, "array '" + a.name + "': halo send_hi must be set");
+    }
+    for (const auto& h : handoffs) {
+      require(h.array >= 0 && h.array < static_cast<int>(arrays.size()),
+              "array handoff names an array index outside the spec");
+      const ArraySpec& a = arrays[static_cast<std::size_t>(h.array)];
+      require(h.link >= 0, "array '" + a.name + "': handoff link must be set");
+      require(a.split.dim == 0 && !a.split.window_fn,
+              "array '" + a.name + "': handoffs need a dim-0 affine split");
+      if (h.produce)
+        require(a.map != MapType::To,
+                "array '" + a.name + "': a produce handoff needs an output array");
+      else
+        require(a.map != MapType::From,
+                "array '" + a.name + "': a consume handoff needs an input array");
     }
   }
 

@@ -89,6 +89,11 @@ void collect_opt_metrics(telemetry::Registry& reg, const OptReport& report,
   reg.counter(p + "d2h_bytes_saved")
       .add(static_cast<std::int64_t>(report.d2h_bytes_before - report.d2h_bytes_after));
   reg.counter(p + "nodes_removed").add(report.nodes_before - report.nodes_after);
+  // Gated so plans without lineage wiring / fusion keep their metric
+  // snapshots (and the exporter goldens) unchanged.
+  if (report.stitched_bytes > 0)
+    reg.counter(p + "stitched_bytes").add(static_cast<std::int64_t>(report.stitched_bytes));
+  if (report.fused_kernels > 0) reg.counter(p + "fused_kernels").add(report.fused_kernels);
   for (const PassStats& pass : report.passes) {
     reg.counter(p + pass.pass + ".bytes_saved")
         .add(static_cast<std::int64_t>(pass.bytes_saved));

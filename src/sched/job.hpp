@@ -14,10 +14,23 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/pipeline.hpp"
 
 namespace gpupipe::sched {
+
+/// One lineage edge: this job consumes an array another job produced.
+/// Declared with Job::consumes(); the scheduler holds the consumer until
+/// the producer completes and, when the cost model agrees, stitches the
+/// producer's D2H tail and the consumer's H2D head into a device-resident
+/// handoff (core::ArrayHandoff + PlanOp::DeviceHandoff).
+struct JobInput {
+  int producer = -1;           ///< submit() id of the producing job
+  std::string array;           ///< this job's input array (map `to`/`tofrom`)
+  std::string producer_array;  ///< producer's output array; empty = same name
+};
 
 /// One offload request: a pipelined region plus scheduling attributes.
 struct Job {
@@ -39,6 +52,18 @@ struct Job {
   /// spans (sim::Span::trace). -1 (the default) assigns the job id at
   /// submit(); callers replaying external traces can pin their own ids.
   std::int32_t trace_id = -1;
+  /// Lineage edges: arrays this job reads that earlier-submitted jobs
+  /// produce. The scheduler defers the job until every producer is
+  /// terminal (rejecting it if a producer was rejected).
+  std::vector<JobInput> inputs;
+
+  /// Declares that this job's `array` is produced by `producer_job`'s
+  /// `producer_array` (empty: the producer's array of the same name).
+  /// Fluent, so job mixes can chain: `job.consumes(id, "x").consumes(...)`.
+  Job& consumes(int producer_job, std::string array, std::string producer_array = {}) {
+    inputs.push_back({producer_job, std::move(array), std::move(producer_array)});
+    return *this;
+  }
 };
 
 enum class JobState {
@@ -81,6 +106,13 @@ struct JobRecord {
   int admission_attempts = 0;  ///< placement rounds the job needed
   bool deadline_missed = false;
   std::string reject_reason;
+  /// Inter-job stitching outcome (docs/stitching.md). `stitched_out` means
+  /// at least one output array was handed off device-resident — its host
+  /// buffer was never written, so host-side verification must skip it.
+  bool stitched_out = false;
+  bool stitched_in = false;       ///< at least one input arrived via handoff
+  Bytes stitched_bytes = 0;       ///< host transfer bytes this job avoided
+  bool handoff_fallback = false;  ///< a consumed link needed a P2P mirror
 
   SimTime wait() const { return start - arrival; }
   SimTime service() const { return finish - start; }

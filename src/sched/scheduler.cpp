@@ -19,6 +19,12 @@ const std::vector<double>& time_bounds() {
                                         0.1,  0.3,  1.0,  3.0,  10.0};
   return b;
 }
+
+int array_index(const core::PipelineSpec& spec, const std::string& name) {
+  for (std::size_t i = 0; i < spec.arrays.size(); ++i)
+    if (spec.arrays[i].name == name) return static_cast<int>(i);
+  return -1;
+}
 }  // namespace
 
 Scheduler::Scheduler(std::vector<gpu::Gpu*> devices, SchedulerOptions opts)
@@ -46,12 +52,30 @@ Scheduler::Scheduler(std::vector<gpu::Gpu*> devices, SchedulerOptions opts)
             "device event names a device outside the machine");
 }
 
+Scheduler::~Scheduler() {
+  for (auto& l : links_) retire_link(*l);
+}
+
 int Scheduler::submit(Job job) {
   require(!ran_, "submit after run() is not supported");
   job.spec.validate();
   require(job.spec.schedule == core::ScheduleKind::Static,
           "scheduler jobs need the static schedule (split-phase execution)");
   const int id = static_cast<int>(jobs_.size());
+  for (const JobInput& in : job.inputs) {
+    require(in.producer >= 0 && in.producer < id,
+            "job '" + job.name + "': lineage producer must be submitted first");
+    bool found = false;
+    for (const core::ArraySpec& a : job.spec.arrays) {
+      if (a.name != in.array) continue;
+      found = true;
+      require(a.map != core::MapType::From,
+              "job '" + job.name + "': consumed array '" + in.array +
+                  "' must be an input (map to/tofrom)");
+    }
+    require(found, "job '" + job.name + "': consumes unmapped array '" + in.array + "'");
+  }
+  if (!job.inputs.empty()) ++lineage_jobs_;
 
   JobRecord r;
   r.id = id;
@@ -132,6 +156,9 @@ ScheduleReport Scheduler::run() {
   rep.admission_retries = admission_retries_;
   rep.admission_shrinks = admission_shrinks_;
   rep.deadline_misses = deadline_misses_;
+  rep.stitched_jobs = stitched_jobs_;
+  rep.stitched_bytes = stitched_bytes_;
+  rep.handoff_fallbacks = handoff_fallbacks_;
   rep.jobs = records_;
   return rep;
 }
@@ -201,11 +228,21 @@ std::vector<int> Scheduler::available_devices() const {
 }
 
 bool Scheduler::intake() {
-  bool progress = false;
+  bool progress = drain_lineage_waiters();
   while (next_pending_ < arrival_order_.size()) {
     const int id = arrival_order_[next_pending_];
     const std::size_t idx = static_cast<std::size_t>(id);
     if (jobs_[idx].arrival > host_now()) break;
+    if (!jobs_[idx].inputs.empty()) {
+      // Lineage consumer: hold it out of the ready queue until every
+      // producer is terminal — queued it would only burn admission attempts
+      // on inputs that do not exist yet. It occupies no queue slot, so it
+      // cannot backpressure unrelated arrivals.
+      lineage_wait_.push_back(id);
+      ++next_pending_;
+      progress = true;
+      continue;
+    }
     if (queue_.full()) {
       if (!stalled_[idx]) {
         stalled_[idx] = 1;
@@ -232,6 +269,60 @@ bool Scheduler::intake() {
   return progress;
 }
 
+bool Scheduler::lineage_ready(int id) const {
+  for (const JobInput& in : jobs_[static_cast<std::size_t>(id)].inputs) {
+    const JobState s = records_[static_cast<std::size_t>(in.producer)].state;
+    if (s != JobState::Completed && s != JobState::Rejected) return false;
+  }
+  return true;
+}
+
+bool Scheduler::drain_lineage_waiters() {
+  bool progress = false;
+  for (std::size_t i = 0; i < lineage_wait_.size();) {
+    const int id = lineage_wait_[i];
+    const std::size_t idx = static_cast<std::size_t>(id);
+    if (!lineage_ready(id)) {
+      ++i;
+      continue;
+    }
+    bool producer_rejected = false;
+    for (const JobInput& in : jobs_[idx].inputs)
+      if (records_[static_cast<std::size_t>(in.producer)].state == JobState::Rejected)
+        producer_rejected = true;
+    if (producer_rejected) {
+      reject_job(id, telemetry::kRejectLineage, "a lineage producer was rejected");
+      lineage_wait_.erase(lineage_wait_.begin() + static_cast<std::ptrdiff_t>(i));
+      progress = true;
+      continue;
+    }
+    if (queue_.full()) {
+      if (!stalled_[idx]) {
+        stalled_[idx] = 1;
+        ++backpressure_events_;
+        record_flight(telemetry::FlightEventKind::Backpressure, id);
+        log_debug("sched: backpressure — job ", id, " (", jobs_[idx].name,
+                  ") waits for a queue slot");
+      }
+      ++i;
+      continue;
+    }
+    JobQueue::Item it;
+    it.job = id;
+    it.seq = static_cast<std::uint64_t>(id);
+    it.priority = jobs_[idx].priority;
+    it.estimate = records_[idx].estimate;
+    ensure(queue_.push(it), "queue push failed after full() check");
+    records_[idx].state = JobState::Queued;
+    records_[idx].enqueue_time = host_now();
+    record_flight(telemetry::FlightEventKind::Enqueue, id);
+    lineage_wait_.erase(lineage_wait_.begin() + static_cast<std::ptrdiff_t>(i));
+    note_queue_depth();
+    progress = true;
+  }
+  return progress;
+}
+
 bool Scheduler::dispatch() {
   bool progress = false;
   // One batched wakeup per dispatch round: every job whose retry gate has
@@ -248,7 +339,7 @@ bool Scheduler::dispatch() {
 
     bool started = shard_eligible(id) && try_start_sharded(id);
     if (!started) {
-      for (int dev : placement_order()) {
+      for (int dev : placement_order_for(id)) {
         const AdmissionDecision d = admission_.try_admit(dev, jobs_[idx].spec);
         if (!d.admitted) continue;
         start_job(id, dev, d);
@@ -289,6 +380,15 @@ bool Scheduler::dispatch() {
 bool Scheduler::shard_eligible(int id) const {
   if (opts_.shard_threshold == 0) return false;
   const Job& job = jobs_[static_cast<std::size_t>(id)];
+  // A consumer whose producer stashed a device-resident link must take the
+  // solo path: its input lives in staging, not in host memory, and sharded
+  // specs cannot carry handoffs.
+  for (const JobInput& in : job.inputs) {
+    const std::string& pname = in.producer_array.empty() ? in.array : in.producer_array;
+    for (const auto& l : links_)
+      if (l->producer == in.producer && l->array == pname && l->staging != nullptr)
+        return false;
+  }
   if (!shardable(job.spec)) return false;
   int avail = 0;
   for (char c : dev_available_) avail += c;
@@ -414,6 +514,12 @@ void Scheduler::start_job(int id, int dev, const AdmissionDecision& d) {
   a.device = dev;
   a.footprint = d.footprint;
   a.estimate = r.estimate;
+  if (opts_.stitching) {
+    // Consume side first: a mid-chain job both lands its inputs from an
+    // upstream link and stashes its outputs for a downstream one.
+    wire_consumer_handoffs(id, dev, spec, a);
+    wire_producer_handoffs(id, dev, spec, a);
+  }
   gpu::Gpu& device = *devices_[static_cast<std::size_t>(dev)];
   // Publish the job's trace id for the whole submission window: every task
   // the pipeline submits (and the completion events below) captures it, so
@@ -421,6 +527,15 @@ void Scheduler::start_job(int id, int dev, const AdmissionDecision& d) {
   // submissions interleave in between.
   device.trace().set_trace_id(r.trace_id);
   a.pipeline = std::make_unique<core::Pipeline>(device, std::move(spec));
+  if (a.exchange) {
+    a.exchange->pipeline = a.pipeline.get();
+    a.pipeline->set_exchange(a.exchange.get());
+    ++stitched_jobs_;
+    // The optimizer's stitch pass measured exactly which host-transfer
+    // bytes the handoff nodes replaced in this job's compiled plan.
+    r.stitched_bytes = a.pipeline->opt_report().stitched_bytes;
+    stitched_bytes_ += r.stitched_bytes;
+  }
   a.pipeline->enqueue(jobs_[idx].kernel);
   // Completion is observed through events on the job's own streams — a
   // device-wide synchronize here would stall every co-resident tenant.
@@ -444,9 +559,12 @@ void Scheduler::start_job(int id, int dev, const AdmissionDecision& d) {
 
 void Scheduler::reject_job(int id, std::int64_t reason_code, std::string reason) {
   const std::size_t idx = static_cast<std::size_t>(id);
-  queue_.remove(id);
+  // Lineage waiters are rejected straight from the wait list and were never
+  // queued (drain_lineage_waiters enqueues only jobs it will not reject).
+  if (records_[idx].state == JobState::Queued) queue_.remove(id);
   records_[idx].state = JobState::Rejected;
   records_[idx].reject_reason = std::move(reason);
+  release_consumed_links(id);
   ++rejected_;
   record_flight(telemetry::FlightEventKind::Reject, id, reason_code);
   log_debug("sched: job ", id, " (", jobs_[idx].name, ") rejected: ",
@@ -468,11 +586,15 @@ void Scheduler::complete_job(Active& a) {
     // All events already fired, so the drain is bookkeeping; destroying the
     // pipeline releases its ring buffers and streams (per-stream sync only).
     a.pipeline->wait();
+    const core::PipelineStats& st = a.pipeline->stats();
+    h2d_bytes_total_ += st.h2d_bytes;
+    d2h_bytes_total_ += st.d2h_bytes;
     a.pipeline.reset();
     admission_.release(a.device, a.footprint);
   }
   r.finish = finish;
   r.state = JobState::Completed;
+  release_consumed_links(a.id);
   if (!a.shares.empty()) {
     for (const auto& [d, share] : a.shares)
       outstanding_[static_cast<std::size_t>(d)] -= share;
@@ -516,6 +638,262 @@ std::vector<int> Scheduler::placement_order() const {
     return !dev_available_[static_cast<std::size_t>(d)];
   });
   return order;
+}
+
+std::vector<int> Scheduler::placement_order_for(int id) const {
+  std::vector<int> order = placement_order();
+  if (!opts_.stitching) return order;
+  // Lineage co-placement: trying the device that holds the consumed staging
+  // first makes the handoff a same-device d2d instead of a P2P fallback.
+  for (const JobInput& in : jobs_[static_cast<std::size_t>(id)].inputs) {
+    const std::string& pname = in.producer_array.empty() ? in.array : in.producer_array;
+    for (const auto& l : links_) {
+      if (l->producer != in.producer || l->array != pname || l->staging == nullptr)
+        continue;
+      auto it = std::find(order.begin(), order.end(), l->device);
+      if (it != order.end()) std::rotate(order.begin(), it, it + 1);
+      return order;
+    }
+  }
+  return order;
+}
+
+// --- Inter-job stitching (docs/stitching.md) ---
+
+void Scheduler::HandoffExchange::issue(gpu::Gpu& g, gpu::Stream& s,
+                                       const core::PlanNode& n) {
+  const std::size_t ai = static_cast<std::size_t>(n.array);
+  HandoffLink* link = ai < links.size() ? links[ai] : nullptr;
+  require(link != nullptr, "device-handoff node has no link for its array");
+  require(link->staging != nullptr, "device-handoff node issued on a retired link");
+  const core::BufferView& v = pipeline->array_view(ai);
+  const bool produce = pipeline->execution_plan().arrays[ai].handoff_out;
+  std::byte* stage = link->staging;
+  if (!produce && device != link->device) {
+    // Cross-device fallback: the consume side reads the P2P mirror staged
+    // onto this device at wiring time, ordered after the peer copy.
+    require(link->mirror != nullptr && link->mirror_device == device,
+            "cross-device handoff consumed without a staged mirror");
+    stage = link->mirror;
+    if (link->moved) g.wait_event(s, link->moved);
+  }
+  for (const core::PlanSegment& seg : n.segments) {
+    std::byte* ring = v.base + static_cast<Bytes>(seg.slot) * v.slab;
+    std::byte* st =
+        stage + static_cast<Bytes>(seg.index - link->lo) * link->unit;
+    if (produce)
+      g.memcpy_d2d_async(st, ring, seg.bytes(), s);
+    else
+      g.memcpy_d2d_async(ring, st, seg.bytes(), s);
+  }
+}
+
+Scheduler::HandoffLink* Scheduler::find_link(int producer, const std::string& array) {
+  for (auto& l : links_)
+    if (l->producer == producer && l->array == array) return l.get();
+  return nullptr;
+}
+
+void Scheduler::wire_producer_handoffs(int id, int dev, core::PipelineSpec& spec,
+                                       Active& a) {
+  const std::size_t idx = static_cast<std::size_t>(id);
+  // Collect the output arrays stitchable consumers will read. An array
+  // qualifies only when both ends meet ArrayHandoff's geometric
+  // preconditions (dim-0 affine split, matching per-index bytes), so the
+  // wired specs always pass validation.
+  struct Cand {
+    int array = -1;
+    int consumers = 0;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t j = idx + 1; j < jobs_.size(); ++j) {
+    if (records_[j].state == JobState::Rejected) continue;
+    for (const JobInput& in : jobs_[j].inputs) {
+      if (in.producer != id) continue;
+      const std::string& pname = in.producer_array.empty() ? in.array : in.producer_array;
+      const int pi = array_index(spec, pname);
+      if (pi < 0) continue;
+      const core::ArraySpec& pa = spec.arrays[static_cast<std::size_t>(pi)];
+      if (pa.map == core::MapType::To || pa.split.dim != 0 || pa.split.window_fn)
+        continue;
+      const int ci = array_index(jobs_[j].spec, in.array);
+      if (ci < 0) continue;
+      const core::ArraySpec& ca = jobs_[j].spec.arrays[static_cast<std::size_t>(ci)];
+      if (ca.map == core::MapType::From || ca.split.dim != 0 || ca.split.window_fn)
+        continue;
+      if (ca.elem_size * ca.inner_elems() != pa.elem_size * pa.inner_elems()) continue;
+      if (ca.dims[0] > pa.dims[0]) continue;  // consumer would read past production
+      auto it = std::find_if(cands.begin(), cands.end(),
+                             [pi](const Cand& c) { return c.array == pi; });
+      if (it == cands.end())
+        cands.push_back({pi, 1});
+      else
+        ++it->consumers;
+    }
+  }
+  if (cands.empty()) return;
+
+  // Cost gate: stitch only when the dry run predicts the handoff tail is no
+  // slower than the D2H it replaces (the consumer's H2D win rides on top).
+  // Link ids in the spec are per-spec ordinals, so identical job shapes
+  // share one plan-cache entry; the exchange resolves links by array index.
+  core::PipelineSpec stitched = spec;
+  for (const Cand& c : cands)
+    stitched.handoffs.push_back(
+        {c.array, static_cast<int>(stitched.handoffs.size()), true});
+  const Job& job = jobs_[idx];
+  core::DryRunCost cost;
+  cost.flops_per_iter = job.flops_per_iter;
+  cost.bytes_per_iter = job.bytes_per_iter;
+  gpu::Gpu& device = *devices_[static_cast<std::size_t>(dev)];
+  try {
+    const SimTime plain =
+        core::estimate_pipeline_runtime(device, spec, cost, admission_.cap(dev));
+    const SimTime with =
+        core::estimate_pipeline_runtime(device, stitched, cost, admission_.cap(dev));
+    if (with > plain) {
+      log_debug("sched: job ", id, " stitch declined by cost model (", with, "s > ",
+                plain, "s)");
+      return;
+    }
+  } catch (const gpu::OomError&) {
+    return;
+  }
+
+  for (const Cand& c : cands) {
+    const core::ArraySpec& pa = spec.arrays[static_cast<std::size_t>(c.array)];
+    const Bytes bytes = pa.total_bytes();
+    // Staging holds the full produced array until the last consumer drains
+    // it; its bytes are committed so tenants cannot be planned into them.
+    if (admission_.committed(dev) + bytes > admission_.cap(dev)) continue;
+    std::byte* staging = nullptr;
+    try {
+      staging = device.device_malloc(bytes);
+    } catch (const gpu::OomError&) {
+      continue;
+    }
+    admission_.commit(dev, bytes);
+    auto link = std::make_unique<HandoffLink>();
+    link->id = next_link_id_++;
+    link->producer = id;
+    link->array = pa.name;
+    link->device = dev;
+    link->staging = staging;
+    link->bytes = bytes;
+    link->unit = pa.elem_size * static_cast<Bytes>(pa.inner_elems());
+    link->lo = 0;
+    link->consumers = c.consumers;
+    spec.handoffs.push_back({c.array, static_cast<int>(spec.handoffs.size()), true});
+    if (!a.exchange) {
+      a.exchange = std::make_unique<HandoffExchange>();
+      a.exchange->device = dev;
+      a.exchange->links.assign(spec.arrays.size(), nullptr);
+    }
+    a.exchange->links[static_cast<std::size_t>(c.array)] = link.get();
+    records_[idx].stitched_out = true;
+    record_flight(telemetry::FlightEventKind::Stitch, id,
+                  static_cast<std::int64_t>(bytes), id);
+    log_debug("sched: job ", id, " (", job.name, ") stashes '", pa.name,
+              "' device-resident (", to_mib(bytes), " MiB, ", c.consumers,
+              " consumer(s))");
+    links_.push_back(std::move(link));
+  }
+}
+
+void Scheduler::wire_consumer_handoffs(int id, int dev, core::PipelineSpec& spec,
+                                       Active& a) {
+  const std::size_t idx = static_cast<std::size_t>(id);
+  for (const JobInput& in : jobs_[idx].inputs) {
+    const std::string& pname = in.producer_array.empty() ? in.array : in.producer_array;
+    HandoffLink* link = find_link(in.producer, pname);
+    if (link == nullptr || link->staging == nullptr) continue;
+    const int ci = array_index(spec, in.array);
+    if (ci < 0) continue;
+    if (dev != link->device) {
+      // Placement split the chain across devices: mirror the staging onto
+      // this device with one peer copy (the P2P fallback). When even the
+      // mirror cannot fit, rescue the bytes to the host and run unstitched.
+      const bool had = link->mirror != nullptr && link->mirror_device == dev;
+      if (!stage_mirror(*link, dev)) {
+        rescue_to_host(*link);
+        continue;
+      }
+      if (!had) ++handoff_fallbacks_;
+      records_[idx].handoff_fallback = true;
+    }
+    spec.handoffs.push_back({ci, static_cast<int>(spec.handoffs.size()), false});
+    if (!a.exchange) {
+      a.exchange = std::make_unique<HandoffExchange>();
+      a.exchange->device = dev;
+      a.exchange->links.assign(spec.arrays.size(), nullptr);
+    }
+    a.exchange->links[static_cast<std::size_t>(ci)] = link;
+    records_[idx].stitched_in = true;
+    record_flight(telemetry::FlightEventKind::Stitch, id,
+                  static_cast<std::int64_t>(link->bytes), in.producer);
+    log_debug("sched: job ", id, " (", jobs_[idx].name, ") lands '", in.array,
+              "' from job ", in.producer, "'s staging",
+              dev != link->device ? " (p2p mirror)" : "");
+  }
+}
+
+bool Scheduler::stage_mirror(HandoffLink& link, int dev) {
+  if (link.mirror != nullptr) {
+    // One mirror per link: a third-device consumer falls back to the host
+    // rescue rather than invalidating a mirror a peer may still read.
+    return link.mirror_device == dev;
+  }
+  if (admission_.committed(dev) + link.bytes > admission_.cap(dev)) return false;
+  gpu::Gpu& dst = *devices_[static_cast<std::size_t>(dev)];
+  std::byte* mirror = nullptr;
+  try {
+    mirror = dst.device_malloc(link.bytes);
+  } catch (const gpu::OomError&) {
+    return false;
+  }
+  admission_.commit(dev, link.bytes);
+  gpu::Gpu& src = *devices_[static_cast<std::size_t>(link.device)];
+  src.memcpy_p2p_async(dst, mirror, link.staging, link.bytes, src.default_stream());
+  link.moved = src.record_event(src.default_stream());
+  link.mirror = mirror;
+  link.mirror_device = dev;
+  return true;
+}
+
+void Scheduler::rescue_to_host(HandoffLink& link) {
+  // The producer skipped its host writeback when the link was wired; fill
+  // the host buffer now so the consumer can fall back to plain H2D.
+  const Job& prod = jobs_[static_cast<std::size_t>(link.producer)];
+  const int pi = array_index(prod.spec, link.array);
+  ensure(pi >= 0, "handoff link names an array its producer does not map");
+  gpu::Gpu& src = *devices_[static_cast<std::size_t>(link.device)];
+  src.memcpy_d2h_async(prod.spec.arrays[static_cast<std::size_t>(pi)].host,
+                       link.staging, link.bytes, src.default_stream());
+  src.synchronize(src.default_stream());
+  log_debug("sched: handoff link ", link.id, " rescued to host (mirror did not fit)");
+}
+
+void Scheduler::release_consumed_links(int id) {
+  for (const JobInput& in : jobs_[static_cast<std::size_t>(id)].inputs) {
+    const std::string& pname = in.producer_array.empty() ? in.array : in.producer_array;
+    HandoffLink* link = find_link(in.producer, pname);
+    if (link == nullptr) continue;
+    if (--link->consumers <= 0) retire_link(*link);
+  }
+}
+
+void Scheduler::retire_link(HandoffLink& link) {
+  if (link.staging != nullptr) {
+    devices_[static_cast<std::size_t>(link.device)]->device_free(link.staging);
+    admission_.release(link.device, link.bytes);
+    link.staging = nullptr;
+  }
+  if (link.mirror != nullptr) {
+    devices_[static_cast<std::size_t>(link.mirror_device)]->device_free(link.mirror);
+    admission_.release(link.mirror_device, link.bytes);
+    link.mirror = nullptr;
+  }
+  link.moved.reset();
 }
 
 // --- Virtual-time advancement ---
@@ -640,6 +1018,16 @@ void Scheduler::collect_metrics(telemetry::Registry& reg, const std::string& pre
     reg.counter(p + "sharded_jobs").add(sharded_jobs_);
     reg.counter(p + "shard_rounds").add(shard_rounds_);
     reg.counter(p + "p2p_halo_bytes").add(static_cast<std::int64_t>(p2p_halo_bytes_));
+  }
+  if (lineage_jobs_ > 0) {
+    // Same gate idea for stitching: mixes without Job::consumes keep their
+    // exact metric set (and golden exports) unchanged.
+    reg.counter(p + "lineage_jobs").add(lineage_jobs_);
+    reg.counter(p + "stitched_jobs").add(stitched_jobs_);
+    reg.counter(p + "stitched_bytes").add(static_cast<std::int64_t>(stitched_bytes_));
+    reg.counter(p + "handoff_fallbacks").add(handoff_fallbacks_);
+    reg.counter(p + "h2d_bytes").add(static_cast<std::int64_t>(h2d_bytes_total_));
+    reg.counter(p + "d2h_bytes").add(static_cast<std::int64_t>(d2h_bytes_total_));
   }
   reg.gauge(p + "makespan_s").set(makespan_);
   reg.gauge(p + "queue_depth_peak").set(static_cast<double>(queue_depth_peak_));

@@ -99,6 +99,14 @@ struct SchedulerOptions {
   /// position). Empty = the device set is fixed for the whole run.
   std::vector<DeviceEvent> device_events;
 
+  /// Inter-job plan stitching (docs/stitching.md): when a job declares
+  /// lineage (Job::consumes) and the cost model predicts a win, the
+  /// producer's D2H tail is redirected into device-resident staging and the
+  /// consumer's H2D head reads it back, skipping the host round-trip. The
+  /// consumer prefers the producer's device; a placement split falls back
+  /// to a P2P staging mirror. Lineage-free mixes are unaffected.
+  bool stitching = true;
+
   /// Live observability hooks, all optional and caller-owned (must outlive
   /// run()). With every hook null the control loop is byte-identical to an
   /// unobserved run: recording never changes a scheduling decision.
@@ -128,6 +136,9 @@ struct ScheduleReport {
   std::int64_t admission_retries = 0;
   std::int64_t admission_shrinks = 0;
   std::int64_t deadline_misses = 0;
+  std::int64_t stitched_jobs = 0;      ///< jobs that ran with >= 1 handoff wired
+  Bytes stitched_bytes = 0;            ///< host transfer bytes stitched away
+  std::int64_t handoff_fallbacks = 0;  ///< consume links that crossed devices
   std::vector<JobRecord> jobs;
 };
 
@@ -137,6 +148,9 @@ class Scheduler {
  public:
   /// All devices must share one SharedContext (one host thread, one clock).
   Scheduler(std::vector<gpu::Gpu*> devices, SchedulerOptions opts = {});
+  /// Frees any handoff staging a failed run() left behind (normal runs
+  /// retire every link when its last consumer turns terminal).
+  ~Scheduler();
 
   /// Registers a job; returns its id (== submission index). The solo
   /// runtime estimate (SJF rank, least-loaded weight) is computed here with
@@ -155,8 +169,46 @@ class Scheduler {
   const AdmissionController& admission() const { return admission_; }
   const SchedulerOptions& options() const { return opts_; }
   const std::vector<JobRecord>& records() const { return records_; }
+  /// Host-transfer totals summed over every completed solo pipeline — the
+  /// denominator/numerator pair behind bench_stitch's savings floor.
+  Bytes total_h2d_bytes() const { return h2d_bytes_total_; }
+  Bytes total_d2h_bytes() const { return d2h_bytes_total_; }
 
  private:
+  /// One device-resident lineage handoff: a producer's output array stashed
+  /// in a staging allocation on its device, read back by the consumers'
+  /// handoff-in nodes. Staging (and any mirror) lives until every wired
+  /// consumer is terminal; its bytes are committed to admission so tenants
+  /// cannot be planned into memory the link occupies.
+  struct HandoffLink {
+    int id = -1;            ///< spec-side link id (ArrayHandoff::link)
+    int producer = -1;      ///< producer job id
+    std::string array;      ///< producer's array name (consumer lookup key)
+    int device = -1;        ///< device owning `staging`
+    std::byte* staging = nullptr;
+    Bytes bytes = 0;        ///< full-array staging size
+    Bytes unit = 0;         ///< bytes per split index
+    std::int64_t lo = 0;    ///< split index staging[0] holds
+    int consumers = 0;      ///< wired consumers not yet terminal
+    /// Cross-device fallback: a placement split mirrors the staging onto
+    /// the consumer's device with one P2P copy; `moved` orders the
+    /// consumer's handoff-in reads after that copy.
+    std::byte* mirror = nullptr;
+    int mirror_device = -1;
+    gpu::EventPtr moved;
+  };
+
+  /// PlanExchange bound to one job's pipeline: routes its DeviceHandoff
+  /// nodes between the ring buffers and the link staging (same pointer
+  /// arithmetic as the shard halo exchange, but across jobs instead of
+  /// across shards).
+  struct HandoffExchange final : core::PlanExchange {
+    core::Pipeline* pipeline = nullptr;
+    int device = -1;
+    std::vector<HandoffLink*> links;  ///< by spec array index; null = unwired
+    void issue(gpu::Gpu& g, gpu::Stream& s, const core::PlanNode& n) override;
+  };
+
   struct Active {
     int id = -1;
     int device = -1;
@@ -164,6 +216,7 @@ class Scheduler {
     SimTime estimate = 0.0;
     std::unique_ptr<core::Pipeline> pipeline;
     std::unique_ptr<ShardRun> shard;  ///< multi-device path (pipeline null)
+    std::unique_ptr<HandoffExchange> exchange;  ///< set when handoffs are wired
     /// Estimated-seconds load added per device at start (removed on
     /// completion) — one entry for solo jobs, one per shard otherwise.
     std::vector<std::pair<int, SimTime>> shares;
@@ -203,6 +256,31 @@ class Scheduler {
   void reject_job(int id, std::int64_t reason_code, std::string reason);
   void complete_job(Active& a);
   std::vector<int> placement_order() const;
+  /// placement_order with the device holding `id`'s consumed staging (if
+  /// any) promoted to the front — the lineage co-placement preference.
+  std::vector<int> placement_order_for(int id) const;
+  /// True when every lineage producer of `id` reached a terminal state.
+  bool lineage_ready(int id) const;
+  /// Moves arrived lineage waiters whose producers turned terminal into the
+  /// ready queue; consumers of a rejected producer are rejected here.
+  bool drain_lineage_waiters();
+  HandoffLink* find_link(int producer, const std::string& array);
+  /// Wires produce-side ArrayHandoffs into `id`'s frozen `spec` for every
+  /// stitchable consumer array (cost-model gated; staging on `dev`).
+  void wire_producer_handoffs(int id, int dev, core::PipelineSpec& spec, Active& a);
+  /// Wires consume-side ArrayHandoffs for inputs whose producer stashed a
+  /// link; a link on another device gets a P2P mirror (the fallback path).
+  void wire_consumer_handoffs(int id, int dev, core::PipelineSpec& spec, Active& a);
+  /// Drops one consumer from every link `id` consumed, retiring drained
+  /// links (staging freed, admission released).
+  void release_consumed_links(int id);
+  void retire_link(HandoffLink& link);
+  /// Mirrors `link`'s staging onto `dev` with one P2P copy; false when it
+  /// cannot fit (or a mirror already lives on a third device).
+  bool stage_mirror(HandoffLink& link, int dev);
+  /// Last resort when a mirror cannot fit: drains the staging back to the
+  /// producer's host buffer so the consumer can run unstitched.
+  void rescue_to_host(HandoffLink& link);
   void advance();
   void advance_to(SimTime t);
   void advance_until_completion_or(SimTime bound);
@@ -249,6 +327,15 @@ class Scheduler {
   std::int64_t sharded_jobs_ = 0;
   std::int64_t shard_rounds_ = 0;
   Bytes p2p_halo_bytes_ = 0;
+  std::int64_t lineage_jobs_ = 0;  ///< jobs submitted with inputs (metric gate)
+  std::int64_t stitched_jobs_ = 0;
+  Bytes stitched_bytes_ = 0;
+  std::int64_t handoff_fallbacks_ = 0;
+  Bytes h2d_bytes_total_ = 0;
+  Bytes d2h_bytes_total_ = 0;
+  std::vector<std::unique_ptr<HandoffLink>> links_;
+  std::vector<int> lineage_wait_;  ///< arrived, held for producer completion
+  int next_link_id_ = 0;
   std::size_t queue_depth_peak_ = 0;
   std::vector<std::size_t> queue_depth_samples_;
 };

@@ -197,8 +197,78 @@ ServeJob make_synthetic_job(const JobMixLine& line, int index) {
   return sj;
 }
 
+std::vector<ServeJob> make_chain_jobs(int chains, int stages, const std::string& size,
+                                      int first_id) {
+  require(chains >= 1, "chain mix needs at least one chain");
+  require(stages >= 2, "a chain needs at least two stages to hand anything off");
+  require(first_id >= 0, "chain mix first_id must be >= 0");
+  const SizeTemplate t = size_template(size);
+  static const char* apps[] = {"stream", "compute"};
+  const std::size_t elems = static_cast<std::size_t>(t.rows * t.row_elems);
+
+  std::vector<ServeJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(chains * stages));
+  int id = first_id;
+  for (int c = 0; c < chains; ++c) {
+    auto head_in = std::make_shared<std::vector<double>>(elems);
+    fill_input(*head_in, first_id + c);
+    std::shared_ptr<std::vector<double>> cur = head_in;
+    std::vector<std::string> chain_apps;
+    for (int s = 0; s < stages; ++s, ++id) {
+      const std::string app = apps[s % 2];
+      chain_apps.push_back(app);
+      auto out = std::make_shared<std::vector<double>>(elems, 0.0);
+
+      ServeJob sj;
+      sj.app = app;
+      sj.rows = t.rows;
+      sj.row_elems = t.row_elems;
+      sj.in = cur;
+      sj.out = out;
+
+      Job& job = sj.job;
+      job.name = "chain" + std::to_string(c) + "-s" + std::to_string(s) + "-" + app;
+      job.arrival = 0.0008 * static_cast<double>(id - first_id);
+
+      core::PipelineSpec& spec = job.spec;
+      spec.chunk_size = t.chunk_size;
+      spec.num_streams = t.num_streams;
+      spec.loop_begin = 0;
+      spec.loop_end = t.rows;
+      spec.arrays = {
+          slab_array("in", core::MapType::To, *cur, t.rows, t.row_elems, 1),
+          slab_array("out", core::MapType::From, *out, t.rows, t.row_elems, 1),
+      };
+      assign_app_kernel(job, app, t.row_elems);
+      if (s > 0) job.consumes(id - 1, "in", "out");
+      if (s < stages - 1) {
+        sj.intermediate = true;
+      } else {
+        // The tail verifies the whole chain from the head's fresh input —
+        // the only host data guaranteed to exist under stitching.
+        sj.in = head_in;
+        sj.chain = chain_apps;
+      }
+      jobs.push_back(std::move(sj));
+      cur = out;
+    }
+  }
+  return jobs;
+}
+
 bool ServeJob::verify() const {
   if (!in || !out) return true;  // synthetic job: no host backing to check
+  if (intermediate) return true;  // host output undefined when stitched
+  if (!chain.empty()) {
+    std::vector<double> exp = *in;
+    for (const std::string& stage : chain) {
+      double (*fn)(double) = stage == "compute" ? compute_fn : stream_fn;
+      for (double& x : exp) x = fn(x);
+    }
+    for (std::size_t k = 0; k < out->size(); ++k)
+      if ((*out)[k] != exp[k]) return false;
+    return true;
+  }
   const std::vector<double>& i = *in;
   const std::vector<double>& o = *out;
   const std::int64_t e = row_elems;
@@ -219,7 +289,8 @@ bool ServeJob::verify() const {
 }
 
 double ServeJob::output_checksum() const {
-  if (!out) return 0.0;  // synthetic job: no output array
+  if (!out) return 0.0;          // synthetic job: no output array
+  if (intermediate) return 0.0;  // undefined host bytes under stitching
   double sum = 0.0;
   for (std::size_t k = 0; k < out->size(); ++k)
     sum += (*out)[k] * static_cast<double>((k % 13) + 1);

@@ -66,6 +66,15 @@ struct ServeJob {
   std::string app;
   std::int64_t rows = 0;
   std::int64_t row_elems = 0;
+  /// Chain-tail jobs (make_chain_jobs): the stage apps applied head-to-tail;
+  /// verify() then recomputes the whole chain from `in` (the chain head's
+  /// fresh input), because intermediate host buffers stay unwritten when the
+  /// scheduler stitches the chain device-resident.
+  std::vector<std::string> chain;
+  /// Mid-chain stage: its host output is undefined under stitching, so
+  /// verify() passes trivially and output_checksum() returns 0 (the chain
+  /// tail carries the end-to-end check in both stitched and plain runs).
+  bool intermediate = false;
 };
 
 /// Instantiates `line` as job number `index` (names the job and seeds its
@@ -79,5 +88,17 @@ ServeJob make_serve_job(const JobMixLine& line, int index);
 /// verify() trivially passes for such jobs. This keeps a 100k-tenant mix at
 /// O(1) host memory instead of ~1.5 MiB per job.
 ServeJob make_synthetic_job(const JobMixLine& line, int index);
+
+/// Builds `chains` lineage chains of `stages` pointwise jobs each
+/// (stream/compute alternating; same `size` geometry throughout). Stage k's
+/// input array aliases stage k-1's output buffer and is declared with
+/// Job::consumes, so the scheduler can stitch the intermediate host
+/// round-trips into device-resident handoffs. Jobs are returned in
+/// submission order and wired against ids starting at `first_id`: the
+/// caller must submit them in order onto a scheduler that already holds
+/// exactly `first_id` jobs. The returned vector must be kept alive as a
+/// whole — stages share host buffers across entries.
+std::vector<ServeJob> make_chain_jobs(int chains, int stages, const std::string& size,
+                                      int first_id);
 
 }  // namespace gpupipe::sched

@@ -158,11 +158,18 @@ void print_opt_report(std::ostream& os, const gpupipe::core::OptReport& report,
   os << "optimization: level " << opt_level << "\n";
   if (opt_level == 0) return;
   for (const auto& p : report.passes) {
+    char elapsed[32];
+    std::snprintf(elapsed, sizeof(elapsed), "%.1f us", p.elapsed_s * 1e6);
     os << "  pass " << p.pass << ": removed " << p.nodes_removed << " nodes, changed "
-       << p.nodes_changed << ", saved " << p.bytes_saved << " bytes\n";
+       << p.nodes_changed << ", saved " << p.bytes_saved << " bytes in " << elapsed
+       << "\n";
     for (const auto& [name, bytes] : p.bytes_saved_by_array)
       if (bytes > 0) os << "    " << name << ": " << bytes << " bytes\n";
   }
+  if (report.stitched_bytes > 0)
+    os << "  stitched bytes: " << report.stitched_bytes << "\n";
+  if (report.fused_kernels > 0)
+    os << "  fused kernels: " << report.fused_kernels << "\n";
   os << "  nodes: " << report.nodes_before << " -> " << report.nodes_after << "\n";
   os << "  h2d bytes: " << report.h2d_bytes_before << " -> " << report.h2d_bytes_after
      << "\n";
@@ -412,8 +419,10 @@ int main(int argc, char** argv) {
     gpupipe::core::PipelineSpec naive = spec;
     naive.opt_level = 0;
     gpupipe::core::ExecutionPlan plan = gpupipe::core::PlanBuilder::pipeline(naive);
+    // The profile lets level >=2 arbitrate kernel fusion with a dry-run cost
+    // comparison instead of fusing unconditionally.
     const gpupipe::core::OptReport report =
-        gpupipe::core::optimize_plan(plan, spec.opt_level);
+        gpupipe::core::optimize_plan(plan, spec.opt_level, &profile);
 
     std::ofstream out_file;
     if (!output_path.empty()) {

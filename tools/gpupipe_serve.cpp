@@ -7,7 +7,9 @@
 // `sched.` telemetry histograms.
 //
 // Usage:
-//   gpupipe_serve [mixfile] [--default-mix N] [--jobs N] [--devices N|list]
+//   gpupipe_serve [mixfile] [--default-mix N] [--jobs N] [--chains N]
+//                 [--chain-stages M] [--chain-size small|medium|large]
+//                 [--no-stitch] [--devices N|list]
 //                 [--profile k40m|hd7970|xeonphi] [--policy fifo|priority|sjf]
 //                 [--shard-threshold MIB] [--max-shards N]
 //                 [--reshard-interval ITERS]
@@ -58,6 +60,14 @@
 // uses --profile, so heterogeneous speedup numbers are relative to that
 // reference device.
 //
+// --chains N appends N lineage chains of --chain-stages pointwise jobs each
+// (stream/compute alternating at --chain-size geometry) after the mix; each
+// stage declares Job::consumes on its predecessor, so the scheduler stitches
+// the intermediate host round-trips into device-resident handoffs and the
+// summary reports stitched jobs/bytes plus total H2D/D2H traffic.
+// --no-stitch disables the pass (lineage still sequences the chains), which
+// is the A/B baseline for the saved copy bytes.
+//
 // --jobs N generates a synthetic N-tenant mix (no mix file needed) and runs
 // it on modeled-mode devices: jobs carry no host arrays, so tenant counts in
 // the 100k range fit in memory, at the cost of skipping result verification
@@ -98,7 +108,10 @@ namespace {
 struct Options {
   std::string mixfile;
   int default_mix = 10;
-  int jobs = 0;  ///< >0: synthetic modeled-mode mix of N tenants
+  int jobs = 0;        ///< >0: synthetic modeled-mode mix of N tenants
+  int chains = 0;      ///< >0: append N lineage chains to the mix
+  int chain_stages = 3;
+  std::string chain_size = "small";
   int devices = 2;
   std::string devices_spec = "2";  ///< raw --devices value (count or list)
   std::vector<gpu::DeviceProfile> machine;  ///< resolved per-device profiles
@@ -125,6 +138,8 @@ struct Options {
 int usage() {
   std::fprintf(stderr,
                "usage: gpupipe_serve [mixfile] [--default-mix N] [--jobs N]\n"
+               "                     [--chains N] [--chain-stages M]\n"
+               "                     [--chain-size small|medium|large] [--no-stitch]\n"
                "                     [--devices N | k40m,hd7970,...]\n"
                "                     [--profile k40m|hd7970|xeonphi]\n"
                "                     [--shard-threshold MIB] [--max-shards N]\n"
@@ -156,7 +171,8 @@ SimTime solo_runtime(const sched::JobMixLine& line, int index,
 }
 
 void print_human(const sched::ScheduleReport& rep, const std::vector<sched::ServeJob>& jobs,
-                 SimTime sum_solo, const telemetry::Registry& reg, const Options& opt) {
+                 SimTime sum_solo, const telemetry::Registry& reg, const Options& opt,
+                 Bytes h2d_total, Bytes d2h_total) {
   std::printf("gpupipe_serve: %zu jobs, %d x %s, policy %s, placement %s\n",
               jobs.size(), opt.devices, opt.machine_desc.c_str(),
               to_string(opt.sched.queue_policy), to_string(opt.sched.placement));
@@ -178,6 +194,13 @@ void print_human(const sched::ScheduleReport& rep, const std::vector<sched::Serv
               static_cast<long long>(rep.admission_retries),
               static_cast<long long>(rep.backpressure_events),
               static_cast<long long>(rep.deadline_misses));
+  if (opt.chains > 0 || rep.stitched_jobs > 0)
+    std::printf("stitching: %lld jobs stitched, %lld bytes device-resident, "
+                "%lld fallbacks; h2d %lld bytes, d2h %lld bytes\n",
+                static_cast<long long>(rep.stitched_jobs),
+                static_cast<long long>(rep.stitched_bytes),
+                static_cast<long long>(rep.handoff_fallbacks),
+                static_cast<long long>(h2d_total), static_cast<long long>(d2h_total));
   std::printf("makespan %.3f ms", rep.makespan * 1e3);
   if (opt.solo)
     std::printf("  (sum of solo runtimes %.3f ms, speedup %.2fx)", sum_solo * 1e3,
@@ -210,7 +233,8 @@ void print_human(const sched::ScheduleReport& rep, const std::vector<sched::Serv
 }
 
 void print_json(const sched::ScheduleReport& rep, SimTime sum_solo,
-                const telemetry::Registry& reg, const Options& opt) {
+                const telemetry::Registry& reg, const Options& opt, Bytes h2d_total,
+                Bytes d2h_total) {
   std::ostringstream os;
   os.precision(17);
   os << "{\"options\":{\"devices\":" << opt.devices << ",\"profile\":\"" << opt.profile
@@ -236,6 +260,9 @@ void print_json(const sched::ScheduleReport& rep, SimTime sum_solo,
   os << "],\"summary\":{\"makespan_s\":" << rep.makespan << ",\"sum_solo_s\":" << sum_solo
      << ",\"speedup\":" << (rep.makespan > 0.0 && opt.solo ? sum_solo / rep.makespan : 0.0)
      << ",\"completed\":" << rep.completed << ",\"rejected\":" << rep.rejected
+     << ",\"stitched_jobs\":" << rep.stitched_jobs << ",\"stitched_bytes\":"
+     << rep.stitched_bytes << ",\"handoff_fallbacks\":" << rep.handoff_fallbacks
+     << ",\"h2d_bytes\":" << h2d_total << ",\"d2h_bytes\":" << d2h_total
      << ",\"throughput_jobs_per_s\":"
      << (rep.makespan > 0.0 ? static_cast<double>(rep.completed) / rep.makespan : 0.0);
   // Percentiles are interpolated from the sched.* histograms in the
@@ -276,6 +303,11 @@ int main(int argc, char** argv) {
       };
       if (a == "--default-mix") opt.default_mix = static_cast<int>(next_int(a.c_str(), 1));
       else if (a == "--jobs") opt.jobs = static_cast<int>(next_int(a.c_str(), 1));
+      else if (a == "--chains") opt.chains = static_cast<int>(next_int(a.c_str(), 1));
+      else if (a == "--chain-stages")
+        opt.chain_stages = static_cast<int>(next_int(a.c_str(), 2));
+      else if (a == "--chain-size") opt.chain_size = next("--chain-size");
+      else if (a == "--no-stitch") opt.sched.stitching = false;
       else if (a == "--devices") opt.devices_spec = next("--devices");
       else if (a == "--profile") opt.profile = next("--profile");
       else if (a == "--shard-threshold") {
@@ -337,6 +369,8 @@ int main(int argc, char** argv) {
     }
     if (opt.jobs > 0 && !opt.mixfile.empty())
       throw Error("--jobs generates its own mix; drop the mix file");
+    if (opt.jobs > 0 && opt.chains > 0)
+      throw Error("--chains needs functional host arrays; drop --jobs");
     if (opt.export_jsonl) opt.record = true;  // the events file needs the ring
     // Resolve --devices last: a count expands to copies of --profile
     // regardless of flag order; a name list builds a heterogeneous machine.
@@ -486,7 +520,21 @@ int main(int argc, char** argv) {
       }
       scheduler.submit(job);
     }
+    // Lineage chains ride along after the mix: stage k consumes stage k-1's
+    // output, so the scheduler can stitch the intermediate host round-trips
+    // into device-resident handoffs. Chains are excluded from the solo
+    // baseline (sum_solo covers the mix portion only).
+    if (opt.chains > 0) {
+      std::vector<sched::ServeJob> chain_jobs = sched::make_chain_jobs(
+          opt.chains, opt.chain_stages, opt.chain_size, static_cast<int>(jobs.size()));
+      for (sched::ServeJob& cj : chain_jobs) {
+        jobs.push_back(std::move(cj));
+        scheduler.submit(jobs.back().job);
+      }
+    }
     const sched::ScheduleReport rep = scheduler.run();
+    const Bytes h2d_total = scheduler.total_h2d_bytes();
+    const Bytes d2h_total = scheduler.total_d2h_bytes();
 
     bool ok = true;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -507,9 +555,9 @@ int main(int argc, char** argv) {
     scheduler.collect_metrics(reg);
     core::PlanCache::instance().collect_metrics(reg);
     if (opt.json)
-      print_json(rep, sum_solo, reg, opt);
+      print_json(rep, sum_solo, reg, opt, h2d_total, d2h_total);
     else
-      print_human(rep, jobs, sum_solo, reg, opt);
+      print_human(rep, jobs, sum_solo, reg, opt, h2d_total, d2h_total);
     if (!opt.json && opt.record)
       std::printf("flight recorder: %llu events (%zu retained, %llu dropped)%s\n",
                   static_cast<unsigned long long>(recorder.total_recorded()),
